@@ -1,0 +1,87 @@
+"""Figure 2: per-row crypto operation micro-benchmarks vs. IN-clause size.
+
+Paper reference (BN254 in C, Customers row, m = 8):
+  token generation < 2 ms flat in t;
+  encryption 3.4 ms (t=1) -> 9.6 ms (t=10), linear;
+  decryption 21.2 ms (t=1) -> 53 ms (t=10), linear and dominant.
+
+The BN254 groups here are pure Python, so absolute numbers are larger by
+a constant factor; the orderings (dec > enc > token) and the linear
+growth in t are the reproduction targets.  The fast backend rows give
+the same sweep at exponent-arithmetic cost.
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from benchmarks.conftest import BN254_T_VALUES
+from repro.core.scheme import SecureJoinParams, SecureJoinScheme
+from repro.crypto.backend import get_backend
+
+_M = 8  # Customers non-join attributes, as in the paper.
+_ATTRIBUTES = (
+    "Customer#000004242", "1709 regular st.", 7, "21-467-899-1042",
+    3056.30, "BUILDING", "carefully final accounts sleep", "1/100",
+)
+
+
+def _scheme(t: int, backend_name: str) -> tuple[SecureJoinScheme, object]:
+    backend = get_backend(backend_name)
+    scheme = SecureJoinScheme(
+        SecureJoinParams(_M, t, backend_name), backend, random.Random(1)
+    )
+    return scheme, scheme.setup()
+
+
+@pytest.mark.parametrize("t", list(range(1, 11)))
+class TestFastBackend:
+    def test_token_generation(self, benchmark, t):
+        scheme, msk = _scheme(t, "fast")
+        key = scheme.new_query_key()
+        selection = {0: [f"v{i}" for i in range(t)]}
+        benchmark(lambda: scheme.token(msk, selection, key))
+
+    def test_encryption(self, benchmark, t):
+        scheme, msk = _scheme(t, "fast")
+        benchmark(lambda: scheme.encrypt_row(msk, 4242, _ATTRIBUTES))
+
+    def test_decryption(self, benchmark, t):
+        scheme, msk = _scheme(t, "fast")
+        token = scheme.token(
+            msk, {0: [f"v{i}" for i in range(t)]}, scheme.new_query_key()
+        )
+        ciphertext = scheme.encrypt_row(msk, 4242, _ATTRIBUTES)
+        benchmark(lambda: scheme.decrypt(token, ciphertext))
+
+
+@pytest.mark.parametrize("t", list(BN254_T_VALUES))
+class TestBN254Backend:
+    """The real pairing. One round per op: each call is ms-to-seconds."""
+
+    def test_token_generation(self, benchmark, t):
+        scheme, msk = _scheme(t, "bn254")
+        key = scheme.new_query_key()
+        selection = {0: [f"v{i}" for i in range(t)]}
+        benchmark.pedantic(
+            lambda: scheme.token(msk, selection, key), rounds=1, iterations=1
+        )
+
+    def test_encryption(self, benchmark, t):
+        scheme, msk = _scheme(t, "bn254")
+        benchmark.pedantic(
+            lambda: scheme.encrypt_row(msk, 4242, _ATTRIBUTES),
+            rounds=1, iterations=1,
+        )
+
+    def test_decryption(self, benchmark, t):
+        scheme, msk = _scheme(t, "bn254")
+        token = scheme.token(
+            msk, {0: [f"v{i}" for i in range(t)]}, scheme.new_query_key()
+        )
+        ciphertext = scheme.encrypt_row(msk, 4242, _ATTRIBUTES)
+        benchmark.pedantic(
+            lambda: scheme.decrypt(token, ciphertext), rounds=1, iterations=1
+        )

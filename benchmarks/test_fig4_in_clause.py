@@ -1,0 +1,46 @@
+"""Figure 4: server-side join runtime vs. IN-clause size (SF 0.01).
+
+Paper reference: runtime grows roughly linearly in t (vector dimension
+is m(t+1)+3, so each decryption pairing costs O(t)); the growth is
+steeper for higher selectivities because more rows pay the per-row
+cost (3.50s -> 8.75s for s=1/100; 27.86s -> 69.62s for s=1/12.5).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from benchmarks.conftest import IN_CLAUSE_SIZES, SELECTIVITIES
+from repro.bench.workloads import build_encrypted_tpch, tpch_query
+
+_SCALE_FACTOR = 0.01
+
+
+@pytest.mark.parametrize("t", list(IN_CLAUSE_SIZES))
+@pytest.mark.parametrize("selectivity", list(SELECTIVITIES))
+def test_join_runtime(benchmark, t, selectivity):
+    workload = build_encrypted_tpch(_SCALE_FACTOR, in_clause_limit=t)
+    query = tpch_query(selectivity, in_clause_size=t)
+    encrypted_query = workload.client.create_query(query)
+
+    result = benchmark.pedantic(
+        lambda: workload.server.execute_join(encrypted_query),
+        rounds=3, iterations=1,
+    )
+    assert result.stats.decryptions > 0
+
+
+def test_cost_grows_with_in_clause_size():
+    """Per-row decryption cost is O(t): dimension m(t+1)+3."""
+    small = build_encrypted_tpch(_SCALE_FACTOR, in_clause_limit=1)
+    large = build_encrypted_tpch(_SCALE_FACTOR, in_clause_limit=IN_CLAUSE_SIZES[-1])
+    assert (
+        large.client.params.dimension > small.client.params.dimension
+    )
+    # Same selected rows regardless of t (padding labels match nothing).
+    q_small = tpch_query(1 / 100, in_clause_size=1)
+    q_large = tpch_query(1 / 100, in_clause_size=IN_CLAUSE_SIZES[-1])
+    r_small = small.server.execute_join(small.client.create_query(q_small))
+    r_large = large.server.execute_join(large.client.create_query(q_large))
+    assert r_small.stats.decryptions == r_large.stats.decryptions
+    assert r_small.stats.matches == r_large.stats.matches

@@ -1,0 +1,77 @@
+"""Frequency-analysis attack: why join-column leakage matters.
+
+Naveed et al. (CCS 2015) broke CryptDB-style deterministic columns with
+frequency analysis — the attack that motivates this paper.  This example
+mounts the attack against the adversary view of deterministic
+encryption and of Secure Join on a skewed (Zipf-like) join column, and
+prints the fraction of rows whose join value the attacker recovers.
+
+Run:  python examples/frequency_attack.py
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro import JoinQuery, Schema, Table
+from repro.baselines import DeterministicScheme, SecureJoinAdapter
+from repro.leakage import attack_scheme_view
+
+
+def build_tables(seed: int = 5, n_left: int = 60, n_right: int = 200):
+    """Employees and tickets sharing a skewed department column."""
+    rng = random.Random(seed)
+    departments = [1] * 8 + [2] * 4 + [3] * 2 + [4, 5]  # Zipf-ish weights
+    employees = Table(
+        "Employees",
+        Schema.of(("dept", "int"), ("badge", "str")),
+        [(rng.choice(departments), f"e{i}") for i in range(n_left)],
+    )
+    tickets = Table(
+        "Tickets",
+        Schema.of(("dept", "int"), ("ticket", "str")),
+        [(rng.choice(departments), f"t{i}") for i in range(n_right)],
+    )
+    return [(employees, "dept"), (tickets, "dept")]
+
+
+def main() -> None:
+    tables = build_tables()
+    total_rows = sum(len(t) for t, _ in tables)
+    print(f"Dataset: {total_rows} rows, skewed join column (5 departments)\n")
+
+    det = DeterministicScheme()
+    det.upload(tables)
+    det_result = attack_scheme_view(det.revealed_pairs(), tables)
+    print("Deterministic encryption (leaks at upload, before any query):")
+    print(f"  attacker recovers {det_result.correct}/{det_result.total} rows "
+          f"({det_result.recovery_rate:.0%})\n")
+
+    securejoin = SecureJoinAdapter(rng=random.Random(77))
+    securejoin.upload(tables)
+    at_upload = attack_scheme_view(securejoin.revealed_pairs(), tables)
+    print("Secure Join, after upload:")
+    print(f"  attacker recovers {at_upload.correct}/{at_upload.total} rows "
+          f"({at_upload.recovery_rate:.0%})")
+
+    for i in range(3):
+        securejoin.run_query(JoinQuery.build(
+            "Employees", "Tickets", on=("dept", "dept"),
+            where_left={"badge": [f"e{2 * i}", f"e{2 * i + 1}"]},
+            where_right={"ticket": [f"t{3 * i}", f"t{3 * i + 1}"]},
+        ))
+        step = attack_scheme_view(securejoin.revealed_pairs(), tables)
+        print(f"Secure Join, after {i + 1} selective quer"
+              f"{'y' if i == 0 else 'ies'}: "
+              f"{step.correct}/{step.total} rows "
+              f"({step.recovery_rate:.0%})")
+
+    final = attack_scheme_view(securejoin.revealed_pairs(), tables)
+    print(f"\nThe attack is {det_result.recovery_rate / max(final.recovery_rate, 1e-9):.0f}x "
+          "less effective against Secure Join on this workload: leakage is "
+          "confined to rows that matched a selection criterion, under "
+          "per-query keys.")
+
+
+if __name__ == "__main__":
+    main()

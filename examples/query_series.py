@@ -1,0 +1,119 @@
+"""A series of queries: fresh keys, unlinkable handles, closure-only leakage.
+
+Demonstrates the paper's headline property on a many-to-many dataset:
+repeating and varying queries never lets the server link results across
+queries beyond the transitive closure of what each query individually
+revealed.
+
+Run:  python examples/query_series.py
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro import (
+    JoinQuery,
+    Schema,
+    SecureJoinClient,
+    SecureJoinServer,
+    Table,
+)
+from repro.baselines import HahnScheme, SecureJoinAdapter
+from repro.errors import QueryError
+from repro.leakage import analyze_schemes
+
+
+def main() -> None:
+    # Suppliers and shipments share region codes (a many-to-many join that
+    # Hahn et al.'s PK/FK-only scheme cannot even express on this data).
+    suppliers = Table(
+        "Suppliers",
+        Schema.of(("region", "int"), ("name", "str"), ("tier", "str")),
+        [
+            (10, "Acme", "gold"),
+            (10, "Bolt", "silver"),
+            (20, "Crux", "gold"),
+            (30, "Dyno", "bronze"),
+        ],
+    )
+    shipments = Table(
+        "Shipments",
+        Schema.of(("shipment", "int"), ("region", "int"), ("priority", "str")),
+        [
+            (1, 10, "high"),
+            (2, 20, "low"),
+            (3, 20, "high"),
+            (4, 30, "low"),
+            (5, 10, "low"),
+        ],
+    )
+
+    client = SecureJoinClient.for_tables(
+        [(suppliers, "region"), (shipments, "region")],
+        in_clause_limit=2,
+        rng=random.Random(7),
+    )
+    server = SecureJoinServer(client.params)
+    server.store(client.encrypt_table(suppliers, "region"))
+    server.store(client.encrypt_table(shipments, "region"))
+
+    queries = [
+        JoinQuery.build("Suppliers", "Shipments", on=("region", "region"),
+                        where_left={"tier": ["gold"]},
+                        where_right={"priority": ["high"]}),
+        JoinQuery.build("Suppliers", "Shipments", on=("region", "region"),
+                        where_left={"tier": ["bronze"]},
+                        where_right={"priority": ["low"]}),
+        JoinQuery.build("Suppliers", "Shipments", on=("region", "region"),
+                        where_left={"tier": ["silver", "bronze"]},
+                        where_right={"priority": ["high"]}),
+    ]
+
+    print("Running a series of three queries...\n")
+    for i, query in enumerate(queries, start=1):
+        result = server.execute_join(client.create_query(query))
+        decrypted = client.decrypt_result(result)
+        print(f"t{i}: {query}")
+        print(f"    {len(decrypted.table)} joined rows, "
+              f"{result.stats.decryptions} decryptions\n")
+
+    # Handles for the same row differ across queries: unlinkable.
+    first, second = server.observations[0], server.observations[1]
+    shared = set(first.handles) & set(second.handles)
+    relinked = [r for r in shared if first.handles[r] == second.handles[r]]
+    print(f"Rows decrypted by both q1 and q2: {len(shared)}; "
+          f"handles that coincide across the queries: {len(relinked)}")
+    assert not relinked, "fresh query keys must make handles unlinkable"
+
+    # Hahn et al.'s scheme cannot even express this workload: the join is
+    # many-to-many (duplicate regions on both sides), but their
+    # construction supports only primary-key/foreign-key joins.
+    hahn = HahnScheme()
+    hahn.upload([(suppliers, "region"), (shipments, "region")])
+    try:
+        hahn.run_query(queries[0])
+        raise AssertionError("expected the PK/FK restriction to trigger")
+    except QueryError as error:
+        print(f"\nHahn et al. baseline rejects this workload: {error}")
+
+    # On a PK/FK variant (unique supplier regions), compare the leakage
+    # timelines of the two schemes directly.
+    pk_suppliers = Table(
+        "Suppliers", suppliers.schema,
+        [(10, "Acme", "gold"), (20, "Crux", "gold"),
+         (30, "Dyno", "bronze"), (40, "Echo", "silver")],
+    )
+    print("\nLeakage timeline vs. Hahn et al. on a PK/FK variant:")
+    timeline = analyze_schemes(
+        [HahnScheme(), SecureJoinAdapter(rng=random.Random(8))],
+        [(pk_suppliers, "region"), (shipments, "region")],
+        queries,
+    )
+    print(timeline.format_table())
+    print("\nSecure Join stays on the floor (closure of the union); the "
+          "selection-gated baseline overshoots once queries overlap.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,75 @@
+"""repro — reproduction of "Equi-Joins over Encrypted Data for Series of
+Queries" (Shafieinejad et al., ICDE 2022).
+
+Quickstart::
+
+    from repro import SecureJoinClient, SecureJoinServer, JoinQuery, Table, Schema
+
+    schema = Schema.of(("key", "int"), ("name", "str"))
+    teams = Table("Teams", schema, [(1, "Web Application"), (2, "Database")])
+    ...
+    client = SecureJoinClient.for_tables([(teams, "key"), (employees, "team")])
+    server = SecureJoinServer(client.params)
+    server.store(client.encrypt_table(teams, "key"))
+    server.store(client.encrypt_table(employees, "team"))
+    query = JoinQuery.build("Teams", "Employees", on=("key", "team"),
+                            where_left={"name": ["Web Application"]},
+                            where_right={"role": ["Tester"]})
+    result = client.decrypt_result(server.execute_join(client.create_query(query)))
+
+See DESIGN.md for the system inventory and EXPERIMENTS.md for the
+paper-versus-measured record.
+"""
+
+from repro.core.client import (
+    DecryptedJoinResult,
+    EncryptedJoinQuery,
+    EncryptedTable,
+    SecureJoinClient,
+)
+from repro.core.scheme import (
+    SecureJoinParams,
+    SecureJoinScheme,
+    SJMasterKey,
+    SJRowCiphertext,
+    SJToken,
+)
+from repro.core.server import (
+    EncryptedJoinResult,
+    QueryObservation,
+    SecureJoinServer,
+    ServerStats,
+)
+from repro.crypto.backend import get_backend
+from repro.db.database import Database
+from repro.db.query import JoinQuery, TableSelection
+from repro.db.schema import Column, Schema
+from repro.db.sql import parse_join_query
+from repro.db.table import Table
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "Column",
+    "Database",
+    "DecryptedJoinResult",
+    "EncryptedJoinQuery",
+    "EncryptedJoinResult",
+    "EncryptedTable",
+    "JoinQuery",
+    "QueryObservation",
+    "Schema",
+    "SecureJoinClient",
+    "SecureJoinParams",
+    "SecureJoinScheme",
+    "SecureJoinServer",
+    "ServerStats",
+    "SJMasterKey",
+    "SJRowCiphertext",
+    "SJToken",
+    "Table",
+    "TableSelection",
+    "get_backend",
+    "parse_join_query",
+    "__version__",
+]

@@ -1,0 +1,63 @@
+"""The common interface all join-encryption schemes implement.
+
+The leakage analyzer replays a series of queries against a scheme and,
+after every step, asks for the set of *revealed equality pairs*: pairs
+of row references whose join-value equality the DBMS-side adversary can
+now test (and which are in fact equal).  This is precisely the metric
+the paper's Section 2.1 uses to compare schemes.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from dataclasses import dataclass, field
+
+from repro.db.query import JoinQuery
+from repro.db.table import Table
+
+# A row reference: (table name, row index).
+RowRef = tuple[str, int]
+# An unordered equality pair of row references.
+Pair = frozenset
+
+
+def make_pair(a: RowRef, b: RowRef) -> Pair:
+    """An unordered pair (self-pairs are meaningless and rejected)."""
+    if a == b:
+        raise ValueError("an equality pair needs two distinct rows")
+    return frozenset((a, b))
+
+
+@dataclass
+class SchemeAnswer:
+    """What a scheme returns for one query: the joined rows it computed."""
+
+    rows: list[tuple] = field(default_factory=list)
+    index_pairs: list[tuple[int, int]] = field(default_factory=list)
+
+
+class JoinScheme(ABC):
+    """A join-over-encrypted-data scheme under leakage analysis.
+
+    Lifecycle: construct, :meth:`upload` the tables once (time t0), then
+    :meth:`run_query` repeatedly (times t1, t2, ...).  After any step,
+    :meth:`revealed_pairs` reports the adversary's cumulative knowledge.
+    """
+
+    name: str = "abstract"
+
+    @abstractmethod
+    def upload(self, tables: list[tuple[Table, str]]) -> None:
+        """Encrypt and upload ``(table, join_column)`` pairs (time t0)."""
+
+    @abstractmethod
+    def run_query(self, query: JoinQuery) -> SchemeAnswer:
+        """Execute one equi-join query on the encrypted data."""
+
+    @abstractmethod
+    def revealed_pairs(self) -> set[Pair]:
+        """All *true* equality pairs the adversary can currently verify.
+
+        Pairs may span the two tables or live within one table; the
+        paper's Example 2.1 counts both kinds.
+        """

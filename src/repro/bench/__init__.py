@@ -1,0 +1,50 @@
+"""Benchmark harness reproducing the paper's evaluation (Section 6).
+
+Each experiment function regenerates the data behind one paper artifact:
+
+- :func:`repro.bench.experiments.figure2` — per-row crypto operation
+  micro-benchmarks vs. IN-clause size,
+- :func:`repro.bench.experiments.figure3` — server join runtime vs.
+  TPC-H scale factor for four selectivities,
+- :func:`repro.bench.experiments.figure4` — server join runtime vs.
+  IN-clause size for four selectivities,
+- :func:`repro.bench.experiments.comparison_with_hahn` — the Section 6.5
+  comparison (per-decryption cost; hash vs. nested-loop scaling),
+- :func:`repro.bench.experiments.leakage_example` — the Section 2.1
+  leakage table (Example 2.1).
+
+The ``benchmarks/`` directory wraps these in pytest-benchmark targets;
+``python -m repro.bench`` prints the paper-style tables directly.
+"""
+
+from repro.bench.costmodel import (
+    CostModel,
+    expected_decryptions,
+    fit_join_cost,
+    implied_paper_unit_cost,
+    paper_shape_errors,
+    predict_with_unit_cost,
+)
+from repro.bench.harness import (
+    BenchmarkRecord,
+    ExperimentResult,
+    format_series_table,
+    time_callable,
+)
+from repro.bench.workloads import EncryptedTPCH, build_encrypted_tpch, tpch_query
+
+__all__ = [
+    "BenchmarkRecord",
+    "CostModel",
+    "EncryptedTPCH",
+    "ExperimentResult",
+    "build_encrypted_tpch",
+    "expected_decryptions",
+    "fit_join_cost",
+    "format_series_table",
+    "implied_paper_unit_cost",
+    "paper_shape_errors",
+    "predict_with_unit_cost",
+    "time_callable",
+    "tpch_query",
+]

@@ -1,0 +1,98 @@
+"""Timing and reporting utilities for the experiment drivers."""
+
+from __future__ import annotations
+
+import statistics
+import time
+from collections.abc import Callable, Mapping, Sequence
+from dataclasses import dataclass, field
+
+
+@dataclass
+class BenchmarkRecord:
+    """One measured configuration: parameters plus timing statistics."""
+
+    params: dict
+    seconds_mean: float
+    seconds_stdev: float = 0.0
+    repeats: int = 1
+    extra: dict = field(default_factory=dict)
+
+    @property
+    def millis_mean(self) -> float:
+        return self.seconds_mean * 1000.0
+
+
+@dataclass
+class ExperimentResult:
+    """A named experiment with its measured records."""
+
+    name: str
+    records: list[BenchmarkRecord] = field(default_factory=list)
+    notes: str = ""
+
+    def filter(self, **params) -> list[BenchmarkRecord]:
+        """Records whose parameters match all given key/value pairs."""
+        return [
+            r
+            for r in self.records
+            if all(r.params.get(k) == v for k, v in params.items())
+        ]
+
+    def series(self, x_param: str, group_param: str | None = None):
+        """Group records into plottable series: {group: [(x, seconds)]}."""
+        series: dict[object, list[tuple[object, float]]] = {}
+        for record in self.records:
+            group = record.params.get(group_param) if group_param else ""
+            series.setdefault(group, []).append(
+                (record.params.get(x_param), record.seconds_mean)
+            )
+        for points in series.values():
+            points.sort(key=lambda p: p[0])
+        return series
+
+
+def time_callable(
+    fn: Callable[[], object],
+    repeats: int = 3,
+    warmup: int = 0,
+) -> tuple[float, float]:
+    """Run ``fn`` ``repeats`` times; return (mean, stdev) seconds."""
+    for _ in range(warmup):
+        fn()
+    samples = []
+    for _ in range(repeats):
+        start = time.perf_counter()
+        fn()
+        samples.append(time.perf_counter() - start)
+    mean = statistics.fmean(samples)
+    stdev = statistics.stdev(samples) if len(samples) > 1 else 0.0
+    return mean, stdev
+
+
+def format_series_table(
+    title: str,
+    rows: Sequence[Mapping[str, object]],
+    columns: Sequence[str],
+) -> str:
+    """Render measurement rows as an aligned text table (paper style)."""
+    header = [str(c) for c in columns]
+    body = [[_fmt(row.get(c)) for c in columns] for row in rows]
+    widths = [
+        max(len(header[i]), *(len(r[i]) for r in body)) if body else len(header[i])
+        for i in range(len(columns))
+    ]
+    lines = [title, "=" * len(title)]
+    lines.append("  ".join(h.ljust(w) for h, w in zip(header, widths)))
+    lines.append("  ".join("-" * w for w in widths))
+    for row in body:
+        lines.append("  ".join(cell.rjust(w) for cell, w in zip(row, widths)))
+    return "\n".join(lines)
+
+
+def _fmt(value) -> str:
+    if value is None:
+        return "-"
+    if isinstance(value, float):
+        return f"{value:.4g}"
+    return str(value)

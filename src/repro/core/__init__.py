@@ -1,0 +1,36 @@
+"""The paper's contribution: the Secure Join encryption scheme.
+
+- :mod:`repro.core.polynomials` — polynomials over Z_q built from roots
+  (the selection-predicate encoding of Section 4.1),
+- :mod:`repro.core.encoding` — row vectors ``w`` and token vectors ``v``,
+- :mod:`repro.core.scheme` — the five algorithms SJ.Setup / SJ.Enc /
+  SJ.TokenGen / SJ.Dec / SJ.Match (Section 4.3),
+- :mod:`repro.core.client` / :mod:`repro.core.server` — the outsourced-
+  database protocol built on the scheme (upload phase, query phase,
+  hash-join matching).
+"""
+
+from repro.core.client import DecryptedJoinResult, SecureJoinClient
+from repro.core.polynomials import ZqPolynomial
+from repro.core.scheme import (
+    SecureJoinParams,
+    SecureJoinScheme,
+    SJMasterKey,
+    SJRowCiphertext,
+    SJToken,
+)
+from repro.core.server import EncryptedJoinResult, SecureJoinServer, ServerStats
+
+__all__ = [
+    "DecryptedJoinResult",
+    "EncryptedJoinResult",
+    "SecureJoinClient",
+    "SecureJoinParams",
+    "SecureJoinScheme",
+    "SecureJoinServer",
+    "ServerStats",
+    "SJMasterKey",
+    "SJRowCiphertext",
+    "SJToken",
+    "ZqPolynomial",
+]

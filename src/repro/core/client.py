@@ -1,0 +1,328 @@
+"""The client side of the outsourced-database protocol.
+
+The client owns every secret: the IPE matrices (via the scheme master
+key), the payload encryption keys and the pre-filter tag keys.  It
+encrypts tables for upload, turns :class:`~repro.db.query.JoinQuery`
+objects into tokens, and decrypts join results returned by the server.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import random
+from dataclasses import dataclass, field
+
+from repro.core.scheme import (
+    SecureJoinParams,
+    SecureJoinScheme,
+    SJMasterKey,
+    SJRowCiphertext,
+    SJToken,
+)
+from repro.crypto.backend import BilinearBackend
+from repro.crypto.hashing import derive_key, keyed_tag
+from repro.crypto.symmetric import SymmetricCipher
+from repro.db.join import joined_prefixes
+from repro.db.query import JoinQuery, TableSelection
+from repro.db.schema import Schema
+from repro.db.table import Table
+from repro.errors import QueryError, SchemeError
+
+
+@dataclass
+class EncryptedTable:
+    """Everything the server stores for one uploaded table.
+
+    The schema and column names are treated as public metadata (as in
+    the paper's system model); cell contents live only inside the SJ
+    ciphertexts (join/selection structure) and the symmetric payloads.
+    """
+
+    name: str
+    schema: Schema
+    join_column: str
+    attribute_columns: tuple[str, ...]
+    ciphertexts: list[SJRowCiphertext]
+    payloads: list[bytes]
+    prefilter_tags: dict[str, list[bytes]] | None = None
+
+    def __len__(self) -> int:
+        return len(self.ciphertexts)
+
+
+@dataclass(frozen=True)
+class EncryptedJoinQuery:
+    """The query-phase message from client to server."""
+
+    query_id: int
+    left_table: str
+    right_table: str
+    left_token: SJToken
+    right_token: SJToken
+    left_prefilter: dict[str, frozenset[bytes]] | None = None
+    right_prefilter: dict[str, frozenset[bytes]] | None = None
+
+
+@dataclass
+class DecryptedJoinResult:
+    """The client-side plaintext view of a join result."""
+
+    table: Table
+    index_pairs: list[tuple[int, int]] = field(default_factory=list)
+
+
+class SecureJoinClient:
+    """Client: table encryption, token generation, result decryption."""
+
+    def __init__(
+        self,
+        num_attributes: int,
+        in_clause_limit: int = 10,
+        backend: BilinearBackend | None = None,
+        master_secret: bytes | None = None,
+        rng: random.Random | None = None,
+        enable_prefilter: bool = False,
+        prefilter_columns: tuple[str, ...] | None = None,
+    ):
+        self.params = SecureJoinParams(
+            num_attributes=num_attributes,
+            in_clause_limit=in_clause_limit,
+            backend_name=backend.name if backend is not None else "fast",
+        )
+        self.scheme = SecureJoinScheme(self.params, backend, rng)
+        self.msk: SJMasterKey = self.scheme.setup()
+        self._master_secret = (
+            master_secret if master_secret is not None else os.urandom(32)
+        )
+        self.enable_prefilter = enable_prefilter
+        # None means "tag every attribute column"; otherwise only the
+        # listed columns get searchable tags (smaller upload, less leakage).
+        self.prefilter_columns = prefilter_columns
+        self._query_counter = 0
+        self._tables: dict[str, EncryptedTable] = {}
+
+    # -- helpers -----------------------------------------------------------
+    @staticmethod
+    def for_tables(
+        tables: list[tuple[Table, str]],
+        in_clause_limit: int = 10,
+        backend: BilinearBackend | None = None,
+        rng: random.Random | None = None,
+        enable_prefilter: bool = False,
+        prefilter_columns: tuple[str, ...] | None = None,
+    ) -> "SecureJoinClient":
+        """Build a client sized for a set of ``(table, join_column)`` pairs.
+
+        The scheme's m must cover the widest table; narrower tables are
+        padded transparently.
+        """
+        if not tables:
+            raise SchemeError("need at least one table")
+        num_attributes = max(len(t.schema) - 1 for t, _ in tables)
+        return SecureJoinClient(
+            num_attributes=num_attributes,
+            in_clause_limit=in_clause_limit,
+            backend=backend,
+            rng=rng,
+            enable_prefilter=enable_prefilter,
+            prefilter_columns=prefilter_columns,
+        )
+
+    def _payload_cipher(self, table_name: str) -> SymmetricCipher:
+        return SymmetricCipher(derive_key(self._master_secret, f"payload.{table_name}"))
+
+    def _prefilter_key(self, table_name: str, column: str) -> bytes:
+        return derive_key(self._master_secret, f"prefilter.{table_name}.{column}")
+
+    # -- upload phase -------------------------------------------------------
+    def encrypt_table(self, table: Table, join_column: str) -> EncryptedTable:
+        """Encrypt a plaintext table for upload (SJ.Enc on every row)."""
+        join_index = table.schema.index_of(join_column)
+        attribute_columns = tuple(
+            c for c in table.schema.names() if c != join_column
+        )
+        if len(attribute_columns) > self.params.num_attributes:
+            raise SchemeError(
+                f"table {table.name!r} has {len(attribute_columns)} non-join "
+                f"attributes but the scheme supports m="
+                f"{self.params.num_attributes}"
+            )
+        attribute_indices = [
+            table.schema.index_of(c) for c in attribute_columns
+        ]
+        cipher = self._payload_cipher(table.name)
+        ciphertexts: list[SJRowCiphertext] = []
+        payloads: list[bytes] = []
+        for row in table:
+            join_value = row[join_index]
+            attributes = [row[i] for i in attribute_indices]
+            ciphertexts.append(
+                self.scheme.encrypt_row(self.msk, join_value, attributes)
+            )
+            payloads.append(cipher.encrypt(json.dumps(list(row)).encode("utf-8")))
+        prefilter = None
+        if self.enable_prefilter:
+            prefilter = {}
+            for column, index in zip(attribute_columns, attribute_indices):
+                if (
+                    self.prefilter_columns is not None
+                    and column not in self.prefilter_columns
+                ):
+                    continue
+                key = self._prefilter_key(table.name, column)
+                prefilter[column] = [keyed_tag(key, row[index]) for row in table]
+        encrypted = EncryptedTable(
+            name=table.name,
+            schema=table.schema,
+            join_column=join_column,
+            attribute_columns=attribute_columns,
+            ciphertexts=ciphertexts,
+            payloads=payloads,
+            prefilter_tags=prefilter,
+        )
+        self._tables[table.name] = encrypted
+        return encrypted
+
+    def encrypt_row_for(
+        self, table_name: str, row: tuple
+    ) -> tuple[SJRowCiphertext, bytes, dict[str, bytes] | None]:
+        """Encrypt one new row for a previously encrypted table.
+
+        Returns ``(ciphertext, payload, prefilter_tags)`` ready for
+        :meth:`~repro.core.server.SecureJoinServer.insert_row` — the
+        dynamic-update path: the scheme is row-wise, so inserts need no
+        re-encryption of existing data.
+        """
+        encrypted = self._table(table_name)
+        encrypted.schema.validate_row(tuple(row))
+        join_index = encrypted.schema.index_of(encrypted.join_column)
+        attribute_indices = [
+            encrypted.schema.index_of(c) for c in encrypted.attribute_columns
+        ]
+        ciphertext = self.scheme.encrypt_row(
+            self.msk, row[join_index], [row[i] for i in attribute_indices]
+        )
+        payload = self._payload_cipher(table_name).encrypt(
+            json.dumps(list(row)).encode("utf-8")
+        )
+        tags = None
+        if encrypted.prefilter_tags is not None:
+            tags = {}
+            for column in encrypted.prefilter_tags:
+                key = self._prefilter_key(table_name, column)
+                tags[column] = keyed_tag(
+                    key, row[encrypted.schema.index_of(column)]
+                )
+        return ciphertext, payload, tags
+
+    # -- query phase -----------------------------------------------------
+    def _table(self, name: str) -> EncryptedTable:
+        try:
+            return self._tables[name]
+        except KeyError:
+            raise QueryError(f"table {name!r} was not encrypted by this client") from None
+
+    def _selection_by_position(
+        self, encrypted: EncryptedTable, selection: TableSelection
+    ) -> dict[int, tuple]:
+        positions = {c: i for i, c in enumerate(encrypted.attribute_columns)}
+        result: dict[int, tuple] = {}
+        for column, values in selection.in_clauses:
+            if column == encrypted.join_column:
+                raise QueryError(
+                    f"selection on join column {column!r} is not supported"
+                )
+            if column not in positions:
+                raise QueryError(
+                    f"unknown selection column {column!r} in table "
+                    f"{encrypted.name!r}"
+                )
+            result[positions[column]] = values
+        return result
+
+    def _prefilter_tokens(
+        self, encrypted: EncryptedTable, selection: TableSelection
+    ) -> dict[str, frozenset[bytes]] | None:
+        if not self.enable_prefilter or selection.is_empty:
+            return None
+        tokens: dict[str, frozenset[bytes]] = {}
+        for column, values in selection.in_clauses:
+            if (
+                self.prefilter_columns is not None
+                and column not in self.prefilter_columns
+            ):
+                # The column carries no searchable tags; the polynomial
+                # encoding in the SJ token still enforces the selection.
+                continue
+            key = self._prefilter_key(encrypted.name, column)
+            tokens[column] = frozenset(keyed_tag(key, v) for v in values)
+        return tokens or None
+
+    def create_query(self, query: JoinQuery) -> EncryptedJoinQuery:
+        """SJ.TokenGen for both tables under one fresh query key."""
+        left = self._table(query.left_table)
+        right = self._table(query.right_table)
+        if query.left_join_column != left.join_column:
+            raise QueryError(
+                f"table {left.name!r} was encrypted with join column "
+                f"{left.join_column!r}, not {query.left_join_column!r}"
+            )
+        if query.right_join_column != right.join_column:
+            raise QueryError(
+                f"table {right.name!r} was encrypted with join column "
+                f"{right.join_column!r}, not {query.right_join_column!r}"
+            )
+        if query.max_in_size() > self.params.in_clause_limit:
+            raise QueryError(
+                f"IN clause of size {query.max_in_size()} exceeds the "
+                f"scheme bound t={self.params.in_clause_limit}"
+            )
+        query_key = self.scheme.new_query_key()
+        left_token = self.scheme.token(
+            self.msk,
+            self._selection_by_position(left, query.left_selection),
+            query_key,
+        )
+        right_token = self.scheme.token(
+            self.msk,
+            self._selection_by_position(right, query.right_selection),
+            query_key,
+        )
+        self._query_counter += 1
+        return EncryptedJoinQuery(
+            query_id=self._query_counter,
+            left_table=left.name,
+            right_table=right.name,
+            left_token=left_token,
+            right_token=right_token,
+            left_prefilter=self._prefilter_tokens(left, query.left_selection),
+            right_prefilter=self._prefilter_tokens(right, query.right_selection),
+        )
+
+    # -- result phase -----------------------------------------------------
+    def decrypt_result(self, result) -> DecryptedJoinResult:
+        """Decrypt an :class:`~repro.core.server.EncryptedJoinResult`."""
+        left = self._table(result.left_table)
+        right = self._table(result.right_table)
+        left_cipher = self._payload_cipher(left.name)
+        right_cipher = self._payload_cipher(right.name)
+        prefix_left, prefix_right = joined_prefixes(
+            left.name, right.name,
+            set(left.schema.names()), set(right.schema.names()),
+        )
+        schema = left.schema.concat(
+            right.schema, prefix_self=prefix_left, prefix_other=prefix_right
+        )
+        table = Table("join", schema)
+        for left_payload, right_payload in zip(
+            result.left_payloads, result.right_payloads
+        ):
+            left_row = _decode_row(left_cipher.decrypt(left_payload))
+            right_row = _decode_row(right_cipher.decrypt(right_payload))
+            table.insert(left_row + right_row)
+        return DecryptedJoinResult(table, list(result.index_pairs))
+
+
+def _decode_row(blob: bytes) -> tuple:
+    return tuple(json.loads(blob.decode("utf-8")))

@@ -1,0 +1,155 @@
+"""Vector encodings for the Secure Join scheme (Sections 4.1-4.3).
+
+The scheme operates on vectors of dimension ``m(t+1) + 3``::
+
+    row    w = ( H(a0), g2*a1^0..g2*a1^t, ..., g2*am^0..g2*am^t, g1, 0 )
+    token  v = ( k,     p_{1,0}..p_{1,t}, ..., p_{m,0}..p_{m,t}, 0,  d )
+
+so that ``<v, w> = k*H(a0) + g2 * sum_i P_i(a_i)``, which collapses to
+the query-keyed join handle ``k*H(a0)`` exactly when every selection
+polynomial vanishes on the row's attribute values.
+
+Attribute values are embedded into Z_q with a cryptographic hash
+(the paper's injective-embedding assumption); the join value uses a
+separate hash domain.
+"""
+
+from __future__ import annotations
+
+import random
+from collections.abc import Mapping, Sequence
+from dataclasses import dataclass
+
+from repro.core.polynomials import ZqPolynomial, power_vector
+from repro.crypto.hashing import Value, hash_to_zq
+from repro.errors import SchemeError
+
+_JOIN_DOMAIN = b"repro.H.join"
+_ATTR_DOMAIN = b"repro.H.attr"
+
+
+def embed_join_value(value: Value, q: int) -> int:
+    """The paper's ``H(.)`` on the join column."""
+    return hash_to_zq(value, q, domain=_JOIN_DOMAIN)
+
+
+def embed_attribute(value: Value, q: int) -> int:
+    """Embed a non-join attribute value into Z_q."""
+    return hash_to_zq(value, q, domain=_ATTR_DOMAIN)
+
+
+@dataclass(frozen=True)
+class VectorLayout:
+    """The shared shape of row and token vectors.
+
+    ``num_attributes`` is the paper's m (non-join attributes per table;
+    shorter tables are padded) and ``degree`` is t, the largest
+    supported IN clause.
+    """
+
+    num_attributes: int
+    degree: int
+
+    def __post_init__(self):
+        if self.num_attributes < 1:
+            raise SchemeError("need at least one non-join attribute")
+        if self.degree < 1:
+            raise SchemeError("the IN-clause bound t must be at least 1")
+
+    @property
+    def dimension(self) -> int:
+        """``m(t+1) + 3``."""
+        return self.num_attributes * (self.degree + 1) + 3
+
+    # -- row side ----------------------------------------------------------
+    def row_vector(
+        self,
+        join_value: Value,
+        attribute_values: Sequence[Value],
+        q: int,
+        rng: random.Random,
+    ) -> list[int]:
+        """``w = (omega, gamma_1, 0)`` for one table row (SJ.Enc input).
+
+        ``attribute_values`` shorter than m are padded with ``None``
+        (their power blocks still carry the per-row blinding, so they
+        reveal nothing and pair to zero with zero polynomials).
+        """
+        if len(attribute_values) > self.num_attributes:
+            raise SchemeError(
+                f"{len(attribute_values)} attributes exceed layout m="
+                f"{self.num_attributes}"
+            )
+        gamma_1 = rng.randrange(q)
+        gamma_2 = rng.randrange(1, q)
+        vector = [embed_join_value(join_value, q)]
+        padded = list(attribute_values) + [None] * (
+            self.num_attributes - len(attribute_values)
+        )
+        for value in padded:
+            embedded = embed_attribute(value, q)
+            for p in power_vector(embedded, self.degree, q):
+                vector.append(gamma_2 * p % q)
+        vector.append(gamma_1)
+        vector.append(0)
+        return vector
+
+    # -- token side ----------------------------------------------------------
+    def selection_polynomials(
+        self,
+        selections: Mapping[int, Sequence[Value]],
+        q: int,
+        rng: random.Random,
+    ) -> list[ZqPolynomial]:
+        """One polynomial per attribute slot from IN clauses.
+
+        ``selections`` maps attribute positions (0-based, non-join order)
+        to the allowed values.  Unrestricted attributes get the zero
+        polynomial, exactly as in Section 4.1.
+        """
+        polynomials = []
+        for position in range(self.num_attributes):
+            values = selections.get(position)
+            if values is None:
+                polynomials.append(ZqPolynomial.zero(self.degree + 1, q))
+                continue
+            if not values:
+                raise SchemeError(
+                    f"empty IN clause for attribute position {position}"
+                )
+            if len(values) > self.degree:
+                raise SchemeError(
+                    f"IN clause of size {len(values)} exceeds t={self.degree}"
+                )
+            roots = [embed_attribute(v, q) for v in values]
+            polynomials.append(
+                ZqPolynomial.from_roots(roots, self.degree, q, rng)
+            )
+        unknown = set(selections) - set(range(self.num_attributes))
+        if unknown:
+            raise SchemeError(
+                f"selection on unknown attribute positions {sorted(unknown)}"
+            )
+        return polynomials
+
+    def token_vector(
+        self,
+        query_key: int,
+        polynomials: Sequence[ZqPolynomial],
+        q: int,
+        rng: random.Random,
+    ) -> list[int]:
+        """``v = (nu, 0, delta)`` for one table's join token (SJ.TokenGen)."""
+        if len(polynomials) != self.num_attributes:
+            raise SchemeError(
+                f"need {self.num_attributes} polynomials, got {len(polynomials)}"
+            )
+        if query_key % q == 0:
+            raise SchemeError("query key k must be non-zero modulo q")
+        delta = rng.randrange(q)
+        vector = [query_key % q]
+        for polynomial in polynomials:
+            vector.extend(polynomial.padded(self.degree + 1))
+        vector.append(0)
+        vector.append(delta)
+        return vector

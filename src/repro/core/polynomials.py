@@ -1,0 +1,136 @@
+"""Polynomials over Z_q and the selection-predicate encoding.
+
+Section 4.1 of the paper encodes an ``IN`` clause with at most ``t``
+values as a degree-``t`` polynomial vanishing exactly on (the Z_q
+embeddings of) those values.  Attributes without a restriction are
+encoded as the zero polynomial, which contributes nothing to the
+decryption exponent.
+"""
+
+from __future__ import annotations
+
+import random
+from collections.abc import Iterable, Sequence
+
+from repro.errors import SchemeError
+
+
+class ZqPolynomial:
+    """An immutable polynomial ``sum_j c_j x^j`` over Z_q.
+
+    Coefficients are stored little-endian (``coefficients[j]`` multiplies
+    ``x^j``); trailing zero coefficients are kept if constructed with a
+    fixed length so vectors line up with the scheme dimension.
+    """
+
+    __slots__ = ("q", "coefficients")
+
+    def __init__(self, coefficients: Sequence[int], q: int):
+        if q < 2:
+            raise SchemeError("modulus must be at least 2")
+        self.q = q
+        self.coefficients = tuple(c % q for c in coefficients)
+
+    # -- constructors ------------------------------------------------------
+    @staticmethod
+    def zero(length: int, q: int) -> "ZqPolynomial":
+        """The zero polynomial padded to ``length`` coefficients."""
+        return ZqPolynomial([0] * length, q)
+
+    @staticmethod
+    def from_roots(
+        roots: Iterable[int],
+        degree: int,
+        q: int,
+        rng: random.Random,
+    ) -> "ZqPolynomial":
+        """A random polynomial of degree exactly ``degree`` vanishing on ``roots``.
+
+        The polynomial is ``R(x) * prod_i (x - root_i)`` where ``R`` is a
+        uniformly random polynomial of the complementary degree with a
+        non-zero leading coefficient — one of the ">= q candidate
+        polynomials" the paper requires, so tokens do not repeat across
+        queries even for identical IN clauses.
+        """
+        roots = list(roots)
+        if len(roots) > degree:
+            raise SchemeError(
+                f"{len(roots)} roots exceed the polynomial degree {degree}"
+            )
+        base = [1]
+        for root in roots:
+            root %= q
+            # Multiply base by (x - root).
+            extended = [0] * (len(base) + 1)
+            for j, c in enumerate(base):
+                extended[j + 1] = (extended[j + 1] + c) % q
+                extended[j] = (extended[j] - c * root) % q
+            base = extended
+        blind_degree = degree - len(roots)
+        blind = [rng.randrange(q) for _ in range(blind_degree)]
+        blind.append(rng.randrange(1, q))  # non-zero leading coefficient
+        product = [0] * (degree + 1)
+        for i, bc in enumerate(blind):
+            if bc == 0:
+                continue
+            for j, c in enumerate(base):
+                product[i + j] = (product[i + j] + bc * c) % q
+        return ZqPolynomial(product, q)
+
+    # -- queries ---------------------------------------------------------
+    @property
+    def is_zero(self) -> bool:
+        return all(c == 0 for c in self.coefficients)
+
+    def degree(self) -> int:
+        """The degree, or -1 for the zero polynomial."""
+        for j in range(len(self.coefficients) - 1, -1, -1):
+            if self.coefficients[j] != 0:
+                return j
+        return -1
+
+    def evaluate(self, x: int) -> int:
+        """Horner evaluation at ``x`` over Z_q."""
+        result = 0
+        for c in reversed(self.coefficients):
+            result = (result * x + c) % self.q
+        return result
+
+    def padded(self, length: int) -> tuple[int, ...]:
+        """Coefficients padded with zeros to exactly ``length`` entries."""
+        if len(self.coefficients) > length:
+            if any(c != 0 for c in self.coefficients[length:]):
+                raise SchemeError(
+                    f"polynomial of degree {self.degree()} cannot be packed "
+                    f"into {length} coefficients"
+                )
+            return self.coefficients[:length]
+        return self.coefficients + (0,) * (length - len(self.coefficients))
+
+    # -- dunder ------------------------------------------------------------
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, ZqPolynomial):
+            return NotImplemented
+        length = max(len(self.coefficients), len(other.coefficients))
+        return self.q == other.q and self.padded(length) == other.padded(length)
+
+    def __hash__(self) -> int:
+        # Normalize away trailing zeros so equal polynomials hash equally.
+        coefficients = self.coefficients[: self.degree() + 1]
+        return hash((self.q, coefficients))
+
+    def __repr__(self) -> str:
+        return f"ZqPolynomial(deg={self.degree()}, mod {self.q})"
+
+
+def power_vector(value: int, t: int, q: int) -> list[int]:
+    """``(value^0, value^1, ..., value^t)`` over Z_q.
+
+    These are the pre-stored attribute powers of Section 4.2 (Example 4.2)
+    that the server's inner product pairs with polynomial coefficients.
+    """
+    powers = [1]
+    value %= q
+    for _ in range(t):
+        powers.append(powers[-1] * value % q)
+    return powers

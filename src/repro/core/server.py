@@ -1,0 +1,270 @@
+"""The server side: storage, SJ.Dec, and the hash-join matcher.
+
+The server is the semi-honest adversary of the paper's model: it stores
+encrypted tables, applies tokens to produce per-row handles (SJ.Dec) and
+joins rows whose handles match (SJ.Match).  Everything it observes while
+doing so is recorded in :attr:`SecureJoinServer.observations`, which is
+exactly the adversary view the leakage analyzer consumes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.core.client import EncryptedJoinQuery, EncryptedTable
+from repro.core.scheme import SecureJoinParams, SecureJoinScheme, SJToken
+from repro.crypto.backend import BilinearBackend
+from repro.errors import QueryError
+
+
+@dataclass
+class ServerStats:
+    """Operation counts for one join execution."""
+
+    candidates_left: int = 0
+    candidates_right: int = 0
+    decryptions: int = 0
+    probes: int = 0
+    comparisons: int = 0
+    matches: int = 0
+
+
+@dataclass
+class EncryptedJoinResult:
+    """What the server returns: matched payload pairs plus indices."""
+
+    left_table: str
+    right_table: str
+    index_pairs: list[tuple[int, int]]
+    left_payloads: list[bytes]
+    right_payloads: list[bytes]
+    stats: ServerStats
+
+
+@dataclass
+class QueryObservation:
+    """The adversary view of one query: every handle the server computed.
+
+    ``handles`` maps ``(table_name, row_index)`` to the handle bytes.
+    Equal bytes mean the server observed a true equality pair.
+    """
+
+    query_id: int
+    handles: dict[tuple[str, int], bytes] = field(default_factory=dict)
+
+
+class SecureJoinServer:
+    """Stores encrypted tables and executes encrypted equi-joins."""
+
+    def __init__(
+        self,
+        params: SecureJoinParams,
+        backend: BilinearBackend | None = None,
+    ):
+        # The server only needs public parameters — never the master key.
+        self.scheme = SecureJoinScheme(params, backend)
+        self._tables: dict[str, EncryptedTable] = {}
+        # Inverted index over pre-filter tags: table -> column -> tag -> rows.
+        self._tag_index: dict[str, dict[str, dict[bytes, list[int]]]] = {}
+        # Deleted row indices per table (tombstones).
+        self._tombstones: dict[str, set[int]] = {}
+        self.observations: list[QueryObservation] = []
+
+    # -- storage ------------------------------------------------------------
+    def store(self, encrypted_table: EncryptedTable) -> None:
+        self._tables[encrypted_table.name] = encrypted_table
+        index: dict[str, dict[bytes, list[int]]] = {}
+        if encrypted_table.prefilter_tags:
+            for column, tags in encrypted_table.prefilter_tags.items():
+                postings: dict[bytes, list[int]] = {}
+                for row_index, tag in enumerate(tags):
+                    postings.setdefault(tag, []).append(row_index)
+                index[column] = postings
+        self._tag_index[encrypted_table.name] = index
+
+    def table(self, name: str) -> EncryptedTable:
+        try:
+            return self._tables[name]
+        except KeyError:
+            raise QueryError(f"server has no table {name!r}") from None
+
+    # -- dynamic updates --------------------------------------------------
+    def insert_row(
+        self,
+        table_name: str,
+        ciphertext,
+        payload: bytes,
+        prefilter_tags: dict[str, bytes] | None = None,
+    ) -> int:
+        """Append one client-encrypted row; returns its row index.
+
+        The scheme is row-wise, so inserts are O(1): no existing
+        ciphertext is touched and future queries cover the new row
+        automatically.
+        """
+        table = self.table(table_name)
+        index = len(table.ciphertexts)
+        table.ciphertexts.append(ciphertext)
+        table.payloads.append(payload)
+        if table.prefilter_tags is not None:
+            if prefilter_tags is None or set(prefilter_tags) != set(
+                table.prefilter_tags
+            ):
+                raise QueryError(
+                    "insert into a pre-filtered table must carry tags for "
+                    f"exactly the columns {sorted(table.prefilter_tags)}"
+                )
+            for column, tag in prefilter_tags.items():
+                table.prefilter_tags[column].append(tag)
+                self._tag_index[table_name][column].setdefault(
+                    tag, []
+                ).append(index)
+        return index
+
+    def delete_rows(self, table_name: str, indices: list[int]) -> None:
+        """Tombstone rows: they stop participating in every future query."""
+        table = self.table(table_name)
+        tombstones = self._tombstones.setdefault(table_name, set())
+        for index in indices:
+            if not 0 <= index < len(table.ciphertexts):
+                raise QueryError(
+                    f"row index {index} out of range for {table_name!r}"
+                )
+            tombstones.add(index)
+
+    def _live(self, table_name: str, indices: list[int]) -> list[int]:
+        tombstones = self._tombstones.get(table_name)
+        if not tombstones:
+            return indices
+        return [i for i in indices if i not in tombstones]
+
+    # -- query execution ------------------------------------------------------
+    def _candidates(
+        self,
+        table: EncryptedTable,
+        prefilter: dict[str, frozenset[bytes]] | None,
+    ) -> list[int]:
+        """Row indices surviving the (optional) searchable pre-filter."""
+        if not prefilter:
+            return list(range(len(table)))
+        if table.prefilter_tags is None:
+            raise QueryError(
+                f"query carries pre-filter tokens but table {table.name!r} "
+                "was encrypted without pre-filter tags"
+            )
+        index = self._tag_index[table.name]
+        survivors: set[int] | None = None
+        for column, allowed in prefilter.items():
+            postings = index.get(column)
+            if postings is None:
+                raise QueryError(
+                    f"no pre-filter tags for column {column!r} in "
+                    f"table {table.name!r}"
+                )
+            matching: set[int] = set()
+            for tag in allowed:
+                matching.update(postings.get(tag, ()))
+            survivors = matching if survivors is None else survivors & matching
+            if not survivors:
+                return []
+        return sorted(survivors)
+
+    def _decrypt_side(
+        self,
+        table: EncryptedTable,
+        token: SJToken,
+        candidates: list[int],
+        observation: QueryObservation,
+        stats: ServerStats,
+    ) -> list[tuple[int, bytes]]:
+        """SJ.Dec over the candidate rows; returns (row_index, handle bytes)."""
+        handles = []
+        for index in candidates:
+            handle = self.scheme.decrypt(token, table.ciphertexts[index])
+            stats.decryptions += 1
+            key = handle.to_bytes()
+            observation.handles[(table.name, index)] = key
+            handles.append((index, key))
+        return handles
+
+    def execute_join(
+        self,
+        query: EncryptedJoinQuery,
+        algorithm: str = "hash",
+    ) -> EncryptedJoinResult:
+        """Run SJ.Dec + SJ.Match and return the joined encrypted rows.
+
+        ``algorithm`` selects the matcher: ``"hash"`` (the paper's
+        expected-O(n) hash join) or ``"nested"`` (the O(n^2) nested loop
+        that Hahn et al.'s scheme is limited to — kept for ablations).
+        """
+        if algorithm not in ("hash", "nested"):
+            raise QueryError(f"unknown join algorithm {algorithm!r}")
+        left = self.table(query.left_table)
+        right = self.table(query.right_table)
+        stats = ServerStats()
+        observation = QueryObservation(query.query_id)
+
+        left_candidates = self._live(
+            left.name, self._candidates(left, query.left_prefilter)
+        )
+        right_candidates = self._live(
+            right.name, self._candidates(right, query.right_prefilter)
+        )
+        stats.candidates_left = len(left_candidates)
+        stats.candidates_right = len(right_candidates)
+
+        left_handles = self._decrypt_side(
+            left, query.left_token, left_candidates, observation, stats
+        )
+        right_handles = self._decrypt_side(
+            right, query.right_token, right_candidates, observation, stats
+        )
+        self.observations.append(observation)
+
+        if algorithm == "hash":
+            pairs = self._hash_match(left_handles, right_handles, stats)
+        else:
+            pairs = self._nested_match(left_handles, right_handles, stats)
+        stats.matches = len(pairs)
+        return EncryptedJoinResult(
+            left_table=left.name,
+            right_table=right.name,
+            index_pairs=pairs,
+            left_payloads=[left.payloads[i] for i, _ in pairs],
+            right_payloads=[right.payloads[j] for _, j in pairs],
+            stats=stats,
+        )
+
+    @staticmethod
+    def _hash_match(
+        left_handles: list[tuple[int, bytes]],
+        right_handles: list[tuple[int, bytes]],
+        stats: ServerStats,
+    ) -> list[tuple[int, int]]:
+        buckets: dict[bytes, list[int]] = {}
+        for index, handle in left_handles:
+            buckets.setdefault(handle, []).append(index)
+        pairs = []
+        for right_index, handle in right_handles:
+            stats.probes += 1
+            for left_index in buckets.get(handle, ()):
+                stats.comparisons += 1
+                pairs.append((left_index, right_index))
+        return pairs
+
+    @staticmethod
+    def _nested_match(
+        left_handles: list[tuple[int, bytes]],
+        right_handles: list[tuple[int, bytes]],
+        stats: ServerStats,
+    ) -> list[tuple[int, int]]:
+        pairs = []
+        for left_index, left_handle in left_handles:
+            for right_index, right_handle in right_handles:
+                stats.comparisons += 1
+                if left_handle == right_handle:
+                    pairs.append((left_index, right_index))
+        # Keep output order consistent with the hash matcher (right-major).
+        pairs.sort(key=lambda p: (p[1], p[0]))
+        return pairs

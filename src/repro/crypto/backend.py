@@ -1,0 +1,339 @@
+"""Bilinear-group backends.
+
+The Secure Join scheme only needs four group operations:
+
+1. raise the G1 generator to vectors of exponents (tokens),
+2. raise the G2 generator to vectors of exponents (ciphertexts),
+3. pair two vectors (a product of pairings / one multi-pairing), and
+4. compare / hash the resulting GT elements.
+
+:class:`BN254Backend` implements these on the real BN254 pairing built in
+this package.  :class:`FastBackend` implements them in the exponent group
+(elements are represented by their discrete logarithms), which is
+*insecure by construction* — an adversary holding such values can read
+the exponents — but is functionally identical: two GT handles are equal
+exactly when the corresponding BN254 elements would be.  The fast backend
+exists so the paper's table-scale experiments (hundreds of thousands of
+rows) run in reasonable time in pure Python; see DESIGN.md §4.
+"""
+
+from __future__ import annotations
+
+import random
+from abc import ABC, abstractmethod
+from collections.abc import Sequence
+
+from repro.crypto.curve import G1Point, G2Point
+from repro.crypto.field import Fp12
+from repro.crypto.numtheory import is_probable_prime
+from repro.crypto.pairing import multi_pairing, pairing
+from repro.crypto.pairing_fast import multi_pairing_fast, pairing_fast
+from repro.crypto.params import CURVE_ORDER
+from repro.errors import CryptoError
+
+
+class GTElement(ABC):
+    """An element of the target group, usable as a hash-join key."""
+
+    @abstractmethod
+    def to_bytes(self) -> bytes:
+        """Canonical serialization (the hash-join bucket key)."""
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, GTElement):
+            return NotImplemented
+        return self.to_bytes() == other.to_bytes()
+
+    def __hash__(self) -> int:
+        return hash(self.to_bytes())
+
+
+class BN254GT(GTElement):
+    """A GT element backed by an Fp12 value."""
+
+    __slots__ = ("value", "_bytes")
+
+    def __init__(self, value: Fp12):
+        self.value = value
+        self._bytes: bytes | None = None
+
+    def to_bytes(self) -> bytes:
+        if self._bytes is None:
+            self._bytes = self.value.to_bytes()
+        return self._bytes
+
+    def __repr__(self) -> str:
+        return f"BN254GT({self.to_bytes()[:8].hex()}...)"
+
+
+class FastGT(GTElement):
+    """A GT element represented by its discrete logarithm."""
+
+    __slots__ = ("value", "modulus")
+
+    def __init__(self, value: int, modulus: int):
+        self.value = value % modulus
+        self.modulus = modulus
+
+    def to_bytes(self) -> bytes:
+        return self.value.to_bytes((self.modulus.bit_length() + 7) // 8, "big")
+
+    def __repr__(self) -> str:
+        return f"FastGT({self.value})"
+
+
+class BilinearBackend(ABC):
+    """The group-operation interface the Secure Join scheme is generic over."""
+
+    name: str
+
+    @property
+    @abstractmethod
+    def order(self) -> int:
+        """The prime order q of G1, G2 and GT."""
+
+    @abstractmethod
+    def g1_powers(self, exponents: Sequence[int]) -> list:
+        """``[g1^e for e in exponents]``."""
+
+    @abstractmethod
+    def g2_powers(self, exponents: Sequence[int]) -> list:
+        """``[g2^e for e in exponents]``."""
+
+    @abstractmethod
+    def pair_vectors(self, g1_vector: Sequence, g2_vector: Sequence) -> GTElement:
+        """``prod_i e(g1_vector[i], g2_vector[i])`` (a multi-pairing)."""
+
+    @abstractmethod
+    def gt_generator_power(self, exponent: int) -> GTElement:
+        """``e(g1, g2)^exponent`` — used by tests and the simulator."""
+
+    @abstractmethod
+    def gt_pow(self, element: GTElement, exponent: int) -> GTElement:
+        """Raise a GT element to a power (used by IPE discrete-log search)."""
+
+    @abstractmethod
+    def encode_g1(self, element) -> bytes:
+        """Serialize one G1 element (for the persistence layer)."""
+
+    @abstractmethod
+    def decode_g1(self, data: bytes):
+        """Inverse of :meth:`encode_g1` (validating)."""
+
+    @abstractmethod
+    def encode_g2(self, element) -> bytes:
+        """Serialize one G2 element."""
+
+    @abstractmethod
+    def decode_g2(self, data: bytes):
+        """Inverse of :meth:`encode_g2` (validating)."""
+
+    @property
+    @abstractmethod
+    def g1_element_size(self) -> int:
+        """Byte length of one encoded G1 element."""
+
+    @property
+    @abstractmethod
+    def g2_element_size(self) -> int:
+        """Byte length of one encoded G2 element."""
+
+    def g1_power(self, exponent: int):
+        return self.g1_powers([exponent])[0]
+
+    def g2_power(self, exponent: int):
+        return self.g2_powers([exponent])[0]
+
+    def pair(self, g1_element, g2_element) -> GTElement:
+        return self.pair_vectors([g1_element], [g2_element])
+
+
+class _FixedBaseTable:
+    """Precomputed powers-of-two of a fixed base point for fast fixed-base
+    scalar multiplication (halves the work of double-and-add)."""
+
+    def __init__(self, base, order: int):
+        self._table = []
+        current = base
+        for _ in range(order.bit_length()):
+            self._table.append(current)
+            current = current.double()
+        self._infinity = type(base).infinity()
+        self._order = order
+
+    def power(self, exponent: int):
+        exponent %= self._order
+        result = self._infinity
+        index = 0
+        while exponent:
+            if exponent & 1:
+                result = result + self._table[index]
+            exponent >>= 1
+            index += 1
+        return result
+
+
+class BN254Backend(BilinearBackend):
+    """The real pairing backend (BN254 optimal ate).
+
+    ``use_fast_pairing`` selects the optimized Miller loop / final
+    exponentiation (:mod:`repro.crypto.pairing_fast`); the reference
+    implementation stays available for the correctness ablation.
+    """
+
+    name = "bn254"
+
+    def __init__(self, use_fast_pairing: bool = True):
+        self._g1_table: _FixedBaseTable | None = None
+        self._g2_table: _FixedBaseTable | None = None
+        self.use_fast_pairing = use_fast_pairing
+
+    @property
+    def order(self) -> int:
+        return CURVE_ORDER
+
+    def _g1(self) -> _FixedBaseTable:
+        if self._g1_table is None:
+            self._g1_table = _FixedBaseTable(G1Point.generator(), CURVE_ORDER)
+        return self._g1_table
+
+    def _g2(self) -> _FixedBaseTable:
+        if self._g2_table is None:
+            self._g2_table = _FixedBaseTable(G2Point.generator(), CURVE_ORDER)
+        return self._g2_table
+
+    def g1_powers(self, exponents: Sequence[int]) -> list[G1Point]:
+        table = self._g1()
+        return [table.power(e) for e in exponents]
+
+    def g2_powers(self, exponents: Sequence[int]) -> list[G2Point]:
+        table = self._g2()
+        return [table.power(e) for e in exponents]
+
+    def pair_vectors(
+        self, g1_vector: Sequence[G1Point], g2_vector: Sequence[G2Point]
+    ) -> BN254GT:
+        if len(g1_vector) != len(g2_vector):
+            raise CryptoError("pairing vectors must have the same length")
+        multi = multi_pairing_fast if self.use_fast_pairing else multi_pairing
+        return BN254GT(multi(list(zip(g1_vector, g2_vector))))
+
+    def gt_generator_power(self, exponent: int) -> BN254GT:
+        pair = pairing_fast if self.use_fast_pairing else pairing
+        base = pair(G1Point.generator(), G2Point.generator())
+        return BN254GT(base.pow(exponent % CURVE_ORDER))
+
+    def gt_pow(self, element: BN254GT, exponent: int) -> BN254GT:
+        return BN254GT(element.value.pow(exponent % CURVE_ORDER))
+
+    def encode_g1(self, element: G1Point) -> bytes:
+        return element.to_bytes()
+
+    def decode_g1(self, data: bytes) -> G1Point:
+        return G1Point.from_bytes(data)
+
+    def encode_g2(self, element: G2Point) -> bytes:
+        return element.to_bytes()
+
+    def decode_g2(self, data: bytes) -> G2Point:
+        return G2Point.from_bytes(data)
+
+    @property
+    def g1_element_size(self) -> int:
+        return 64
+
+    @property
+    def g2_element_size(self) -> int:
+        return 128
+
+
+class FastBackend(BilinearBackend):
+    """Insecure-fast backend: group elements are their discrete logs.
+
+    ``g^e`` is stored as ``e mod q`` and the pairing is multiplication
+    mod q, so equality of handles matches the real backend exactly while
+    every operation is a handful of modular multiplications.
+    """
+
+    name = "fast"
+
+    def __init__(self, modulus: int = CURVE_ORDER):
+        if not is_probable_prime(modulus):
+            raise CryptoError("FastBackend modulus must be prime")
+        self._modulus = modulus
+
+    @property
+    def order(self) -> int:
+        return self._modulus
+
+    def g1_powers(self, exponents: Sequence[int]) -> list[int]:
+        q = self._modulus
+        return [e % q for e in exponents]
+
+    def g2_powers(self, exponents: Sequence[int]) -> list[int]:
+        q = self._modulus
+        return [e % q for e in exponents]
+
+    def pair_vectors(
+        self, g1_vector: Sequence[int], g2_vector: Sequence[int]
+    ) -> FastGT:
+        if len(g1_vector) != len(g2_vector):
+            raise CryptoError("pairing vectors must have the same length")
+        q = self._modulus
+        total = 0
+        for a, b in zip(g1_vector, g2_vector):
+            total += a * b
+        return FastGT(total % q, q)
+
+    def gt_generator_power(self, exponent: int) -> FastGT:
+        return FastGT(exponent, self._modulus)
+
+    def gt_pow(self, element: FastGT, exponent: int) -> FastGT:
+        return FastGT(element.value * (exponent % self._modulus), self._modulus)
+
+    @property
+    def _element_size(self) -> int:
+        return (self._modulus.bit_length() + 7) // 8
+
+    def encode_g1(self, element: int) -> bytes:
+        return (element % self._modulus).to_bytes(self._element_size, "big")
+
+    def decode_g1(self, data: bytes) -> int:
+        if len(data) != self._element_size:
+            raise CryptoError(
+                f"fast-backend element needs {self._element_size} bytes"
+            )
+        return int.from_bytes(data, "big") % self._modulus
+
+    def encode_g2(self, element: int) -> bytes:
+        return self.encode_g1(element)
+
+    def decode_g2(self, data: bytes) -> int:
+        return self.decode_g1(data)
+
+    @property
+    def g1_element_size(self) -> int:
+        return self._element_size
+
+    @property
+    def g2_element_size(self) -> int:
+        return self._element_size
+
+
+_BACKENDS: dict[str, BilinearBackend] = {}
+
+
+def get_backend(name: str = "fast") -> BilinearBackend:
+    """Return a (cached) backend by name: ``"fast"`` or ``"bn254"``."""
+    if name not in ("fast", "bn254"):
+        raise CryptoError(f"unknown backend {name!r}; use 'fast' or 'bn254'")
+    if name not in _BACKENDS:
+        _BACKENDS[name] = FastBackend() if name == "fast" else BN254Backend()
+    return _BACKENDS[name]
+
+
+def random_rng(seed: int | None = None) -> random.Random:
+    """A seeded RNG; with ``seed=None`` uses OS entropy for the seed."""
+    if seed is None:
+        seed = random.SystemRandom().randrange(2**63)
+    return random.Random(seed)

@@ -1,0 +1,358 @@
+"""Extension-field tower for BN254: Fp2, Fp6 and Fp12.
+
+The tower is the standard one for BN curves:
+
+- ``Fp2  = Fp[u]  / (u^2 + 1)``
+- ``Fp6  = Fp2[v] / (v^3 - xi)`` with ``xi = 9 + u``
+- ``Fp12 = Fp6[w] / (w^2 - v)``
+
+Elements are immutable; all operators return new objects.  Base-field
+coefficients are plain Python ints reduced modulo ``FIELD_MODULUS``.
+
+Frobenius endomorphisms use coefficients computed once at import time
+(powers of ``xi``), so no magic constants are hard-coded.
+"""
+
+from __future__ import annotations
+
+from repro.crypto.numtheory import mod_inverse
+from repro.crypto.params import FIELD_MODULUS, XI_A0, XI_A1
+from repro.errors import FieldError
+
+P = FIELD_MODULUS
+
+
+class Fp2:
+    """An element ``c0 + c1*u`` of ``Fp2 = Fp[u]/(u^2+1)``."""
+
+    __slots__ = ("c0", "c1")
+
+    def __init__(self, c0: int, c1: int = 0):
+        self.c0 = c0 % P
+        self.c1 = c1 % P
+
+    # -- constructors -------------------------------------------------
+    @staticmethod
+    def zero() -> "Fp2":
+        return Fp2(0, 0)
+
+    @staticmethod
+    def one() -> "Fp2":
+        return Fp2(1, 0)
+
+    # -- predicates ----------------------------------------------------
+    def is_zero(self) -> bool:
+        return self.c0 == 0 and self.c1 == 0
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Fp2):
+            return NotImplemented
+        return self.c0 == other.c0 and self.c1 == other.c1
+
+    def __hash__(self) -> int:
+        return hash((self.c0, self.c1))
+
+    # -- arithmetic ----------------------------------------------------
+    def __add__(self, other: "Fp2") -> "Fp2":
+        return Fp2(self.c0 + other.c0, self.c1 + other.c1)
+
+    def __sub__(self, other: "Fp2") -> "Fp2":
+        return Fp2(self.c0 - other.c0, self.c1 - other.c1)
+
+    def __neg__(self) -> "Fp2":
+        return Fp2(-self.c0, -self.c1)
+
+    def __mul__(self, other: "Fp2") -> "Fp2":
+        # Karatsuba over u^2 = -1.
+        a0, a1 = self.c0, self.c1
+        b0, b1 = other.c0, other.c1
+        t0 = a0 * b0
+        t1 = a1 * b1
+        t2 = (a0 + a1) * (b0 + b1)
+        return Fp2(t0 - t1, t2 - t0 - t1)
+
+    def mul_scalar(self, k: int) -> "Fp2":
+        return Fp2(self.c0 * k, self.c1 * k)
+
+    def mul_int(self, k: int) -> "Fp2":
+        """Alias of :meth:`mul_scalar` (symmetry with Fp6/Fp12)."""
+        return self.mul_scalar(k)
+
+    def square(self) -> "Fp2":
+        # (a0 + a1 u)^2 = (a0+a1)(a0-a1) + 2 a0 a1 u.
+        a0, a1 = self.c0, self.c1
+        return Fp2((a0 + a1) * (a0 - a1), 2 * a0 * a1)
+
+    def conjugate(self) -> "Fp2":
+        """The Frobenius map on Fp2 (``u -> -u``)."""
+        return Fp2(self.c0, -self.c1)
+
+    def inverse(self) -> "Fp2":
+        norm = (self.c0 * self.c0 + self.c1 * self.c1) % P
+        if norm == 0:
+            raise FieldError("cannot invert zero in Fp2")
+        inv_norm = mod_inverse(norm, P)
+        return Fp2(self.c0 * inv_norm, -self.c1 * inv_norm)
+
+    def mul_by_xi(self) -> "Fp2":
+        """Multiply by the tower non-residue ``xi = 9 + u``."""
+        a0, a1 = self.c0, self.c1
+        return Fp2(XI_A0 * a0 - XI_A1 * a1, XI_A0 * a1 + XI_A1 * a0)
+
+    def pow(self, exponent: int) -> "Fp2":
+        if exponent < 0:
+            return self.inverse().pow(-exponent)
+        result = Fp2.one()
+        base = self
+        e = exponent
+        while e:
+            if e & 1:
+                result = result * base
+            base = base.square()
+            e >>= 1
+        return result
+
+    def __repr__(self) -> str:
+        return f"Fp2({self.c0}, {self.c1})"
+
+    def to_tuple(self) -> tuple[int, int]:
+        return (self.c0, self.c1)
+
+
+XI = Fp2(XI_A0, XI_A1)
+
+
+class Fp6:
+    """An element ``a0 + a1*v + a2*v^2`` of ``Fp6 = Fp2[v]/(v^3 - xi)``."""
+
+    __slots__ = ("a0", "a1", "a2")
+
+    def __init__(self, a0: Fp2, a1: Fp2, a2: Fp2):
+        self.a0 = a0
+        self.a1 = a1
+        self.a2 = a2
+
+    @staticmethod
+    def zero() -> "Fp6":
+        return Fp6(Fp2.zero(), Fp2.zero(), Fp2.zero())
+
+    @staticmethod
+    def one() -> "Fp6":
+        return Fp6(Fp2.one(), Fp2.zero(), Fp2.zero())
+
+    def is_zero(self) -> bool:
+        return self.a0.is_zero() and self.a1.is_zero() and self.a2.is_zero()
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Fp6):
+            return NotImplemented
+        return self.a0 == other.a0 and self.a1 == other.a1 and self.a2 == other.a2
+
+    def __hash__(self) -> int:
+        return hash((self.a0, self.a1, self.a2))
+
+    def __add__(self, other: "Fp6") -> "Fp6":
+        return Fp6(self.a0 + other.a0, self.a1 + other.a1, self.a2 + other.a2)
+
+    def __sub__(self, other: "Fp6") -> "Fp6":
+        return Fp6(self.a0 - other.a0, self.a1 - other.a1, self.a2 - other.a2)
+
+    def __neg__(self) -> "Fp6":
+        return Fp6(-self.a0, -self.a1, -self.a2)
+
+    def __mul__(self, other: "Fp6") -> "Fp6":
+        a0, a1, a2 = self.a0, self.a1, self.a2
+        b0, b1, b2 = other.a0, other.a1, other.a2
+        t00 = a0 * b0
+        t11 = a1 * b1
+        t22 = a2 * b2
+        c0 = t00 + ((a1 * b2) + (a2 * b1)).mul_by_xi()
+        c1 = (a0 * b1) + (a1 * b0) + t22.mul_by_xi()
+        c2 = (a0 * b2) + t11 + (a2 * b0)
+        return Fp6(c0, c1, c2)
+
+    def mul_fp2(self, k: Fp2) -> "Fp6":
+        """Multiply componentwise by an Fp2 scalar."""
+        return Fp6(self.a0 * k, self.a1 * k, self.a2 * k)
+
+    def mul_int(self, k: int) -> "Fp6":
+        """Multiply componentwise by a base-field scalar."""
+        return Fp6(
+            self.a0.mul_scalar(k), self.a1.mul_scalar(k), self.a2.mul_scalar(k)
+        )
+
+    def mul_sparse01(self, b0: Fp2, b1: Fp2) -> "Fp6":
+        """Multiply by the sparse element ``b0 + b1*v`` (b2 = 0).
+
+        Six Fp2 multiplications instead of nine — used by the pairing's
+        line-function updates.
+        """
+        a0, a1, a2 = self.a0, self.a1, self.a2
+        return Fp6(
+            (a0 * b0) + (a2 * b1).mul_by_xi(),
+            (a0 * b1) + (a1 * b0),
+            (a1 * b1) + (a2 * b0),
+        )
+
+    def square(self) -> "Fp6":
+        return self * self
+
+    def mul_by_v(self) -> "Fp6":
+        """Multiply by the indeterminate ``v`` (``v^3 = xi``)."""
+        return Fp6(self.a2.mul_by_xi(), self.a0, self.a1)
+
+    def inverse(self) -> "Fp6":
+        a0, a1, a2 = self.a0, self.a1, self.a2
+        t0 = a0.square() - (a1 * a2).mul_by_xi()
+        t1 = a2.square().mul_by_xi() - (a0 * a1)
+        t2 = a1.square() - (a0 * a2)
+        denom = (a0 * t0) + (a2 * t1).mul_by_xi() + (a1 * t2).mul_by_xi()
+        inv = denom.inverse()
+        return Fp6(t0 * inv, t1 * inv, t2 * inv)
+
+    def frobenius(self) -> "Fp6":
+        """The p-power Frobenius endomorphism on Fp6."""
+        return Fp6(
+            self.a0.conjugate(),
+            self.a1.conjugate() * _GAMMA_6_1,
+            self.a2.conjugate() * _GAMMA_6_2,
+        )
+
+    def __repr__(self) -> str:
+        return f"Fp6({self.a0!r}, {self.a1!r}, {self.a2!r})"
+
+    def to_tuple(self) -> tuple[tuple[int, int], ...]:
+        return (self.a0.to_tuple(), self.a1.to_tuple(), self.a2.to_tuple())
+
+
+class Fp12:
+    """An element ``b0 + b1*w`` of ``Fp12 = Fp6[w]/(w^2 - v)``."""
+
+    __slots__ = ("b0", "b1")
+
+    def __init__(self, b0: Fp6, b1: Fp6):
+        self.b0 = b0
+        self.b1 = b1
+
+    @staticmethod
+    def zero() -> "Fp12":
+        return Fp12(Fp6.zero(), Fp6.zero())
+
+    @staticmethod
+    def one() -> "Fp12":
+        return Fp12(Fp6.one(), Fp6.zero())
+
+    @staticmethod
+    def from_int(value: int) -> "Fp12":
+        return Fp12(Fp6(Fp2(value), Fp2.zero(), Fp2.zero()), Fp6.zero())
+
+    def is_zero(self) -> bool:
+        return self.b0.is_zero() and self.b1.is_zero()
+
+    def is_one(self) -> bool:
+        return self == Fp12.one()
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Fp12):
+            return NotImplemented
+        return self.b0 == other.b0 and self.b1 == other.b1
+
+    def __hash__(self) -> int:
+        return hash((self.b0, self.b1))
+
+    def __add__(self, other: "Fp12") -> "Fp12":
+        return Fp12(self.b0 + other.b0, self.b1 + other.b1)
+
+    def __sub__(self, other: "Fp12") -> "Fp12":
+        return Fp12(self.b0 - other.b0, self.b1 - other.b1)
+
+    def __neg__(self) -> "Fp12":
+        return Fp12(-self.b0, -self.b1)
+
+    def __mul__(self, other: "Fp12") -> "Fp12":
+        # Karatsuba over w^2 = v.
+        a0, a1 = self.b0, self.b1
+        b0, b1 = other.b0, other.b1
+        t0 = a0 * b0
+        t1 = a1 * b1
+        t2 = (a0 + a1) * (b0 + b1)
+        return Fp12(t0 + t1.mul_by_v(), t2 - t0 - t1)
+
+    def square(self) -> "Fp12":
+        a0, a1 = self.b0, self.b1
+        t0 = a0 * a1
+        c0 = (a0 + a1) * (a0 + a1.mul_by_v()) - t0 - t0.mul_by_v()
+        c1 = t0 + t0
+        return Fp12(c0, c1)
+
+    def conjugate(self) -> "Fp12":
+        """The ``p^6``-power map (unitary conjugation)."""
+        return Fp12(self.b0, -self.b1)
+
+    def mul_by_line(self, a: int, b: Fp2, c: Fp2) -> "Fp12":
+        """Multiply by the sparse line value ``a + b*w + c*(v*w)``.
+
+        ``a`` lives in the base field (the G1 y-coordinate); ``b`` and
+        ``c`` are the Fp2 line coefficients produced by the optimized
+        Miller loop.  Costs ~15 Fp2 multiplications instead of ~27.
+        """
+        r0 = self.b0.mul_int(a) + self.b1.mul_sparse01(b, c).mul_by_v()
+        r1 = self.b0.mul_sparse01(b, c) + self.b1.mul_int(a)
+        return Fp12(r0, r1)
+
+    def mul_by_vertical(self, a: int, b: Fp2) -> "Fp12":
+        """Multiply by the sparse vertical-line value ``a + b*v``."""
+        return Fp12(
+            self.b0.mul_sparse01(Fp2(a), b),
+            self.b1.mul_sparse01(Fp2(a), b),
+        )
+
+    def inverse(self) -> "Fp12":
+        denom = self.b0.square() - self.b1.square().mul_by_v()
+        inv = denom.inverse()
+        return Fp12(self.b0 * inv, -(self.b1 * inv))
+
+    def frobenius(self) -> "Fp12":
+        """The p-power Frobenius endomorphism on Fp12."""
+        return Fp12(
+            self.b0.frobenius(),
+            self.b1.frobenius().mul_fp2(_GAMMA_12),
+        )
+
+    def pow(self, exponent: int) -> "Fp12":
+        if exponent < 0:
+            return self.inverse().pow(-exponent)
+        result = Fp12.one()
+        base = self
+        e = exponent
+        while e:
+            if e & 1:
+                result = result * base
+            base = base.square()
+            e >>= 1
+        return result
+
+    def __pow__(self, exponent: int) -> "Fp12":
+        return self.pow(exponent)
+
+    def __repr__(self) -> str:
+        return f"Fp12({self.b0!r}, {self.b1!r})"
+
+    def to_tuple(self) -> tuple:
+        return (self.b0.to_tuple(), self.b1.to_tuple())
+
+    def to_bytes(self) -> bytes:
+        """Canonical 384-byte serialization (12 coefficients, 32 bytes each)."""
+        coeffs = []
+        for fp6 in (self.b0, self.b1):
+            for fp2 in (fp6.a0, fp6.a1, fp6.a2):
+                coeffs.append(fp2.c0)
+                coeffs.append(fp2.c1)
+        return b"".join(c.to_bytes(32, "big") for c in coeffs)
+
+
+# Frobenius coefficients, computed once from xi.  (p - 1) is divisible by 6
+# for BN primes, so the exponents below are exact integers.
+_GAMMA_12 = XI.pow((P - 1) // 6)      # w^(p-1)   = xi^((p-1)/6)
+_GAMMA_6_1 = XI.pow((P - 1) // 3)     # v^(p-1)   = xi^((p-1)/3)
+_GAMMA_6_2 = _GAMMA_6_1.square()      # v^(2(p-1))

@@ -1,0 +1,170 @@
+"""Function-hiding inner-product encryption (Kim et al., SCN 2018).
+
+Two schemes live here:
+
+- :class:`IPEScheme` — the original construction Pi_ipe of Section 3.3:
+  ``KeyGen`` outputs ``(K1, K2) = (g1^{a det(B)}, g1^{a v B})``,
+  ``Encrypt`` outputs ``(C1, C2) = (g2^b, g2^{b w B*})`` and ``Decrypt``
+  recovers ``<v, w>`` by searching the polynomial-size set S for z with
+  ``e(K1, C1)^z == e(K2, C2)``.
+
+- :class:`ModifiedIPEScheme` — the paper's variant (Section 4.2): the
+  randomizers a, b are fixed to 1 (randomness moves into two extra vector
+  slots managed by the caller), only the second components are kept, and
+  decryption returns the raw GT handle
+  ``D = e(g1, g2)^{det(B) <v, w>}`` without extracting the exponent.
+
+Both schemes are generic over a :class:`~repro.crypto.backend.BilinearBackend`.
+"""
+
+from __future__ import annotations
+
+import random
+from collections.abc import Iterable, Sequence
+from dataclasses import dataclass
+
+from repro.crypto.backend import BilinearBackend, GTElement, get_backend
+from repro.crypto.matrix import ZqMatrix
+from repro.errors import IPEError
+
+
+@dataclass(frozen=True)
+class IPEMasterKey:
+    """``msk = (B, B*)`` plus the cached determinant of B."""
+
+    dimension: int
+    b: ZqMatrix
+    b_star: ZqMatrix
+    det_b: int
+
+
+@dataclass(frozen=True)
+class IPESecretKey:
+    """``sk = (K1, K2)`` — K2 is a vector of G1 elements."""
+
+    k1: object
+    k2: tuple
+
+
+@dataclass(frozen=True)
+class IPECiphertext:
+    """``ct = (C1, C2)`` — C2 is a vector of G2 elements."""
+
+    c1: object
+    c2: tuple
+
+
+class IPEScheme:
+    """The original Kim et al. function-hiding IPE."""
+
+    def __init__(
+        self,
+        dimension: int,
+        backend: BilinearBackend | None = None,
+        rng: random.Random | None = None,
+    ):
+        if dimension < 1:
+            raise IPEError("dimension must be positive")
+        self.dimension = dimension
+        self.backend = backend if backend is not None else get_backend("fast")
+        self.rng = rng if rng is not None else random.Random()
+
+    # -- algorithms ------------------------------------------------------
+    def setup(self) -> IPEMasterKey:
+        """``IPE.Setup``: sample ``B <- GL_n(Z_q)`` and derive ``B*``."""
+        b = ZqMatrix.random_invertible(self.dimension, self.backend.order, self.rng)
+        return IPEMasterKey(self.dimension, b, b.dual(), b.det())
+
+    def _check_vector(self, v: Sequence[int]) -> list[int]:
+        if len(v) != self.dimension:
+            raise IPEError(
+                f"vector length {len(v)} != scheme dimension {self.dimension}"
+            )
+        q = self.backend.order
+        return [x % q for x in v]
+
+    def keygen(self, msk: IPEMasterKey, v: Sequence[int]) -> IPESecretKey:
+        """``IPE.KeyGen(msk, v)``: ``(g1^{a det(B)}, g1^{a v B})``."""
+        v = self._check_vector(v)
+        q = self.backend.order
+        alpha = self.rng.randrange(1, q)
+        exponents = msk.b.vec_mat([x * alpha % q for x in v])
+        k2 = tuple(self.backend.g1_powers(exponents))
+        k1 = self.backend.g1_power(alpha * msk.det_b % q)
+        return IPESecretKey(k1, k2)
+
+    def encrypt(self, msk: IPEMasterKey, w: Sequence[int]) -> IPECiphertext:
+        """``IPE.Encrypt(msk, w)``: ``(g2^b, g2^{b w B*})``."""
+        w = self._check_vector(w)
+        q = self.backend.order
+        beta = self.rng.randrange(1, q)
+        exponents = msk.b_star.vec_mat([x * beta % q for x in w])
+        c2 = tuple(self.backend.g2_powers(exponents))
+        c1 = self.backend.g2_power(beta)
+        return IPECiphertext(c1, c2)
+
+    def decrypt(
+        self,
+        sk: IPESecretKey,
+        ct: IPECiphertext,
+        search_space: Iterable[int],
+    ) -> int | None:
+        """``IPE.Decrypt``: return z in S with ``D1^z == D2``, else None.
+
+        D1 = e(K1, C1) = gt^{a b det(B)}; D2 = e(K2, C2) = gt^{a b det(B) <v,w>}.
+        """
+        d1 = self.backend.pair(sk.k1, ct.c1)
+        d2 = self.backend.pair_vectors(sk.k2, ct.c2)
+        for z in search_space:
+            if self.backend.gt_pow(d1, z) == d2:
+                return z
+        return None
+
+
+class ModifiedIPEScheme:
+    """The paper's modified FHIPE (Section 4.2).
+
+    Callers supply full vectors (including the two randomness slots of
+    the Secure Join construction); this class fixes ``a = b = 1``, keeps
+    only the vector components, and returns raw GT handles from decryption.
+    """
+
+    def __init__(
+        self,
+        dimension: int,
+        backend: BilinearBackend | None = None,
+        rng: random.Random | None = None,
+    ):
+        if dimension < 1:
+            raise IPEError("dimension must be positive")
+        self.dimension = dimension
+        self.backend = backend if backend is not None else get_backend("fast")
+        self.rng = rng if rng is not None else random.Random()
+
+    def setup(self) -> IPEMasterKey:
+        b = ZqMatrix.random_invertible(self.dimension, self.backend.order, self.rng)
+        return IPEMasterKey(self.dimension, b, b.dual(), b.det())
+
+    def _check_vector(self, v: Sequence[int]) -> list[int]:
+        if len(v) != self.dimension:
+            raise IPEError(
+                f"vector length {len(v)} != scheme dimension {self.dimension}"
+            )
+        q = self.backend.order
+        return [x % q for x in v]
+
+    def keygen(self, msk: IPEMasterKey, v: Sequence[int]) -> tuple:
+        """``Tk = g1^{v B}`` (the join token)."""
+        v = self._check_vector(v)
+        return tuple(self.backend.g1_powers(msk.b.vec_mat(v)))
+
+    def encrypt(self, msk: IPEMasterKey, w: Sequence[int]) -> tuple:
+        """``C = g2^{w B*}`` (the row ciphertext)."""
+        w = self._check_vector(w)
+        return tuple(self.backend.g2_powers(msk.b_star.vec_mat(w)))
+
+    def decrypt(self, token: Sequence, ciphertext: Sequence) -> GTElement:
+        """``D = e(Tk, C) = e(g1, g2)^{det(B) <v, w>}`` — the match handle."""
+        if len(token) != self.dimension or len(ciphertext) != self.dimension:
+            raise IPEError("token/ciphertext dimension mismatch")
+        return self.backend.pair_vectors(token, ciphertext)

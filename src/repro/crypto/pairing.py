@@ -1,0 +1,135 @@
+"""Optimal-ate pairing on BN254.
+
+The implementation follows the textbook optimal-ate construction:
+
+1. Untwist the G2 argument into the curve over Fp12.
+2. Run the Miller loop over ``6x + 2`` with affine line functions.
+3. Apply the two Frobenius correction steps (``+pi(Q)``, ``-pi^2(Q)``).
+4. Final exponentiation ``(p^12 - 1) / r`` split into the easy part
+   (conjugation / inversion / Frobenius) and the hard part
+   ``(p^4 - p^2 + 1) / r`` (square-and-multiply).
+
+A *multi-pairing* entry point shares the final exponentiation across
+several Miller loops, which is what makes the Secure Join decryption
+(one pairing per vector coordinate) practical.
+"""
+
+from __future__ import annotations
+
+from repro.crypto.curve import G1Point, G2Point, embed_g1, untwist
+from repro.crypto.field import Fp12
+from repro.crypto.params import ATE_LOOP_COUNT, CURVE_ORDER, FIELD_MODULUS
+from repro.errors import PairingError
+
+P = FIELD_MODULUS
+
+# Exponent of the "hard part" of the final exponentiation.
+_HARD_EXPONENT = (P**4 - P**2 + 1) // CURVE_ORDER
+
+_Fp12Point = tuple[Fp12, Fp12]
+
+
+def _line(p1: _Fp12Point, p2: _Fp12Point, at: _Fp12Point) -> Fp12:
+    """Evaluate the line through ``p1`` and ``p2`` at the point ``at``.
+
+    All points are affine points of the curve over Fp12.  When
+    ``p1 == p2`` the tangent line is used; when the points are mirror
+    images the vertical line is used.
+    """
+    x1, y1 = p1
+    x2, y2 = p2
+    xt, yt = at
+    if x1 != x2:
+        slope = (y2 - y1) * (x2 - x1).inverse()
+        return slope * (xt - x1) - (yt - y1)
+    if y1 == y2:
+        slope = (x1.square() * Fp12.from_int(3)) * (y1 + y1).inverse()
+        return slope * (xt - x1) - (yt - y1)
+    return xt - x1
+
+
+def _add(p1: _Fp12Point, p2: _Fp12Point) -> _Fp12Point:
+    """Affine addition on the curve over Fp12 (inputs assumed distinct-safe)."""
+    x1, y1 = p1
+    x2, y2 = p2
+    if x1 == x2 and y1 == y2:
+        return _double(p1)
+    slope = (y2 - y1) * (x2 - x1).inverse()
+    x3 = slope.square() - x1 - x2
+    y3 = slope * (x1 - x3) - y1
+    return x3, y3
+
+
+def _double(p1: _Fp12Point) -> _Fp12Point:
+    x1, y1 = p1
+    slope = (x1.square() * Fp12.from_int(3)) * (y1 + y1).inverse()
+    x3 = slope.square() - x1 - x1
+    y3 = slope * (x1 - x3) - y1
+    return x3, y3
+
+
+def _frobenius_point(p: _Fp12Point) -> _Fp12Point:
+    """Apply the p-power Frobenius coordinate-wise."""
+    return p[0].frobenius(), p[1].frobenius()
+
+
+def miller_loop(q: G2Point, p: G1Point) -> Fp12:
+    """Run the optimal-ate Miller loop; the result is *not* final-exponentiated."""
+    if q.is_infinity() or p.is_infinity():
+        return Fp12.one()
+    q12 = untwist(q)
+    p12 = embed_g1(p)
+    r = q12
+    f = Fp12.one()
+    for i in range(ATE_LOOP_COUNT.bit_length() - 2, -1, -1):
+        f = f * f * _line(r, r, p12)
+        r = _double(r)
+        if (ATE_LOOP_COUNT >> i) & 1:
+            f = f * _line(r, q12, p12)
+            r = _add(r, q12)
+    # Frobenius correction steps of the optimal-ate pairing.
+    q1 = _frobenius_point(q12)
+    nq2 = _frobenius_point(q1)
+    nq2 = (nq2[0], -nq2[1])
+    f = f * _line(r, q1, p12)
+    r = _add(r, q1)
+    f = f * _line(r, nq2, p12)
+    return f
+
+
+def final_exponentiation(f: Fp12) -> Fp12:
+    """Raise a Miller-loop output to ``(p^12 - 1) / r``."""
+    if f.is_zero():
+        raise PairingError("final exponentiation of zero (degenerate input)")
+    # Easy part: f^((p^6 - 1)(p^2 + 1)).
+    t = f.conjugate() * f.inverse()
+    t = t.frobenius().frobenius() * t
+    # Hard part: t^((p^4 - p^2 + 1) / r).
+    return t.pow(_HARD_EXPONENT)
+
+
+def pairing(p: G1Point, q: G2Point) -> Fp12:
+    """The optimal-ate pairing ``e(P, Q)`` with ``P`` in G1 and ``Q`` in G2."""
+    if p.is_infinity() or q.is_infinity():
+        return Fp12.one()
+    return final_exponentiation(miller_loop(q, p))
+
+
+def multi_pairing(pairs: list[tuple[G1Point, G2Point]]) -> Fp12:
+    """Compute ``prod_i e(P_i, Q_i)`` with a single final exponentiation.
+
+    This is the workhorse of Secure Join decryption: the per-row pairing of
+    the token vector with the ciphertext vector is a product of pairings,
+    so sharing the final exponentiation turns ``d`` full pairings into
+    ``d`` Miller loops plus one exponentiation.
+    """
+    accumulator = Fp12.one()
+    nontrivial = False
+    for p, q in pairs:
+        if p.is_infinity() or q.is_infinity():
+            continue
+        accumulator = accumulator * miller_loop(q, p)
+        nontrivial = True
+    if not nontrivial:
+        return Fp12.one()
+    return final_exponentiation(accumulator)

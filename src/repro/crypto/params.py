@@ -1,0 +1,49 @@
+"""BN254 (alt_bn128) curve parameters.
+
+These are the standard parameters of the Barreto-Naehrig curve used by
+Ethereum's precompiles and by the charm/FHIPE prototype the paper builds
+on.  The curve is ``y^2 = x^3 + 3`` over ``F_p``; its sextic D-twist is
+``y^2 = x^3 + 3/(9+u)`` over ``F_{p^2} = F_p[u]/(u^2+1)``.
+"""
+
+from __future__ import annotations
+
+# Base field modulus p (254 bits).
+FIELD_MODULUS = (
+    21888242871839275222246405745257275088696311157297823662689037894645226208583
+)
+
+# Prime order r of G1, G2 and GT (the "q" of the paper's Z_q).
+CURVE_ORDER = (
+    21888242871839275222246405745257275088548364400416034343698204186575808495617
+)
+
+# BN parameter x with p = 36x^4 + 36x^3 + 24x^2 + 6x + 1.
+BN_X = 4965661367192848881
+
+# Optimal-ate Miller loop length: 6x + 2.
+ATE_LOOP_COUNT = 6 * BN_X + 2
+
+# Curve coefficient b for G1: y^2 = x^3 + 3.
+CURVE_B = 3
+
+# Non-residue xi = 9 + u defining the sextic twist and the Fp6/Fp12 tower.
+XI_A0 = 9
+XI_A1 = 1
+
+# Standard generators.
+G1_GENERATOR = (1, 2)
+
+G2_GENERATOR_X = (
+    10857046999023057135944570762232829481370756359578518086990519993285655852781,
+    11559732032986387107991004021392285783925812861821192530917403151452391805634,
+)
+G2_GENERATOR_Y = (
+    8495653923123431417604973247489272438418190587263600148770280649306958101930,
+    4082367875863433681332203403145435568316851327593401208105741076214120093531,
+)
+
+# Cofactor of G2 on the twist: #E'(Fp2) = r * G2_COFACTOR.
+G2_COFACTOR = (
+    21888242871839275222246405745257275088844257914179612981679871602714643921549
+)

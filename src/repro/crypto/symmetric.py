@@ -1,0 +1,67 @@
+"""Probabilistic symmetric encryption for row payloads.
+
+The Secure Join ciphertexts only carry the *join/selection structure*;
+the actual cell contents travel under ordinary probabilistic symmetric
+encryption that the server never opens.  No AES implementation is
+available offline, so we build a standard HMAC-SHA256-based stream
+cipher (counter-mode keystream, random nonce, encrypt-then-MAC).  Its
+role in the reproduction is purely functional; any IND-CPA cipher slots
+in here.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import hmac
+import os
+
+from repro.errors import CryptoError
+
+_NONCE_LEN = 16
+_MAC_LEN = 16
+_BLOCK_LEN = 32
+
+
+def _keystream(key: bytes, nonce: bytes, length: int) -> bytes:
+    blocks = []
+    for counter in range((length + _BLOCK_LEN - 1) // _BLOCK_LEN):
+        blocks.append(
+            hmac.new(
+                key, nonce + counter.to_bytes(8, "big"), hashlib.sha256
+            ).digest()
+        )
+    return b"".join(blocks)[:length]
+
+
+class SymmetricCipher:
+    """Encrypt-then-MAC stream cipher keyed by a 32-byte secret."""
+
+    def __init__(self, key: bytes):
+        if len(key) < 16:
+            raise CryptoError("symmetric key must be at least 16 bytes")
+        self._enc_key = hmac.new(key, b"enc", hashlib.sha256).digest()
+        self._mac_key = hmac.new(key, b"mac", hashlib.sha256).digest()
+
+    def encrypt(self, plaintext: bytes, nonce: bytes | None = None) -> bytes:
+        """Return ``nonce || ciphertext || mac`` (fresh random nonce)."""
+        if nonce is None:
+            nonce = os.urandom(_NONCE_LEN)
+        if len(nonce) != _NONCE_LEN:
+            raise CryptoError(f"nonce must be {_NONCE_LEN} bytes")
+        stream = _keystream(self._enc_key, nonce, len(plaintext))
+        body = bytes(p ^ s for p, s in zip(plaintext, stream))
+        mac = hmac.new(self._mac_key, nonce + body, hashlib.sha256).digest()
+        return nonce + body + mac[:_MAC_LEN]
+
+    def decrypt(self, blob: bytes) -> bytes:
+        """Verify the MAC and return the plaintext."""
+        if len(blob) < _NONCE_LEN + _MAC_LEN:
+            raise CryptoError("ciphertext too short")
+        nonce = blob[:_NONCE_LEN]
+        body = blob[_NONCE_LEN:-_MAC_LEN]
+        mac = blob[-_MAC_LEN:]
+        expected = hmac.new(self._mac_key, nonce + body, hashlib.sha256).digest()
+        if not hmac.compare_digest(mac, expected[:_MAC_LEN]):
+            raise CryptoError("MAC verification failed")
+        stream = _keystream(self._enc_key, nonce, len(body))
+        return bytes(c ^ s for c, s in zip(body, stream))

@@ -1,0 +1,46 @@
+"""A small relational engine: the plaintext substrate of the reproduction.
+
+This package provides schemas, in-memory tables, predicates, plaintext
+hash/nested-loop equi-joins (the ground truth the encrypted join is
+checked against) and a restricted SQL front end matching the paper's
+query shape::
+
+    SELECT * FROM A JOIN B ON A.x = B.y
+    WHERE A.c IN (v1, v2) AND B.d IN (w1)
+"""
+
+from repro.db.database import Database
+from repro.db.join import hash_join, nested_loop_join
+from repro.db.query import JoinQuery, TableSelection
+from repro.db.predicate import (
+    AndPredicate,
+    EqPredicate,
+    InPredicate,
+    NotPredicate,
+    OrPredicate,
+    Predicate,
+    TruePredicate,
+)
+from repro.db.schema import Column, Schema
+from repro.db.sql import parse_join_query
+from repro.db.table import Row, Table
+
+__all__ = [
+    "AndPredicate",
+    "Column",
+    "Database",
+    "EqPredicate",
+    "InPredicate",
+    "JoinQuery",
+    "TableSelection",
+    "NotPredicate",
+    "OrPredicate",
+    "Predicate",
+    "Row",
+    "Schema",
+    "Table",
+    "TruePredicate",
+    "hash_join",
+    "nested_loop_join",
+    "parse_join_query",
+]

@@ -1,0 +1,126 @@
+"""Row predicates for selections.
+
+Predicates evaluate against a row *and its schema*, so they are written
+with column names and stay valid across projections.  The paper's
+queries only need ``IN`` (and implicitly ``=``, a one-element ``IN``),
+but the engine supports the usual boolean combinators so the substrate
+is a complete little query processor.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from collections.abc import Sequence
+
+from repro.db.schema import Schema
+
+
+class Predicate(ABC):
+    """A boolean condition on a row."""
+
+    @abstractmethod
+    def evaluate(self, row: tuple, schema: Schema) -> bool:
+        """Whether the row satisfies the predicate."""
+
+    @abstractmethod
+    def referenced_columns(self) -> frozenset[str]:
+        """Column names this predicate reads (for validation/planning)."""
+
+    def __and__(self, other: "Predicate") -> "Predicate":
+        return AndPredicate(self, other)
+
+    def __or__(self, other: "Predicate") -> "Predicate":
+        return OrPredicate(self, other)
+
+    def __invert__(self) -> "Predicate":
+        return NotPredicate(self)
+
+
+class TruePredicate(Predicate):
+    """Matches every row (the empty WHERE clause)."""
+
+    def evaluate(self, row: tuple, schema: Schema) -> bool:
+        return True
+
+    def referenced_columns(self) -> frozenset[str]:
+        return frozenset()
+
+    def __repr__(self) -> str:
+        return "TRUE"
+
+
+class EqPredicate(Predicate):
+    """``column = value``."""
+
+    def __init__(self, column: str, value):
+        self.column = column
+        self.value = value
+
+    def evaluate(self, row: tuple, schema: Schema) -> bool:
+        return row[schema.index_of(self.column)] == self.value
+
+    def referenced_columns(self) -> frozenset[str]:
+        return frozenset({self.column})
+
+    def __repr__(self) -> str:
+        return f"{self.column} = {self.value!r}"
+
+
+class InPredicate(Predicate):
+    """``column IN (v1, ..., vt)`` — the paper's selection shape."""
+
+    def __init__(self, column: str, values: Sequence):
+        self.column = column
+        self.values = tuple(values)
+        self._value_set = set(self.values)
+
+    def evaluate(self, row: tuple, schema: Schema) -> bool:
+        return row[schema.index_of(self.column)] in self._value_set
+
+    def referenced_columns(self) -> frozenset[str]:
+        return frozenset({self.column})
+
+    def __repr__(self) -> str:
+        return f"{self.column} IN {self.values!r}"
+
+
+class AndPredicate(Predicate):
+    def __init__(self, *parts: Predicate):
+        self.parts = tuple(parts)
+
+    def evaluate(self, row: tuple, schema: Schema) -> bool:
+        return all(part.evaluate(row, schema) for part in self.parts)
+
+    def referenced_columns(self) -> frozenset[str]:
+        return frozenset().union(*(p.referenced_columns() for p in self.parts))
+
+    def __repr__(self) -> str:
+        return "(" + " AND ".join(map(repr, self.parts)) + ")"
+
+
+class OrPredicate(Predicate):
+    def __init__(self, *parts: Predicate):
+        self.parts = tuple(parts)
+
+    def evaluate(self, row: tuple, schema: Schema) -> bool:
+        return any(part.evaluate(row, schema) for part in self.parts)
+
+    def referenced_columns(self) -> frozenset[str]:
+        return frozenset().union(*(p.referenced_columns() for p in self.parts))
+
+    def __repr__(self) -> str:
+        return "(" + " OR ".join(map(repr, self.parts)) + ")"
+
+
+class NotPredicate(Predicate):
+    def __init__(self, inner: Predicate):
+        self.inner = inner
+
+    def evaluate(self, row: tuple, schema: Schema) -> bool:
+        return not self.inner.evaluate(row, schema)
+
+    def referenced_columns(self) -> frozenset[str]:
+        return self.inner.referenced_columns()
+
+    def __repr__(self) -> str:
+        return f"NOT ({self.inner!r})"

@@ -1,0 +1,129 @@
+"""The equi-join query model.
+
+A :class:`JoinQuery` captures exactly the query shape of the paper
+(Example 4.1)::
+
+    SELECT * FROM T_A JOIN T_B ON A0 = B0
+    WHERE A_i IN Phi_i AND ... AND B_j IN Psi_j AND ...
+
+Each table contributes a join column and a *selection*: a mapping from
+attribute names to the tuple of allowed values (the ``IN`` clause).
+An empty selection means "no restriction" (the zero polynomial in the
+encrypted encoding).
+"""
+
+from __future__ import annotations
+
+from collections.abc import Mapping, Sequence
+from dataclasses import dataclass, field
+
+from repro.db.predicate import AndPredicate, InPredicate, Predicate, TruePredicate
+from repro.db.schema import Schema
+from repro.errors import QueryError
+
+
+def _frozen_selection(
+    selection: Mapping[str, Sequence] | None,
+) -> tuple[tuple[str, tuple], ...]:
+    if not selection:
+        return ()
+    items = []
+    for column, values in selection.items():
+        values = tuple(values)
+        if not values:
+            raise QueryError(f"IN clause for {column!r} must be non-empty")
+        items.append((column, values))
+    return tuple(sorted(items))
+
+
+@dataclass(frozen=True)
+class TableSelection:
+    """The WHERE-clause restrictions on a single table."""
+
+    in_clauses: tuple[tuple[str, tuple], ...] = ()
+
+    @staticmethod
+    def of(selection: Mapping[str, Sequence] | None) -> "TableSelection":
+        return TableSelection(_frozen_selection(selection))
+
+    @property
+    def is_empty(self) -> bool:
+        return not self.in_clauses
+
+    def as_dict(self) -> dict[str, tuple]:
+        return dict(self.in_clauses)
+
+    def max_in_size(self) -> int:
+        """Size of the largest IN clause (must be <= the scheme's t)."""
+        return max((len(v) for _, v in self.in_clauses), default=0)
+
+    def to_predicate(self) -> Predicate:
+        """The equivalent plaintext predicate."""
+        if not self.in_clauses:
+            return TruePredicate()
+        parts = [InPredicate(c, v) for c, v in self.in_clauses]
+        if len(parts) == 1:
+            return parts[0]
+        return AndPredicate(*parts)
+
+    def validate(self, schema: Schema, join_column: str) -> None:
+        for column, _ in self.in_clauses:
+            if column not in schema:
+                raise QueryError(
+                    f"selection column {column!r} not in schema {schema.names()}"
+                )
+            if column == join_column:
+                raise QueryError(
+                    f"selection on the join column {column!r} is not supported"
+                )
+
+
+@dataclass(frozen=True)
+class JoinQuery:
+    """``SELECT * FROM left JOIN right ON ... WHERE ... IN ...``."""
+
+    left_table: str
+    right_table: str
+    left_join_column: str
+    right_join_column: str
+    left_selection: TableSelection = field(default_factory=TableSelection)
+    right_selection: TableSelection = field(default_factory=TableSelection)
+
+    @staticmethod
+    def build(
+        left_table: str,
+        right_table: str,
+        on: tuple[str, str],
+        where_left: Mapping[str, Sequence] | None = None,
+        where_right: Mapping[str, Sequence] | None = None,
+    ) -> "JoinQuery":
+        """Convenience constructor with dict-shaped selections."""
+        return JoinQuery(
+            left_table=left_table,
+            right_table=right_table,
+            left_join_column=on[0],
+            right_join_column=on[1],
+            left_selection=TableSelection.of(where_left),
+            right_selection=TableSelection.of(where_right),
+        )
+
+    def max_in_size(self) -> int:
+        return max(
+            self.left_selection.max_in_size(),
+            self.right_selection.max_in_size(),
+        )
+
+    def __str__(self) -> str:
+        clauses = []
+        for table, sel in (
+            (self.left_table, self.left_selection),
+            (self.right_table, self.right_selection),
+        ):
+            for column, values in sel.in_clauses:
+                rendered = ", ".join(repr(v) for v in values)
+                clauses.append(f"{table}.{column} IN ({rendered})")
+        where = (" WHERE " + " AND ".join(clauses)) if clauses else ""
+        return (
+            f"SELECT * FROM {self.left_table} JOIN {self.right_table} "
+            f"ON {self.left_join_column} = {self.right_join_column}{where}"
+        )

@@ -1,0 +1,248 @@
+"""A tiny SQL front end for the paper's query shape.
+
+Grammar (case-insensitive keywords)::
+
+    query  := SELECT '*' FROM ident JOIN ident ON operand '=' operand
+              [ WHERE cond (AND cond)* ]
+    cond   := operand IN '(' literal (',' literal)* ')'
+            | operand '=' literal
+    operand := ident | ident '.' ident
+    literal := integer | float | 'string' | "string"
+
+Only the features the paper's Secure Join supports are accepted; anything
+else raises :class:`~repro.errors.QueryError` with a pointed message.
+"""
+
+from __future__ import annotations
+
+import re
+
+from repro.db.query import JoinQuery, TableSelection
+from repro.db.schema import Schema
+from repro.errors import QueryError
+
+_TOKEN_RE = re.compile(
+    r"""
+    \s*(?:
+        (?P<string>'(?:[^'\\]|\\.)*'|"(?:[^"\\]|\\.)*")
+      | (?P<number>-?\d+\.\d+|-?\d+)
+      | (?P<ident>[A-Za-z_][A-Za-z_0-9]*)
+      | (?P<punct>[*().,=])
+    )
+    """,
+    re.VERBOSE,
+)
+
+_KEYWORDS = {"select", "from", "join", "on", "where", "and", "in"}
+
+
+class _Token:
+    __slots__ = ("kind", "value")
+
+    def __init__(self, kind: str, value):
+        self.kind = kind
+        self.value = value
+
+    def __repr__(self) -> str:
+        return f"{self.kind}:{self.value!r}"
+
+
+def _tokenize(sql: str) -> list[_Token]:
+    tokens: list[_Token] = []
+    position = 0
+    while position < len(sql):
+        if sql[position].isspace():
+            position += 1
+            continue
+        match = _TOKEN_RE.match(sql, position)
+        if not match or match.start() != position:
+            raise QueryError(f"cannot tokenize SQL at ...{sql[position:position + 20]!r}")
+        position = match.end()
+        if match.lastgroup == "string":
+            raw = match.group("string")
+            body = raw[1:-1].replace("\\'", "'").replace('\\"', '"')
+            tokens.append(_Token("literal", body))
+        elif match.lastgroup == "number":
+            raw = match.group("number")
+            tokens.append(_Token("literal", float(raw) if "." in raw else int(raw)))
+        elif match.lastgroup == "ident":
+            word = match.group("ident")
+            if word.lower() in _KEYWORDS:
+                tokens.append(_Token("keyword", word.lower()))
+            else:
+                tokens.append(_Token("ident", word))
+        else:
+            tokens.append(_Token("punct", match.group("punct")))
+    return tokens
+
+
+class _Parser:
+    def __init__(self, tokens: list[_Token]):
+        self._tokens = tokens
+        self._pos = 0
+
+    def _peek(self) -> _Token | None:
+        return self._tokens[self._pos] if self._pos < len(self._tokens) else None
+
+    def _next(self) -> _Token:
+        token = self._peek()
+        if token is None:
+            raise QueryError("unexpected end of SQL")
+        self._pos += 1
+        return token
+
+    def _expect_keyword(self, word: str) -> None:
+        token = self._next()
+        if token.kind != "keyword" or token.value != word:
+            raise QueryError(f"expected {word.upper()}, got {token!r}")
+
+    def _expect_punct(self, punct: str) -> None:
+        token = self._next()
+        if token.kind != "punct" or token.value != punct:
+            raise QueryError(f"expected {punct!r}, got {token!r}")
+
+    def _expect_ident(self) -> str:
+        token = self._next()
+        if token.kind != "ident":
+            raise QueryError(f"expected identifier, got {token!r}")
+        return token.value
+
+    def _operand(self) -> tuple[str | None, str]:
+        """An optionally table-qualified column: returns (table, column)."""
+        first = self._expect_ident()
+        if self._peek() and self._peek().kind == "punct" and self._peek().value == ".":
+            self._next()
+            return first, self._expect_ident()
+        return None, first
+
+    def _literal(self):
+        token = self._next()
+        if token.kind != "literal":
+            raise QueryError(f"expected a literal, got {token!r}")
+        return token.value
+
+    def parse(self) -> "_ParsedQuery":
+        self._expect_keyword("select")
+        self._expect_punct("*")
+        self._expect_keyword("from")
+        left_table = self._expect_ident()
+        self._expect_keyword("join")
+        right_table = self._expect_ident()
+        self._expect_keyword("on")
+        on_left = self._operand()
+        self._expect_punct("=")
+        on_right = self._operand()
+        conditions: list[tuple[tuple[str | None, str], tuple]] = []
+        if self._peek() is not None:
+            self._expect_keyword("where")
+            while True:
+                conditions.append(self._condition())
+                token = self._peek()
+                if token is None:
+                    break
+                if token.kind == "keyword" and token.value == "and":
+                    self._next()
+                    continue
+                raise QueryError(f"unexpected trailing token {token!r}")
+        return _ParsedQuery(left_table, right_table, on_left, on_right, conditions)
+
+    def _condition(self) -> tuple[tuple[str | None, str], tuple]:
+        operand = self._operand()
+        token = self._next()
+        if token.kind == "keyword" and token.value == "in":
+            self._expect_punct("(")
+            values = [self._literal()]
+            while self._peek() and self._peek().value == ",":
+                self._next()
+                values.append(self._literal())
+            self._expect_punct(")")
+            return operand, tuple(values)
+        if token.kind == "punct" and token.value == "=":
+            return operand, (self._literal(),)
+        raise QueryError(f"expected IN or =, got {token!r}")
+
+
+class _ParsedQuery:
+    def __init__(self, left_table, right_table, on_left, on_right, conditions):
+        self.left_table = left_table
+        self.right_table = right_table
+        self.on_left = on_left
+        self.on_right = on_right
+        self.conditions = conditions
+
+
+def _resolve_side(
+    operand: tuple[str | None, str],
+    left_table: str,
+    right_table: str,
+    left_schema: Schema | None,
+    right_schema: Schema | None,
+) -> str:
+    """Decide which table a (possibly unqualified) column belongs to."""
+    table, column = operand
+    if table is not None:
+        if table == left_table:
+            return "left"
+        if table == right_table:
+            return "right"
+        raise QueryError(f"unknown table qualifier {table!r}")
+    in_left = left_schema is not None and column in left_schema
+    in_right = right_schema is not None and column in right_schema
+    if in_left and in_right:
+        raise QueryError(
+            f"column {column!r} is ambiguous; qualify it with a table name"
+        )
+    if in_left:
+        return "left"
+    if in_right:
+        return "right"
+    if left_schema is None and right_schema is None:
+        raise QueryError(
+            f"cannot resolve unqualified column {column!r} without schemas"
+        )
+    raise QueryError(f"column {column!r} not found in either table")
+
+
+def parse_join_query(
+    sql: str,
+    left_schema: Schema | None = None,
+    right_schema: Schema | None = None,
+) -> JoinQuery:
+    """Parse restricted SQL into a :class:`~repro.db.query.JoinQuery`.
+
+    Unqualified WHERE/ON columns are resolved against the optional
+    schemas; without schemas, every column must be table-qualified.
+    """
+    parsed = _Parser(_tokenize(sql)).parse()
+
+    def side_of(operand):
+        return _resolve_side(
+            operand, parsed.left_table, parsed.right_table, left_schema, right_schema
+        )
+
+    on_sides = side_of(parsed.on_left), side_of(parsed.on_right)
+    if on_sides == ("left", "right"):
+        left_join, right_join = parsed.on_left[1], parsed.on_right[1]
+    elif on_sides == ("right", "left"):
+        left_join, right_join = parsed.on_right[1], parsed.on_left[1]
+    else:
+        raise QueryError("ON clause must reference one column from each table")
+
+    left_where: dict[str, tuple] = {}
+    right_where: dict[str, tuple] = {}
+    for operand, values in parsed.conditions:
+        side = side_of(operand)
+        target = left_where if side == "left" else right_where
+        column = operand[1]
+        if column in target:
+            raise QueryError(f"duplicate condition on column {column!r}")
+        target[column] = values
+
+    return JoinQuery(
+        left_table=parsed.left_table,
+        right_table=parsed.right_table,
+        left_join_column=left_join,
+        right_join_column=right_join,
+        left_selection=TableSelection.of(left_where),
+        right_selection=TableSelection.of(right_where),
+    )

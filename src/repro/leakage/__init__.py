@@ -1,0 +1,41 @@
+"""Leakage analysis for join-encryption schemes.
+
+- :mod:`repro.leakage.pairs` — ground-truth equality pairs, per-query
+  minimal leakage, and transitive closure,
+- :mod:`repro.leakage.analyzer` — replay a query series against several
+  schemes and build the t0/t1/t2/... leakage timeline of Section 2.1,
+- :mod:`repro.leakage.simulator` — the SIM-security simulator of
+  Definition 5.2, used to test that the real scheme's adversary view is
+  reproducible from the trace alone.
+"""
+
+from repro.leakage.analyzer import LeakageTimeline, SchemeTrace, analyze_schemes
+from repro.leakage.attacks import (
+    AttackResult,
+    attack_scheme_view,
+    equivalence_classes,
+    frequency_attack,
+    score_attack,
+)
+from repro.leakage.pairs import (
+    all_true_pairs,
+    minimal_query_leakage,
+    transitive_closure,
+)
+from repro.leakage.simulator import SimulatedView, TraceSimulator
+
+__all__ = [
+    "AttackResult",
+    "LeakageTimeline",
+    "attack_scheme_view",
+    "equivalence_classes",
+    "frequency_attack",
+    "score_attack",
+    "SchemeTrace",
+    "SimulatedView",
+    "TraceSimulator",
+    "all_true_pairs",
+    "analyze_schemes",
+    "minimal_query_leakage",
+    "transitive_closure",
+]

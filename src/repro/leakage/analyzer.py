@@ -1,0 +1,103 @@
+"""Replay a query series against several schemes and compare leakage.
+
+This module mechanizes the analysis of Section 2.1: run the same upload
+(time t0) and query sequence (t1, t2, ...) against each scheme, record
+the cumulative revealed equality pairs after every step, and line the
+timelines up against the information-theoretic floor (the transitive
+closure of the union of per-query minimal leakages).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.baselines.api import JoinScheme, Pair
+from repro.db.query import JoinQuery
+from repro.db.table import Table
+from repro.leakage.pairs import minimal_query_leakage, transitive_closure
+
+
+@dataclass
+class SchemeTrace:
+    """One scheme's leakage timeline.
+
+    ``revealed[i]`` is the cumulative pair set after time ``t_i``
+    (``revealed[0]`` is the post-upload state t0).
+    """
+
+    scheme_name: str
+    revealed: list[set[Pair]] = field(default_factory=list)
+    answers: list = field(default_factory=list)
+
+    def counts(self) -> list[int]:
+        return [len(pairs) for pairs in self.revealed]
+
+    def is_super_additive(self, floor: list[set[Pair]]) -> bool:
+        """Whether any step leaks beyond the floor timeline."""
+        return any(
+            not observed <= allowed
+            for observed, allowed in zip(self.revealed, floor)
+        )
+
+
+@dataclass
+class LeakageTimeline:
+    """The full comparison: per-scheme traces plus the minimal floor."""
+
+    tables: list[tuple[Table, str]]
+    queries: list[JoinQuery]
+    traces: dict[str, SchemeTrace]
+    floor: list[set[Pair]]
+
+    def summary(self) -> dict[str, list[int]]:
+        """Scheme name -> pair counts at [t0, t1, ...]."""
+        result = {name: trace.counts() for name, trace in self.traces.items()}
+        result["minimum (closure of union)"] = [len(p) for p in self.floor]
+        return result
+
+    def format_table(self) -> str:
+        """A printable grid matching the paper's Section 2.1 narrative."""
+        times = [f"t{i}" for i in range(len(self.queries) + 1)]
+        names = list(self.summary().keys())
+        width = max(len(n) for n in names) + 2
+        lines = ["scheme".ljust(width) + " ".join(t.rjust(6) for t in times)]
+        for name, counts in self.summary().items():
+            lines.append(
+                name.ljust(width) + " ".join(str(c).rjust(6) for c in counts)
+            )
+        return "\n".join(lines)
+
+
+def minimal_floor(
+    tables: list[tuple[Table, str]], queries: list[JoinQuery]
+) -> list[set[Pair]]:
+    """The lower-bound timeline: closure of the union of per-query leakage."""
+    floor: list[set[Pair]] = [set()]
+    union: set[Pair] = set()
+    for query in queries:
+        union = union | minimal_query_leakage(tables, query)
+        floor.append(transitive_closure(union))
+    return floor
+
+
+def analyze_schemes(
+    schemes: list[JoinScheme],
+    tables: list[tuple[Table, str]],
+    queries: list[JoinQuery],
+) -> LeakageTimeline:
+    """Upload + replay the queries on every scheme; collect the timelines."""
+    traces: dict[str, SchemeTrace] = {}
+    for scheme in schemes:
+        trace = SchemeTrace(scheme.name)
+        scheme.upload(tables)
+        trace.revealed.append(set(scheme.revealed_pairs()))
+        for query in queries:
+            trace.answers.append(scheme.run_query(query))
+            trace.revealed.append(set(scheme.revealed_pairs()))
+        traces[scheme.name] = trace
+    return LeakageTimeline(
+        tables=tables,
+        queries=queries,
+        traces=traces,
+        floor=minimal_floor(tables, queries),
+    )

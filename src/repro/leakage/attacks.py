@@ -1,0 +1,126 @@
+"""Frequency-analysis attacks on join-column leakage.
+
+The paper motivates its leakage reduction with Naveed et al.'s result:
+frequency information over deterministically encrypted columns breaks
+them.  This module implements the classic frequency-matching attack and
+runs it against the adversary view each scheme exposes, so the security
+difference becomes *measurable* rather than asserted:
+
+- against deterministic encryption the attacker sees the full equality
+  structure of the join column at upload time and recovers most values
+  of a skewed (e.g. Zipfian) column;
+- against Secure Join the attacker only sees per-query equivalence
+  classes among selected rows under fresh keys, so frequency matching
+  has almost nothing to latch onto.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass, field
+
+import networkx as nx
+
+from repro.baselines.api import Pair, RowRef
+from repro.db.table import Table
+
+
+@dataclass
+class AttackResult:
+    """Outcome of one frequency-matching attack."""
+
+    guesses: dict[RowRef, object] = field(default_factory=dict)
+    correct: int = 0
+    total: int = 0
+
+    @property
+    def recovery_rate(self) -> float:
+        """Fraction of all rows whose join value the attacker recovered."""
+        return self.correct / self.total if self.total else 0.0
+
+
+def equivalence_classes(
+    pairs: set[Pair], universe: list[RowRef]
+) -> list[list[RowRef]]:
+    """Group rows into classes implied by the revealed equality pairs.
+
+    Rows not appearing in any pair form singleton classes — the attacker
+    knows nothing links them, but they still count toward the total.
+    """
+    graph = nx.Graph()
+    graph.add_nodes_from(universe)
+    for pair in pairs:
+        a, b = tuple(pair)
+        graph.add_edge(a, b)
+    return [sorted(component) for component in nx.connected_components(graph)]
+
+
+def frequency_attack(
+    classes: list[list[RowRef]],
+    auxiliary_histogram: dict[object, int],
+) -> dict[RowRef, object]:
+    """Match equivalence classes to plaintext values by frequency rank.
+
+    ``auxiliary_histogram`` is the attacker's background knowledge: the
+    (approximate) multiplicity of each join value in the database — the
+    standard auxiliary-data assumption of inference attacks.  Classes
+    are sorted by size, values by count, and paired off greedily.
+    """
+    ranked_classes = sorted(classes, key=len, reverse=True)
+    ranked_values = [
+        value
+        for value, _ in sorted(
+            auxiliary_histogram.items(),
+            key=lambda item: (-item[1], repr(item[0])),
+        )
+    ]
+    guesses: dict[RowRef, object] = {}
+    for cls, value in zip(ranked_classes, ranked_values):
+        for ref in cls:
+            guesses[ref] = value
+    return guesses
+
+
+def score_attack(
+    guesses: dict[RowRef, object],
+    truth: dict[RowRef, object],
+) -> AttackResult:
+    """Count how many of the attacker's guesses are correct."""
+    result = AttackResult(guesses=guesses, total=len(truth))
+    for ref, true_value in truth.items():
+        if guesses.get(ref) == true_value:
+            result.correct += 1
+    return result
+
+
+def join_column_truth(tables: list[tuple[Table, str]]) -> dict[RowRef, object]:
+    """The ground-truth join value of every row (the attack target)."""
+    truth: dict[RowRef, object] = {}
+    for table, join_column in tables:
+        index = table.schema.index_of(join_column)
+        for i, row in enumerate(table):
+            truth[(table.name, i)] = row[index]
+    return truth
+
+
+def auxiliary_from_tables(tables: list[tuple[Table, str]]) -> dict[object, int]:
+    """Perfect auxiliary knowledge: the exact join-value histogram.
+
+    This is the attacker's best case; real attacks use census-style
+    approximations, so recovery rates here upper-bound reality.
+    """
+    counter: Counter = Counter()
+    for table, join_column in tables:
+        counter.update(table.column_values(join_column))
+    return dict(counter)
+
+
+def attack_scheme_view(
+    revealed_pairs: set[Pair],
+    tables: list[tuple[Table, str]],
+) -> AttackResult:
+    """Run the full attack pipeline against one scheme's adversary view."""
+    truth = join_column_truth(tables)
+    classes = equivalence_classes(revealed_pairs, list(truth.keys()))
+    guesses = frequency_attack(classes, auxiliary_from_tables(tables))
+    return score_attack(guesses, truth)

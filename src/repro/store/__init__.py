@@ -1,0 +1,27 @@
+"""Persistence and wire formats for the outsourced-database protocol.
+
+- :mod:`repro.store.codec` — low-level binary primitives (length
+  prefixes, JSON headers, element vectors),
+- :mod:`repro.store.tables` — save/load encrypted tables to disk (what
+  the DBMS server persists),
+- :mod:`repro.store.wire` — serialize the client->server query message
+  and the server->client result message, so the two parties can live in
+  different processes.
+"""
+
+from repro.store.tables import load_encrypted_table, save_encrypted_table
+from repro.store.wire import (
+    decode_join_query,
+    decode_join_result,
+    encode_join_query,
+    encode_join_result,
+)
+
+__all__ = [
+    "decode_join_query",
+    "decode_join_result",
+    "encode_join_query",
+    "encode_join_result",
+    "load_encrypted_table",
+    "save_encrypted_table",
+]

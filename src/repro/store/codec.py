@@ -1,0 +1,115 @@
+"""Low-level binary encoding primitives shared by the store formats.
+
+Every format is ``magic || version || u32 header length || JSON header
+|| body``; the body is a concatenation of fixed-size element vectors and
+length-prefixed blobs.  All integers are big-endian.
+"""
+
+from __future__ import annotations
+
+import json
+import struct
+
+from repro.errors import SchemeError
+
+
+class Reader:
+    """A cursor over immutable bytes with checked reads."""
+
+    def __init__(self, data: bytes):
+        self._data = data
+        self._pos = 0
+
+    def take(self, n: int) -> bytes:
+        if self._pos + n > len(self._data):
+            raise SchemeError(
+                f"truncated blob: need {n} bytes at offset {self._pos}, "
+                f"have {len(self._data) - self._pos}"
+            )
+        chunk = self._data[self._pos:self._pos + n]
+        self._pos += n
+        return chunk
+
+    def u8(self) -> int:
+        return self.take(1)[0]
+
+    def u32(self) -> int:
+        return struct.unpack(">I", self.take(4))[0]
+
+    def blob(self) -> bytes:
+        return self.take(self.u32())
+
+    def at_end(self) -> bool:
+        return self._pos == len(self._data)
+
+    def expect_end(self) -> None:
+        if not self.at_end():
+            raise SchemeError(
+                f"{len(self._data) - self._pos} unexpected trailing bytes"
+            )
+
+
+class Writer:
+    """An append-only byte builder mirroring :class:`Reader`."""
+
+    def __init__(self):
+        self._chunks: list[bytes] = []
+
+    def raw(self, data: bytes) -> "Writer":
+        self._chunks.append(data)
+        return self
+
+    def u8(self, value: int) -> "Writer":
+        return self.raw(bytes([value]))
+
+    def u32(self, value: int) -> "Writer":
+        return self.raw(struct.pack(">I", value))
+
+    def blob(self, data: bytes) -> "Writer":
+        return self.u32(len(data)).raw(data)
+
+    def getvalue(self) -> bytes:
+        return b"".join(self._chunks)
+
+
+def write_header(writer: Writer, magic: bytes, version: int, header: dict) -> None:
+    """Emit ``magic || version || length || JSON header``."""
+    writer.raw(magic)
+    writer.u8(version)
+    writer.blob(json.dumps(header, sort_keys=True).encode("utf-8"))
+
+
+def read_header(reader: Reader, magic: bytes, version: int) -> dict:
+    """Parse and validate ``magic || version || length || JSON header``."""
+    seen = reader.take(len(magic))
+    if seen != magic:
+        raise SchemeError(
+            f"bad magic {seen!r}; expected {magic!r} (wrong file type?)"
+        )
+    seen_version = reader.u8()
+    if seen_version != version:
+        raise SchemeError(
+            f"unsupported format version {seen_version}; this build reads "
+            f"version {version}"
+        )
+    try:
+        return json.loads(reader.blob().decode("utf-8"))
+    except (UnicodeDecodeError, json.JSONDecodeError) as error:
+        raise SchemeError(f"corrupt header: {error}") from error
+
+
+def write_element_vector(writer: Writer, elements: list[bytes], size: int) -> None:
+    """A fixed-element-size vector: count then raw concatenation."""
+    writer.u32(len(elements))
+    for element in elements:
+        if len(element) != size:
+            raise SchemeError(
+                f"element of {len(element)} bytes in a vector of {size}-byte "
+                "elements"
+            )
+        writer.raw(element)
+
+
+def read_element_vector(reader: Reader, size: int) -> list[bytes]:
+    count = reader.u32()
+    return [reader.take(size) for _ in range(count)]

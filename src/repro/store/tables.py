@@ -1,0 +1,135 @@
+"""Persist encrypted tables: what the DBMS server stores on disk.
+
+The file keeps only what the server legitimately holds — SJ ciphertext
+vectors, opaque payload blobs, and (optionally) pre-filter tags.  No
+plaintext and no key material ever reaches this format.
+"""
+
+from __future__ import annotations
+
+import os
+
+from repro.core.client import EncryptedTable
+from repro.core.scheme import SJRowCiphertext
+from repro.crypto.backend import BilinearBackend
+from repro.db.schema import Column, Schema
+from repro.errors import SchemeError
+from repro.store.codec import (
+    Reader,
+    Writer,
+    read_element_vector,
+    read_header,
+    write_element_vector,
+    write_header,
+)
+
+_MAGIC = b"RPROETBL"
+_VERSION = 1
+_TAG_SIZE = 32
+
+
+def encode_encrypted_table(
+    table: EncryptedTable, backend: BilinearBackend
+) -> bytes:
+    """Serialize an encrypted table to bytes."""
+    writer = Writer()
+    header = {
+        "name": table.name,
+        "schema": [[c.name, c.type] for c in table.schema.columns],
+        "join_column": table.join_column,
+        "attribute_columns": list(table.attribute_columns),
+        "n_rows": len(table),
+        "dimension": (
+            len(table.ciphertexts[0]) if table.ciphertexts else 0
+        ),
+        "backend": backend.name,
+        "g2_element_size": backend.g2_element_size,
+        "prefilter_columns": (
+            sorted(table.prefilter_tags) if table.prefilter_tags else None
+        ),
+    }
+    write_header(writer, _MAGIC, _VERSION, header)
+    for ciphertext in table.ciphertexts:
+        write_element_vector(
+            writer,
+            [backend.encode_g2(e) for e in ciphertext.elements],
+            backend.g2_element_size,
+        )
+    for payload in table.payloads:
+        writer.blob(payload)
+    if table.prefilter_tags:
+        for column in sorted(table.prefilter_tags):
+            write_element_vector(
+                writer, table.prefilter_tags[column], _TAG_SIZE
+            )
+    return writer.getvalue()
+
+
+def decode_encrypted_table(
+    data: bytes, backend: BilinearBackend
+) -> EncryptedTable:
+    """Inverse of :func:`encode_encrypted_table` (validating)."""
+    reader = Reader(data)
+    header = read_header(reader, _MAGIC, _VERSION)
+    if header["backend"] != backend.name:
+        raise SchemeError(
+            f"table was encrypted under backend {header['backend']!r}, "
+            f"cannot load with {backend.name!r}"
+        )
+    if header["g2_element_size"] != backend.g2_element_size:
+        raise SchemeError("element size mismatch (different backend modulus?)")
+    n_rows = header["n_rows"]
+    dimension = header["dimension"]
+    ciphertexts = []
+    for _ in range(n_rows):
+        raw = read_element_vector(reader, backend.g2_element_size)
+        if len(raw) != dimension:
+            raise SchemeError(
+                f"row ciphertext has {len(raw)} elements; header says "
+                f"{dimension}"
+            )
+        ciphertexts.append(
+            SJRowCiphertext(tuple(backend.decode_g2(e) for e in raw))
+        )
+    payloads = [reader.blob() for _ in range(n_rows)]
+    prefilter = None
+    if header["prefilter_columns"] is not None:
+        prefilter = {}
+        for column in header["prefilter_columns"]:
+            tags = read_element_vector(reader, _TAG_SIZE)
+            if len(tags) != n_rows:
+                raise SchemeError(
+                    f"pre-filter column {column!r} has {len(tags)} tags for "
+                    f"{n_rows} rows"
+                )
+            prefilter[column] = tags
+    reader.expect_end()
+    schema = Schema(tuple(Column(n, t) for n, t in header["schema"]))
+    return EncryptedTable(
+        name=header["name"],
+        schema=schema,
+        join_column=header["join_column"],
+        attribute_columns=tuple(header["attribute_columns"]),
+        ciphertexts=ciphertexts,
+        payloads=payloads,
+        prefilter_tags=prefilter,
+    )
+
+
+def save_encrypted_table(
+    table: EncryptedTable, path: str | os.PathLike, backend: BilinearBackend
+) -> None:
+    """Write an encrypted table to ``path`` (atomic via rename)."""
+    data = encode_encrypted_table(table, backend)
+    temp_path = f"{path}.tmp"
+    with open(temp_path, "wb") as handle:
+        handle.write(data)
+    os.replace(temp_path, path)
+
+
+def load_encrypted_table(
+    path: str | os.PathLike, backend: BilinearBackend
+) -> EncryptedTable:
+    """Read an encrypted table from ``path``."""
+    with open(path, "rb") as handle:
+        return decode_encrypted_table(handle.read(), backend)

@@ -1,0 +1,158 @@
+"""Wire formats for the query-phase messages.
+
+Two message types cross the client/server boundary at query time:
+
+- the **join query** (client -> server): table names, the two SJ tokens
+  and optional pre-filter tag sets;
+- the **join result** (server -> client): matched index pairs and the
+  corresponding opaque payload blobs.
+
+Together with :mod:`repro.store.tables` this lets the two parties run in
+separate processes (or machines) with nothing but byte strings between
+them — the deployment model of the paper's system.
+"""
+
+from __future__ import annotations
+
+from repro.core.client import EncryptedJoinQuery
+from repro.core.scheme import SJToken
+from repro.core.server import EncryptedJoinResult, ServerStats
+from repro.crypto.backend import BilinearBackend
+from repro.errors import SchemeError
+from repro.store.codec import (
+    Reader,
+    Writer,
+    read_element_vector,
+    read_header,
+    write_element_vector,
+    write_header,
+)
+
+_QUERY_MAGIC = b"RPROJQRY"
+_RESULT_MAGIC = b"RPROJRES"
+_VERSION = 1
+_TAG_SIZE = 32
+
+
+def _write_prefilter(
+    writer: Writer, prefilter: dict[str, frozenset[bytes]] | None
+) -> list[str] | None:
+    if prefilter is None:
+        return None
+    columns = sorted(prefilter)
+    for column in columns:
+        write_element_vector(writer, sorted(prefilter[column]), _TAG_SIZE)
+    return columns
+
+
+def encode_join_query(
+    query: EncryptedJoinQuery, backend: BilinearBackend
+) -> bytes:
+    """Serialize the client's query message."""
+    writer = Writer()
+    body = Writer()
+    for token in (query.left_token, query.right_token):
+        write_element_vector(
+            body,
+            [backend.encode_g1(e) for e in token.elements],
+            backend.g1_element_size,
+        )
+    left_columns = _write_prefilter(body, query.left_prefilter)
+    right_columns = _write_prefilter(body, query.right_prefilter)
+    header = {
+        "query_id": query.query_id,
+        "left_table": query.left_table,
+        "right_table": query.right_table,
+        "backend": backend.name,
+        "g1_element_size": backend.g1_element_size,
+        "left_prefilter_columns": left_columns,
+        "right_prefilter_columns": right_columns,
+    }
+    write_header(writer, _QUERY_MAGIC, _VERSION, header)
+    writer.raw(body.getvalue())
+    return writer.getvalue()
+
+
+def decode_join_query(
+    data: bytes, backend: BilinearBackend
+) -> EncryptedJoinQuery:
+    """Inverse of :func:`encode_join_query` (validating)."""
+    reader = Reader(data)
+    header = read_header(reader, _QUERY_MAGIC, _VERSION)
+    if header["backend"] != backend.name:
+        raise SchemeError(
+            f"query was built for backend {header['backend']!r}, "
+            f"cannot decode with {backend.name!r}"
+        )
+    tokens = []
+    for _ in range(2):
+        raw = read_element_vector(reader, backend.g1_element_size)
+        tokens.append(SJToken(tuple(backend.decode_g1(e) for e in raw)))
+
+    def read_prefilter(columns):
+        if columns is None:
+            return None
+        return {
+            column: frozenset(read_element_vector(reader, _TAG_SIZE))
+            for column in columns
+        }
+
+    left_prefilter = read_prefilter(header["left_prefilter_columns"])
+    right_prefilter = read_prefilter(header["right_prefilter_columns"])
+    reader.expect_end()
+    return EncryptedJoinQuery(
+        query_id=header["query_id"],
+        left_table=header["left_table"],
+        right_table=header["right_table"],
+        left_token=tokens[0],
+        right_token=tokens[1],
+        left_prefilter=left_prefilter,
+        right_prefilter=right_prefilter,
+    )
+
+
+def encode_join_result(result: EncryptedJoinResult) -> bytes:
+    """Serialize the server's result message."""
+    writer = Writer()
+    header = {
+        "left_table": result.left_table,
+        "right_table": result.right_table,
+        "n_pairs": len(result.index_pairs),
+        "stats": {
+            "candidates_left": result.stats.candidates_left,
+            "candidates_right": result.stats.candidates_right,
+            "decryptions": result.stats.decryptions,
+            "probes": result.stats.probes,
+            "comparisons": result.stats.comparisons,
+            "matches": result.stats.matches,
+        },
+    }
+    write_header(writer, _RESULT_MAGIC, _VERSION, header)
+    for left_index, right_index in result.index_pairs:
+        writer.u32(left_index)
+        writer.u32(right_index)
+    for payload in result.left_payloads:
+        writer.blob(payload)
+    for payload in result.right_payloads:
+        writer.blob(payload)
+    return writer.getvalue()
+
+
+def decode_join_result(data: bytes) -> EncryptedJoinResult:
+    """Inverse of :func:`encode_join_result` (validating)."""
+    reader = Reader(data)
+    header = read_header(reader, _RESULT_MAGIC, _VERSION)
+    n_pairs = header["n_pairs"]
+    pairs = [(reader.u32(), reader.u32()) for _ in range(n_pairs)]
+    left_payloads = [reader.blob() for _ in range(n_pairs)]
+    right_payloads = [reader.blob() for _ in range(n_pairs)]
+    reader.expect_end()
+    stats = ServerStats(**header["stats"])
+    return EncryptedJoinResult(
+        left_table=header["left_table"],
+        right_table=header["right_table"],
+        index_pairs=pairs,
+        left_payloads=left_payloads,
+        right_payloads=right_payloads,
+        stats=stats,
+    )

@@ -1,0 +1,27 @@
+"""A deterministic TPC-H-style data generator.
+
+The official ``dbgen`` tool is unavailable offline, so this package
+generates the two tables the paper's evaluation uses — ``Customers``
+and ``Orders`` — with the TPC-H schemas, TPC-H row-count scaling
+(Customers ``150000 x SF``, Orders ``1500000 x SF``), plausible value
+distributions, and the paper's extra ``selectivity`` column (Section
+6.1): each selectivity value ``s`` in ``{1/12.5, 1/25, 1/50, 1/100}``
+is assigned to exactly ``s * n`` rows of each table.
+"""
+
+from repro.tpch.generator import (
+    SELECTIVITY_LABELS,
+    SELECTIVITY_VALUES,
+    TPCHGenerator,
+    selectivity_label,
+)
+from repro.tpch.tables import CUSTOMERS_SCHEMA, ORDERS_SCHEMA
+
+__all__ = [
+    "CUSTOMERS_SCHEMA",
+    "ORDERS_SCHEMA",
+    "SELECTIVITY_LABELS",
+    "SELECTIVITY_VALUES",
+    "TPCHGenerator",
+    "selectivity_label",
+]

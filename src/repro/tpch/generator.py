@@ -1,0 +1,148 @@
+"""Deterministic generator for the Customers and Orders tables.
+
+Generation is fully determined by ``(scale_factor, seed)`` so every
+benchmark run sees identical data.  Row counts follow TPC-H:
+``|Customers| = 150000 * SF`` and ``|Orders| = 1500000 * SF``; each
+order's ``custkey`` references a generated customer.
+
+The ``selectivity`` column reproduces the paper's setup: the label of
+selectivity ``s`` is assigned to exactly ``round(s * n)`` rows, so a
+query ``WHERE selectivity IN (label)`` selects an ``s`` fraction of the
+table.  Remaining rows get the ``"-"`` filler label that no experiment
+queries.  Labels are deterministically interleaved through the table so
+selected rows are spread uniformly.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+
+from repro.db.table import Table
+from repro.errors import BenchmarkError
+from repro.tpch.tables import (
+    COMMENT_WORDS,
+    CUSTOMERS_SCHEMA,
+    MKT_SEGMENTS,
+    NATION_COUNT,
+    ORDER_PRIORITIES,
+    ORDER_STATUSES,
+    ORDERS_SCHEMA,
+)
+
+# The paper's four selectivity values and their column labels.
+SELECTIVITY_VALUES = (1 / 12.5, 1 / 25, 1 / 50, 1 / 100)
+SELECTIVITY_LABELS = ("1/12.5", "1/25", "1/50", "1/100")
+
+_CUSTOMERS_PER_SF = 150_000
+_ORDERS_PER_SF = 1_500_000
+
+_FILLER_LABEL = "-"
+
+
+def selectivity_label(value: float) -> str:
+    """Map a selectivity value to its column label."""
+    for candidate, label in zip(SELECTIVITY_VALUES, SELECTIVITY_LABELS):
+        if abs(candidate - value) < 1e-12:
+            return label
+    raise BenchmarkError(
+        f"unknown selectivity {value}; expected one of {SELECTIVITY_VALUES}"
+    )
+
+
+def _selectivity_column(n: int, rng: random.Random) -> list[str]:
+    """Assign each selectivity label to round(s*n) rows, spread uniformly."""
+    labels = [_FILLER_LABEL] * n
+    positions = list(range(n))
+    rng.shuffle(positions)
+    cursor = 0
+    for value, label in zip(SELECTIVITY_VALUES, SELECTIVITY_LABELS):
+        count = round(value * n)
+        for position in positions[cursor:cursor + count]:
+            labels[position] = label
+        cursor += count
+    return labels
+
+
+def _comment(rng: random.Random) -> str:
+    return " ".join(rng.choice(COMMENT_WORDS) for _ in range(rng.randrange(4, 9)))
+
+
+def _phone(rng: random.Random) -> str:
+    return (
+        f"{rng.randrange(10, 35)}-{rng.randrange(100, 1000)}-"
+        f"{rng.randrange(100, 1000)}-{rng.randrange(1000, 10000)}"
+    )
+
+
+def _order_date(rng: random.Random) -> str:
+    year = rng.randrange(1992, 1999)
+    month = rng.randrange(1, 13)
+    day = rng.randrange(1, 29)
+    return f"{year:04d}-{month:02d}-{day:02d}"
+
+
+@dataclass(frozen=True)
+class TPCHGenerator:
+    """Deterministic Customers/Orders generator for one scale factor."""
+
+    scale_factor: float
+    seed: int = 20220310
+
+    def __post_init__(self):
+        if self.scale_factor <= 0:
+            raise BenchmarkError("scale factor must be positive")
+
+    @property
+    def num_customers(self) -> int:
+        return max(1, round(_CUSTOMERS_PER_SF * self.scale_factor))
+
+    @property
+    def num_orders(self) -> int:
+        return max(1, round(_ORDERS_PER_SF * self.scale_factor))
+
+    def customers(self) -> Table:
+        """The Customers table (join key: custkey)."""
+        rng = random.Random((self.seed, "customers", self.scale_factor).__repr__())
+        n = self.num_customers
+        selectivity = _selectivity_column(n, rng)
+        table = Table("Customers", CUSTOMERS_SCHEMA)
+        for custkey in range(1, n + 1):
+            table.insert((
+                custkey,
+                f"Customer#{custkey:09d}",
+                f"{rng.randrange(1, 9999)} {rng.choice(COMMENT_WORDS)} st.",
+                rng.randrange(NATION_COUNT),
+                _phone(rng),
+                round(rng.uniform(-999.99, 9999.99), 2),
+                rng.choice(MKT_SEGMENTS),
+                _comment(rng),
+                selectivity[custkey - 1],
+            ))
+        return table
+
+    def orders(self) -> Table:
+        """The Orders table (join key: custkey, foreign key to Customers)."""
+        rng = random.Random((self.seed, "orders", self.scale_factor).__repr__())
+        n = self.num_orders
+        num_customers = self.num_customers
+        selectivity = _selectivity_column(n, rng)
+        table = Table("Orders", ORDERS_SCHEMA)
+        for orderkey in range(1, n + 1):
+            table.insert((
+                orderkey,
+                rng.randrange(1, num_customers + 1),
+                rng.choice(ORDER_STATUSES),
+                round(rng.uniform(850.0, 560000.0), 2),
+                _order_date(rng),
+                rng.choice(ORDER_PRIORITIES),
+                f"Clerk#{rng.randrange(1, 1001):09d}",
+                0,
+                _comment(rng),
+                selectivity[orderkey - 1],
+            ))
+        return table
+
+    def both(self) -> tuple[Table, Table]:
+        """``(customers, orders)`` in one call."""
+        return self.customers(), self.orders()

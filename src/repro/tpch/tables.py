@@ -1,0 +1,56 @@
+"""TPC-H schemas for the two tables of the paper's evaluation.
+
+Column names and types follow the TPC-H specification (prefixes
+dropped); both tables carry the paper's additional ``selectivity``
+column (Section 6.1).
+"""
+
+from __future__ import annotations
+
+from repro.db.schema import Schema
+
+# Customers: custkey, name, address, nationkey, phone, acctbal,
+# mktsegment, comment  (8 attributes, as the paper states) + selectivity.
+CUSTOMERS_SCHEMA = Schema.of(
+    ("custkey", "int"),
+    ("name", "str"),
+    ("address", "str"),
+    ("nationkey", "int"),
+    ("phone", "str"),
+    ("acctbal", "float"),
+    ("mktsegment", "str"),
+    ("comment", "str"),
+    ("selectivity", "str"),
+)
+
+# Orders: orderkey, custkey, orderstatus, totalprice, orderdate,
+# orderpriority, clerk, shippriority, comment (9 attributes) + selectivity.
+ORDERS_SCHEMA = Schema.of(
+    ("orderkey", "int"),
+    ("custkey", "int"),
+    ("orderstatus", "str"),
+    ("totalprice", "float"),
+    ("orderdate", "str"),
+    ("orderpriority", "str"),
+    ("clerk", "str"),
+    ("shippriority", "int"),
+    ("comment", "str"),
+    ("selectivity", "str"),
+)
+
+MKT_SEGMENTS = ("AUTOMOBILE", "BUILDING", "FURNITURE", "HOUSEHOLD", "MACHINERY")
+
+ORDER_PRIORITIES = ("1-URGENT", "2-HIGH", "3-MEDIUM", "4-NOT SPECIFIED", "5-LOW")
+
+ORDER_STATUSES = ("O", "F", "P")
+
+NATION_COUNT = 25
+
+COMMENT_WORDS = (
+    "carefully", "quickly", "furiously", "slyly", "blithely", "ironic",
+    "final", "special", "pending", "regular", "express", "bold", "even",
+    "silent", "unusual", "accounts", "packages", "deposits", "requests",
+    "instructions", "foxes", "theodolites", "platelets", "pinto", "beans",
+    "asymptotes", "dependencies", "excuses", "ideas", "sleep", "nag",
+    "haggle", "wake", "cajole", "detect", "integrate", "boost", "engage",
+)

@@ -1,0 +1,26 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.crypto.backend import BN254Backend, FastBackend
+
+
+@pytest.fixture
+def rng() -> random.Random:
+    """A deterministic RNG so failures are reproducible."""
+    return random.Random(20220310)
+
+
+@pytest.fixture
+def fast_backend() -> FastBackend:
+    return FastBackend()
+
+
+@pytest.fixture(scope="session")
+def bn254_backend() -> BN254Backend:
+    """Session-scoped so the fixed-base tables are built once."""
+    return BN254Backend()

@@ -1,0 +1,113 @@
+"""Tests for the bilinear-group backend abstraction.
+
+The central contract: the fast backend and the BN254 backend must be
+*observationally equivalent* — equal exponent structure produces equal
+GT handles on both.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.crypto.backend import (
+    BN254Backend,
+    FastBackend,
+    FastGT,
+    get_backend,
+)
+from repro.crypto.params import CURVE_ORDER
+from repro.errors import CryptoError
+
+
+class TestFastBackend:
+    def test_order_is_curve_order(self, fast_backend):
+        assert fast_backend.order == CURVE_ORDER
+
+    def test_pairing_is_inner_product(self, fast_backend):
+        g1 = fast_backend.g1_powers([2, 3])
+        g2 = fast_backend.g2_powers([5, 7])
+        assert fast_backend.pair_vectors(g1, g2) == fast_backend.gt_generator_power(31)
+
+    def test_gt_pow(self, fast_backend):
+        h = fast_backend.gt_generator_power(6)
+        assert fast_backend.gt_pow(h, 7) == fast_backend.gt_generator_power(42)
+
+    def test_length_mismatch(self, fast_backend):
+        with pytest.raises(CryptoError):
+            fast_backend.pair_vectors([1], [1, 2])
+
+    def test_custom_modulus(self):
+        backend = FastBackend(modulus=2**61 - 1)
+        assert backend.order == 2**61 - 1
+
+    def test_composite_modulus_rejected(self):
+        with pytest.raises(CryptoError):
+            FastBackend(modulus=2**61)
+
+    def test_gt_bytes_stable(self, fast_backend):
+        a = fast_backend.gt_generator_power(5)
+        b = fast_backend.gt_generator_power(5 + CURVE_ORDER)
+        assert a.to_bytes() == b.to_bytes()
+        assert hash(a) == hash(b)
+
+    def test_handles_usable_as_dict_keys(self, fast_backend):
+        buckets = {}
+        for e in [1, 2, 1, 3, 2]:
+            buckets.setdefault(fast_backend.gt_generator_power(e), []).append(e)
+        assert len(buckets) == 3
+
+
+class TestGetBackend:
+    def test_returns_singletons(self):
+        assert get_backend("fast") is get_backend("fast")
+        assert get_backend("bn254") is get_backend("bn254")
+
+    def test_unknown_name(self):
+        with pytest.raises(CryptoError):
+            get_backend("nope")
+
+    def test_types(self):
+        assert isinstance(get_backend("fast"), FastBackend)
+        assert isinstance(get_backend("bn254"), BN254Backend)
+
+
+class TestFastGTRepr:
+    def test_reduction(self):
+        assert FastGT(CURVE_ORDER + 1, CURVE_ORDER).value == 1
+
+
+@pytest.mark.bn254
+class TestBackendEquivalence:
+    """The fast backend must mirror the real pairing's match structure."""
+
+    def test_same_match_pattern(self, bn254_backend, fast_backend):
+        vectors = [([1, 2], [3, 4]), ([5, 1], [1, 6]), ([2, 2], [2, 2])]
+        real_handles = []
+        fast_handles = []
+        for v, w in vectors:
+            real_handles.append(
+                bn254_backend.pair_vectors(
+                    bn254_backend.g1_powers(v), bn254_backend.g2_powers(w)
+                )
+            )
+            fast_handles.append(
+                fast_backend.pair_vectors(
+                    fast_backend.g1_powers(v), fast_backend.g2_powers(w)
+                )
+            )
+        # <1,2;3,4> = 11, <5,1;1,6> = 11, <2,2;2,2> = 8.
+        assert real_handles[0] == real_handles[1]
+        assert real_handles[0] != real_handles[2]
+        assert fast_handles[0] == fast_handles[1]
+        assert fast_handles[0] != fast_handles[2]
+
+    def test_generator_power_consistency(self, bn254_backend):
+        a = bn254_backend.gt_generator_power(3)
+        b = bn254_backend.gt_pow(bn254_backend.gt_generator_power(1), 3)
+        assert a == b
+
+    def test_pair_singletons(self, bn254_backend):
+        lhs = bn254_backend.pair(
+            bn254_backend.g1_power(6), bn254_backend.g2_power(7)
+        )
+        assert lhs == bn254_backend.gt_generator_power(42)

@@ -1,0 +1,186 @@
+"""Tests for the baseline schemes: correctness and leakage behaviour."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.baselines import (
+    CryptDBScheme,
+    DeterministicScheme,
+    HahnScheme,
+    SecureJoinAdapter,
+)
+from repro.baselines.api import make_pair
+from repro.bench.experiments import example_queries, example_tables
+from repro.db.database import Database
+from repro.db.query import JoinQuery
+from repro.db.schema import Schema
+from repro.db.table import Table
+from repro.errors import QueryError
+
+
+def _ground_truth(tables, query):
+    db = Database()
+    for table, _ in tables:
+        db.add_table(table)
+    return db.execute(query)
+
+
+@pytest.fixture
+def tables():
+    return example_tables()
+
+
+@pytest.fixture
+def queries():
+    return example_queries()
+
+
+class TestPairHelpers:
+    def test_make_pair_unordered(self):
+        assert make_pair(("A", 1), ("B", 2)) == make_pair(("B", 2), ("A", 1))
+
+    def test_self_pair_rejected(self):
+        with pytest.raises(ValueError):
+            make_pair(("A", 1), ("A", 1))
+
+
+@pytest.mark.parametrize("scheme_factory", [
+    DeterministicScheme,
+    CryptDBScheme,
+    HahnScheme,
+    lambda: SecureJoinAdapter(rng=random.Random(11)),
+])
+class TestAnswerCorrectness:
+    """Every scheme must return the true join answer."""
+
+    def test_both_queries(self, scheme_factory, tables, queries):
+        scheme = scheme_factory()
+        scheme.upload(tables)
+        for query in queries:
+            answer = scheme.run_query(query)
+            truth = _ground_truth(tables, query)
+            assert sorted(answer.index_pairs) == sorted(truth.index_pairs)
+            assert sorted(answer.rows) == sorted(truth.table.rows())
+
+    def test_unuploaded_table_rejected(self, scheme_factory, tables):
+        scheme = scheme_factory()
+        scheme.upload(tables)
+        bad = JoinQuery.build("Ghost", "Employees", on=("key", "team"))
+        with pytest.raises(QueryError):
+            scheme.run_query(bad)
+
+
+class TestDeterministicLeakage:
+    def test_everything_revealed_at_upload(self, tables):
+        scheme = DeterministicScheme()
+        scheme.upload(tables)
+        assert len(scheme.revealed_pairs()) == 6
+
+    def test_queries_add_nothing(self, tables, queries):
+        scheme = DeterministicScheme()
+        scheme.upload(tables)
+        before = scheme.revealed_pairs()
+        scheme.run_query(queries[0])
+        assert scheme.revealed_pairs() == before
+
+
+class TestCryptDBLeakage:
+    def test_nothing_at_upload(self, tables):
+        scheme = CryptDBScheme()
+        scheme.upload(tables)
+        assert scheme.revealed_pairs() == set()
+
+    def test_first_join_reveals_whole_columns(self, tables, queries):
+        scheme = CryptDBScheme()
+        scheme.upload(tables)
+        scheme.run_query(queries[0])
+        assert len(scheme.revealed_pairs()) == 6
+
+    def test_peeling_is_permanent_and_idempotent(self, tables, queries):
+        scheme = CryptDBScheme()
+        scheme.upload(tables)
+        scheme.run_query(queries[0])
+        scheme.run_query(queries[1])
+        assert len(scheme.revealed_pairs()) == 6
+
+
+class TestHahnLeakage:
+    def test_nothing_at_upload(self, tables):
+        scheme = HahnScheme()
+        scheme.upload(tables)
+        assert scheme.revealed_pairs() == set()
+
+    def test_minimal_after_first_query(self, tables, queries):
+        scheme = HahnScheme()
+        scheme.upload(tables)
+        scheme.run_query(queries[0])
+        pairs = scheme.revealed_pairs()
+        assert pairs == {make_pair(("Teams", 0), ("Employees", 1))}
+
+    def test_super_additive_after_second_query(self, tables, queries):
+        scheme = HahnScheme()
+        scheme.upload(tables)
+        scheme.run_query(queries[0])
+        scheme.run_query(queries[1])
+        # All rows are now unwrapped; all 6 true pairs are comparable.
+        assert len(scheme.revealed_pairs()) == 6
+
+    def test_nested_loop_cost(self, tables, queries):
+        scheme = HahnScheme()
+        scheme.upload(tables)
+        scheme.run_query(queries[0])
+        assert scheme.comparisons == 1 * 2  # 1 team x 2 testers
+
+    def test_pk_fk_restriction_enforced(self):
+        left = Table("L", Schema.of(("k", "int")), [(1,), (1,)])
+        right = Table("R", Schema.of(("k", "int")), [(1,)])
+        scheme = HahnScheme()
+        scheme.upload([(left, "k"), (right, "k")])
+        with pytest.raises(QueryError):
+            scheme.run_query(JoinQuery.build("L", "R", on=("k", "k")))
+
+
+class TestSecureJoinLeakage:
+    def test_minimal_at_every_step(self, tables, queries):
+        scheme = SecureJoinAdapter(rng=random.Random(12))
+        scheme.upload(tables)
+        assert scheme.revealed_pairs() == set()
+        scheme.run_query(queries[0])
+        assert scheme.revealed_pairs() == {
+            make_pair(("Teams", 0), ("Employees", 1))
+        }
+        scheme.run_query(queries[1])
+        assert scheme.revealed_pairs() == {
+            make_pair(("Teams", 0), ("Employees", 1)),
+            make_pair(("Teams", 1), ("Employees", 2)),
+        }
+
+    def test_repeating_a_query_adds_nothing(self, tables, queries):
+        scheme = SecureJoinAdapter(rng=random.Random(13))
+        scheme.upload(tables)
+        scheme.run_query(queries[0])
+        first = scheme.revealed_pairs()
+        scheme.run_query(queries[0])
+        assert scheme.revealed_pairs() == first
+
+    def test_transitive_closure_inference(self):
+        """Two queries sharing a row let the adversary chain equalities."""
+        left = Table("L", Schema.of(("k", "int"), ("tag", "str")),
+                     [(7, "a")])
+        right = Table("R", Schema.of(("k", "int"), ("tag", "str")),
+                      [(7, "x"), (7, "y")])
+        scheme = SecureJoinAdapter(rng=random.Random(14))
+        scheme.upload([(left, "k"), (right, "k")])
+        q1 = JoinQuery.build("L", "R", on=("k", "k"),
+                             where_right={"tag": ["x"]})
+        q2 = JoinQuery.build("L", "R", on=("k", "k"),
+                             where_right={"tag": ["y"]})
+        scheme.run_query(q1)
+        scheme.run_query(q2)
+        pairs = scheme.revealed_pairs()
+        # Direct: (L0,R0) from q1, (L0,R1) from q2; closure adds (R0,R1).
+        assert make_pair(("R", 0), ("R", 1)) in pairs
+        assert len(pairs) == 3

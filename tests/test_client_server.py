@@ -1,0 +1,260 @@
+"""Integration tests: client + server against plaintext ground truth."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.core.client import SecureJoinClient
+from repro.core.server import SecureJoinServer
+from repro.db.database import Database
+from repro.db.query import JoinQuery
+from repro.db.schema import Schema
+from repro.db.table import Table
+from repro.errors import CryptoError, QueryError
+
+
+def _example_tables():
+    teams = Table("Teams", Schema.of(("key", "int"), ("name", "str")),
+                  [(1, "Web Application"), (2, "Database")])
+    employees = Table(
+        "Employees",
+        Schema.of(("record", "int"), ("employee", "str"),
+                  ("role", "str"), ("team", "int")),
+        [(1, "Hans", "Programmer", 1),
+         (2, "Kaily", "Tester", 1),
+         (3, "John", "Programmer", 2),
+         (4, "Sally", "Tester", 2)],
+    )
+    return teams, employees
+
+
+def _setup(enable_prefilter=False, seed=1):
+    teams, employees = _example_tables()
+    client = SecureJoinClient.for_tables(
+        [(teams, "key"), (employees, "team")],
+        in_clause_limit=3,
+        rng=random.Random(seed),
+        enable_prefilter=enable_prefilter,
+    )
+    server = SecureJoinServer(client.params)
+    server.store(client.encrypt_table(teams, "key"))
+    server.store(client.encrypt_table(employees, "team"))
+    db = Database()
+    db.add_table(teams)
+    db.add_table(employees)
+    return client, server, db
+
+
+def _roundtrip(client, server, db, query, algorithm="hash"):
+    encrypted = client.create_query(query)
+    result = server.execute_join(encrypted, algorithm=algorithm)
+    decrypted = client.decrypt_result(result)
+    truth = db.execute(query)
+    assert sorted(decrypted.table.rows()) == sorted(truth.table.rows())
+    return result, decrypted
+
+
+class TestEndToEnd:
+    def test_paper_query_t1(self):
+        client, server, db = _setup()
+        query = JoinQuery.build(
+            "Teams", "Employees", on=("key", "team"),
+            where_left={"name": ["Web Application"]},
+            where_right={"role": ["Tester"]},
+        )
+        result, decrypted = _roundtrip(client, server, db, query)
+        assert decrypted.table.rows() == [
+            (1, "Web Application", 2, "Kaily", "Tester", 1)
+        ]
+
+    def test_no_selection_full_join(self):
+        client, server, db = _setup()
+        query = JoinQuery.build("Teams", "Employees", on=("key", "team"))
+        result, decrypted = _roundtrip(client, server, db, query)
+        assert len(decrypted.table) == 4
+
+    def test_in_clause_multiple_values(self):
+        client, server, db = _setup()
+        query = JoinQuery.build(
+            "Teams", "Employees", on=("key", "team"),
+            where_right={"role": ["Tester", "Programmer"]},
+        )
+        _roundtrip(client, server, db, query)
+
+    def test_empty_result(self):
+        client, server, db = _setup()
+        query = JoinQuery.build(
+            "Teams", "Employees", on=("key", "team"),
+            where_left={"name": ["No Such Team"]},
+        )
+        result, decrypted = _roundtrip(client, server, db, query)
+        assert len(decrypted.table) == 0
+
+    def test_nested_algorithm_same_result(self):
+        client, server, db = _setup()
+        query = JoinQuery.build("Teams", "Employees", on=("key", "team"))
+        hash_result, _ = _roundtrip(client, server, db, query, "hash")
+        nested_result, _ = _roundtrip(client, server, db, query, "nested")
+        assert sorted(hash_result.index_pairs) == sorted(nested_result.index_pairs)
+        assert nested_result.stats.comparisons > hash_result.stats.comparisons
+
+    def test_many_to_many_join(self):
+        left = Table("L", Schema.of(("g", "int"), ("x", "str")),
+                     [(1, "a"), (1, "b"), (2, "c")])
+        right = Table("R", Schema.of(("g", "int"), ("y", "str")),
+                      [(1, "p"), (1, "q"), (3, "r")])
+        client = SecureJoinClient.for_tables(
+            [(left, "g"), (right, "g")], in_clause_limit=2,
+            rng=random.Random(2),
+        )
+        server = SecureJoinServer(client.params)
+        server.store(client.encrypt_table(left, "g"))
+        server.store(client.encrypt_table(right, "g"))
+        db = Database()
+        db.add_table(left)
+        db.add_table(right)
+        query = JoinQuery.build("L", "R", on=("g", "g"))
+        result, decrypted = _roundtrip(client, server, db, query)
+        assert len(decrypted.table) == 4  # 2x2 cross on g=1
+
+    def test_string_join_values(self):
+        left = Table("L", Schema.of(("city", "str"), ("x", "int")),
+                     [("oslo", 1), ("bern", 2)])
+        right = Table("R", Schema.of(("town", "str"), ("y", "int")),
+                      [("bern", 10), ("oslo", 20), ("rome", 30)])
+        client = SecureJoinClient.for_tables(
+            [(left, "city"), (right, "town")], in_clause_limit=2,
+            rng=random.Random(3),
+        )
+        server = SecureJoinServer(client.params)
+        server.store(client.encrypt_table(left, "city"))
+        server.store(client.encrypt_table(right, "town"))
+        db = Database()
+        db.add_table(left)
+        db.add_table(right)
+        query = JoinQuery.build("L", "R", on=("city", "town"))
+        _roundtrip(client, server, db, query)
+
+
+class TestPrefilter:
+    def test_prefilter_reduces_decryptions(self):
+        client_on, server_on, db = _setup(enable_prefilter=True)
+        client_off, server_off, _ = _setup(enable_prefilter=False)
+        query = JoinQuery.build(
+            "Teams", "Employees", on=("key", "team"),
+            where_left={"name": ["Web Application"]},
+            where_right={"role": ["Tester"]},
+        )
+        result_on = server_on.execute_join(client_on.create_query(query))
+        result_off = server_off.execute_join(client_off.create_query(query))
+        assert result_on.stats.decryptions == 3   # 1 team + 2 testers
+        assert result_off.stats.decryptions == 6  # everything
+        assert sorted(result_on.index_pairs) == sorted(result_off.index_pairs)
+
+    def test_prefilter_same_answer(self):
+        client, server, db = _setup(enable_prefilter=True)
+        query = JoinQuery.build(
+            "Teams", "Employees", on=("key", "team"),
+            where_right={"role": ["Programmer"]},
+        )
+        _roundtrip(client, server, db, query)
+
+
+class TestValidation:
+    def test_unknown_selection_column(self):
+        client, server, db = _setup()
+        query = JoinQuery.build(
+            "Teams", "Employees", on=("key", "team"),
+            where_left={"nope": ["x"]},
+        )
+        with pytest.raises(QueryError):
+            client.create_query(query)
+
+    def test_selection_on_join_column_rejected(self):
+        client, server, db = _setup()
+        query = JoinQuery.build(
+            "Teams", "Employees", on=("key", "team"),
+            where_left={"key": [1]},
+        )
+        with pytest.raises(QueryError):
+            client.create_query(query)
+
+    def test_oversized_in_clause(self):
+        client, server, db = _setup()  # t = 3
+        query = JoinQuery.build(
+            "Teams", "Employees", on=("key", "team"),
+            where_right={"role": ["a", "b", "c", "d"]},
+        )
+        with pytest.raises(QueryError):
+            client.create_query(query)
+
+    def test_wrong_join_column(self):
+        client, server, db = _setup()
+        query = JoinQuery.build("Teams", "Employees", on=("name", "team"))
+        with pytest.raises(QueryError):
+            client.create_query(query)
+
+    def test_unencrypted_table(self):
+        client, server, db = _setup()
+        query = JoinQuery.build("Nope", "Employees", on=("key", "team"))
+        with pytest.raises(QueryError):
+            client.create_query(query)
+
+    def test_server_missing_table(self):
+        teams, employees = _example_tables()
+        client = SecureJoinClient.for_tables(
+            [(teams, "key"), (employees, "team")], rng=random.Random(4)
+        )
+        server = SecureJoinServer(client.params)
+        server.store(client.encrypt_table(teams, "key"))
+        client.encrypt_table(employees, "team")  # encrypted but never stored
+        query = JoinQuery.build("Teams", "Employees", on=("key", "team"))
+        with pytest.raises(QueryError):
+            server.execute_join(client.create_query(query))
+
+    def test_unknown_algorithm(self):
+        client, server, db = _setup()
+        query = JoinQuery.build("Teams", "Employees", on=("key", "team"))
+        with pytest.raises(QueryError):
+            server.execute_join(client.create_query(query), algorithm="merge")
+
+
+class TestObservations:
+    def test_server_records_one_observation_per_query(self):
+        client, server, db = _setup()
+        query = JoinQuery.build("Teams", "Employees", on=("key", "team"))
+        server.execute_join(client.create_query(query))
+        server.execute_join(client.create_query(query))
+        assert len(server.observations) == 2
+        assert server.observations[0].query_id != server.observations[1].query_id
+
+    def test_handles_unlinkable_across_queries(self):
+        """The same row produces different handles under different queries."""
+        client, server, db = _setup()
+        query = JoinQuery.build("Teams", "Employees", on=("key", "team"))
+        server.execute_join(client.create_query(query))
+        server.execute_join(client.create_query(query))
+        first, second = server.observations
+        for ref, handle in first.handles.items():
+            assert second.handles[ref] != handle
+
+
+class TestPayloads:
+    def test_payloads_are_probabilistic(self):
+        teams, _ = _example_tables()
+        duplicated = Table("T", teams.schema, [(1, "same"), (2, "same")])
+        client = SecureJoinClient.for_tables(
+            [(duplicated, "key")], rng=random.Random(5)
+        )
+        encrypted = client.encrypt_table(duplicated, "key")
+        assert encrypted.payloads[0] != encrypted.payloads[1]
+
+    def test_tampered_payload_detected(self):
+        client, server, db = _setup()
+        query = JoinQuery.build("Teams", "Employees", on=("key", "team"))
+        result = server.execute_join(client.create_query(query))
+        result.left_payloads[0] = b"\x00" * len(result.left_payloads[0])
+        with pytest.raises(CryptoError):
+            client.decrypt_result(result)

@@ -1,0 +1,127 @@
+"""Unit tests for the BN254 curve groups G1 and G2."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.crypto.curve import G1Point, G2Point, TWIST_B, embed_g1, untwist
+from repro.crypto.field import Fp2, Fp12
+from repro.crypto.params import CURVE_ORDER
+from repro.errors import CurveError
+
+_rng = random.Random(7)
+
+
+class TestG1:
+    def test_generator_on_curve(self):
+        g = G1Point.generator()
+        assert not g.is_infinity()
+
+    def test_invalid_point_rejected(self):
+        with pytest.raises(CurveError):
+            G1Point(1, 3)
+
+    def test_identity_laws(self):
+        g = G1Point.generator()
+        inf = G1Point.infinity()
+        assert g + inf == g
+        assert inf + g == g
+        assert inf + inf == inf
+
+    def test_inverse(self):
+        g = G1Point.generator()
+        assert (g + (-g)).is_infinity()
+
+    def test_double_matches_add(self):
+        g = G1Point.generator()
+        assert g.double() == g + g
+
+    def test_associativity(self):
+        g = G1Point.generator()
+        a, b, c = g * 3, g * 5, g * 11
+        assert (a + b) + c == a + (b + c)
+
+    def test_scalar_mul_distributes(self):
+        g = G1Point.generator()
+        assert g * 7 + g * 9 == g * 16
+
+    def test_order(self):
+        g = G1Point.generator()
+        assert (g * CURVE_ORDER).is_infinity()
+        assert g * (CURVE_ORDER + 1) == g
+
+    def test_scalar_zero(self):
+        g = G1Point.generator()
+        assert (g * 0).is_infinity()
+
+    def test_random_scalar_round_trip(self):
+        g = G1Point.generator()
+        k = _rng.randrange(1, CURVE_ORDER)
+        assert g * k + g * (CURVE_ORDER - k) == G1Point.infinity()
+
+    def test_to_bytes_distinct(self):
+        g = G1Point.generator()
+        assert g.to_bytes() != (g * 2).to_bytes()
+        assert len(g.to_bytes()) == 64
+
+    def test_hashable(self):
+        g = G1Point.generator()
+        assert len({g, g * 1}) == 1
+
+
+class TestG2:
+    def test_generator_on_twist(self):
+        g = G2Point.generator()
+        assert not g.is_infinity()
+
+    def test_generator_in_subgroup(self):
+        assert G2Point.generator().is_in_subgroup()
+
+    def test_twist_b_value(self):
+        # b' = 3/xi must satisfy the generator equation, checked in ctor.
+        assert TWIST_B == Fp2(3) * Fp2(9, 1).inverse()
+
+    def test_invalid_point_rejected(self):
+        with pytest.raises(CurveError):
+            G2Point(Fp2(1, 0), Fp2(1, 0))
+
+    def test_group_laws(self):
+        g = G2Point.generator()
+        assert g.double() == g + g
+        assert (g + (-g)).is_infinity()
+        a, b, c = g * 2, g * 3, g * 5
+        assert (a + b) + c == a + (b + c)
+
+    def test_order(self):
+        g = G2Point.generator()
+        assert (g * CURVE_ORDER).is_infinity()
+
+    def test_scalar_mul_distributes(self):
+        g = G2Point.generator()
+        assert g * 4 + g * 6 == g * 10
+
+
+class TestUntwist:
+    def test_untwist_lands_on_fp12_curve(self):
+        """psi(Q) must satisfy y^2 = x^3 + 3 over Fp12."""
+        q = G2Point.generator() * 5
+        x, y = untwist(q)
+        assert y.square() == x.square() * x + Fp12.from_int(3)
+
+    def test_untwist_infinity_raises(self):
+        with pytest.raises(CurveError):
+            untwist(G2Point.infinity())
+
+    def test_embed_g1_on_curve(self):
+        p = G1Point.generator() * 3
+        x, y = embed_g1(p)
+        assert y.square() == x.square() * x + Fp12.from_int(3)
+
+    def test_untwist_is_homomorphic_on_doubling(self):
+        """psi(2Q) equals doubling psi(Q) on the Fp12 curve."""
+        from repro.crypto.pairing import _double
+
+        q = G2Point.generator()
+        assert untwist(q.double()) == _double(untwist(q))

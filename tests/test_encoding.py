@@ -1,0 +1,158 @@
+"""Tests for the row/token vector encodings (Section 4.2/4.3)."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.core.encoding import (
+    VectorLayout,
+    embed_attribute,
+    embed_join_value,
+)
+from repro.crypto.matrix import inner_product
+from repro.crypto.params import CURVE_ORDER
+from repro.errors import SchemeError
+
+Q = CURVE_ORDER
+
+
+class TestEmbeddings:
+    def test_join_and_attribute_domains_differ(self):
+        assert embed_join_value("x", Q) != embed_attribute("x", Q)
+
+    def test_deterministic(self):
+        assert embed_join_value(7, Q) == embed_join_value(7, Q)
+
+
+class TestLayout:
+    def test_dimension_formula(self):
+        layout = VectorLayout(num_attributes=3, degree=2)
+        assert layout.dimension == 3 * 3 + 3
+
+    def test_invalid_params(self):
+        with pytest.raises(SchemeError):
+            VectorLayout(0, 1)
+        with pytest.raises(SchemeError):
+            VectorLayout(1, 0)
+
+
+class TestRowVector:
+    def test_shape_and_structure(self):
+        layout = VectorLayout(2, 3)
+        rng = random.Random(1)
+        w = layout.row_vector("join-val", ["a", "b"], Q, rng)
+        assert len(w) == layout.dimension
+        assert w[0] == embed_join_value("join-val", Q)
+        assert w[-1] == 0  # last slot is the structural zero
+
+    def test_padding_short_rows(self):
+        layout = VectorLayout(3, 2)
+        rng = random.Random(2)
+        w = layout.row_vector("j", ["only-one"], Q, rng)
+        assert len(w) == layout.dimension
+
+    def test_too_many_attributes_rejected(self):
+        layout = VectorLayout(1, 2)
+        with pytest.raises(SchemeError):
+            layout.row_vector("j", ["a", "b"], Q, random.Random(3))
+
+    def test_blinding_differs_per_row(self):
+        layout = VectorLayout(1, 1)
+        rng = random.Random(4)
+        w1 = layout.row_vector("j", ["a"], Q, rng)
+        w2 = layout.row_vector("j", ["a"], Q, rng)
+        assert w1 != w2          # gamma randomness
+        assert w1[0] == w2[0]    # but the join slot is deterministic
+
+
+class TestTokenVector:
+    def test_shape_and_structure(self):
+        layout = VectorLayout(2, 2)
+        rng = random.Random(5)
+        polys = layout.selection_polynomials({0: ["x"]}, Q, rng)
+        v = layout.token_vector(42, polys, Q, rng)
+        assert len(v) == layout.dimension
+        assert v[0] == 42
+        assert v[-2] == 0  # second-to-last slot is the structural zero
+
+    def test_zero_query_key_rejected(self):
+        layout = VectorLayout(1, 1)
+        rng = random.Random(6)
+        polys = layout.selection_polynomials({}, Q, rng)
+        with pytest.raises(SchemeError):
+            layout.token_vector(0, polys, Q, rng)
+
+    def test_selection_polynomial_count(self):
+        layout = VectorLayout(3, 2)
+        rng = random.Random(7)
+        polys = layout.selection_polynomials({1: ["v"]}, Q, rng)
+        assert len(polys) == 3
+        assert polys[0].is_zero and polys[2].is_zero
+        assert not polys[1].is_zero
+
+    def test_unknown_position_rejected(self):
+        layout = VectorLayout(2, 2)
+        with pytest.raises(SchemeError):
+            layout.selection_polynomials({5: ["v"]}, Q, random.Random(8))
+
+    def test_oversized_in_clause_rejected(self):
+        layout = VectorLayout(1, 2)
+        with pytest.raises(SchemeError):
+            layout.selection_polynomials({0: ["a", "b", "c"]}, Q, random.Random(9))
+
+    def test_empty_in_clause_rejected(self):
+        layout = VectorLayout(1, 2)
+        with pytest.raises(SchemeError):
+            layout.selection_polynomials({0: []}, Q, random.Random(10))
+
+    def test_wrong_polynomial_count_rejected(self):
+        layout = VectorLayout(2, 2)
+        rng = random.Random(11)
+        polys = layout.selection_polynomials({}, Q, rng)
+        with pytest.raises(SchemeError):
+            layout.token_vector(1, polys[:1], Q, rng)
+
+
+class TestInnerProductIdentity:
+    """<v, w> = k*H(a0) + gamma2 * sum_i P_i(a_i) — the scheme's engine."""
+
+    def test_selected_row_collapses_to_join_handle(self):
+        layout = VectorLayout(2, 2)
+        rng = random.Random(12)
+        k = 777
+        w = layout.row_vector("join-x", ["hit", "other"], Q, rng)
+        polys = layout.selection_polynomials({0: ["hit", "miss"]}, Q, rng)
+        v = layout.token_vector(k, polys, Q, rng)
+        expected = k * embed_join_value("join-x", Q) % Q
+        assert inner_product(v, w, Q) == expected
+
+    def test_unselected_row_does_not_collapse(self):
+        layout = VectorLayout(2, 2)
+        rng = random.Random(13)
+        k = 777
+        w = layout.row_vector("join-x", ["not-selected", "other"], Q, rng)
+        polys = layout.selection_polynomials({0: ["hit", "miss"]}, Q, rng)
+        v = layout.token_vector(k, polys, Q, rng)
+        assert inner_product(v, w, Q) != k * embed_join_value("join-x", Q) % Q
+
+    def test_no_selection_always_collapses(self):
+        layout = VectorLayout(2, 2)
+        rng = random.Random(14)
+        k = 99
+        w = layout.row_vector("jv", ["anything", "at-all"], Q, rng)
+        polys = layout.selection_polynomials({}, Q, rng)
+        v = layout.token_vector(k, polys, Q, rng)
+        assert inner_product(v, w, Q) == k * embed_join_value("jv", Q) % Q
+
+    def test_multi_attribute_selection(self):
+        layout = VectorLayout(3, 2)
+        rng = random.Random(15)
+        k = 5
+        w = layout.row_vector("jv", ["a-val", "b-val", "c-val"], Q, rng)
+        polys = layout.selection_polynomials(
+            {0: ["a-val"], 2: ["c-val", "zzz"]}, Q, rng
+        )
+        v = layout.token_vector(k, polys, Q, rng)
+        assert inner_product(v, w, Q) == k * embed_join_value("jv", Q) % Q

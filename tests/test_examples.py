@@ -1,0 +1,64 @@
+"""Smoke tests: every example script runs to completion.
+
+The examples double as integration tests of the public API; each one
+ends with internal assertions, so a zero exit status means the
+behaviour it demonstrates actually held.
+"""
+
+from __future__ import annotations
+
+import pathlib
+import subprocess
+import sys
+
+import pytest
+
+_EXAMPLES_DIR = pathlib.Path(__file__).resolve().parent.parent / "examples"
+
+
+def _run(script: str, *args: str) -> subprocess.CompletedProcess:
+    return subprocess.run(
+        [sys.executable, str(_EXAMPLES_DIR / script), *args],
+        capture_output=True,
+        text=True,
+        timeout=300,
+    )
+
+
+@pytest.mark.slow
+class TestExamples:
+    def test_quickstart(self):
+        proc = _run("quickstart.py")
+        assert proc.returncode == 0, proc.stderr
+        assert "matches plaintext ground truth" in proc.stdout
+
+    def test_leakage_comparison(self):
+        proc = _run("leakage_comparison.py")
+        assert proc.returncode == 0, proc.stderr
+        assert "securejoin" in proc.stdout
+        assert "exactly the minimum" in proc.stdout
+
+    def test_query_series(self):
+        proc = _run("query_series.py")
+        assert proc.returncode == 0, proc.stderr
+        assert "handles that coincide across the queries: 0" in proc.stdout
+
+    def test_sql_interface(self):
+        proc = _run("sql_interface.py")
+        assert proc.returncode == 0, proc.stderr
+        assert "widgets" in proc.stdout
+
+    def test_frequency_attack(self):
+        proc = _run("frequency_attack.py")
+        assert proc.returncode == 0, proc.stderr
+        assert "Deterministic encryption" in proc.stdout
+
+    def test_three_way_join(self):
+        proc = _run("three_way_join.py")
+        assert proc.returncode == 0, proc.stderr
+        assert "matches plaintext composition" in proc.stdout
+
+    def test_tpch_join_tiny(self):
+        proc = _run("tpch_join.py", "0.001")
+        assert proc.returncode == 0, proc.stderr
+        assert "verified against plaintext execution" in proc.stdout

@@ -1,0 +1,187 @@
+"""Unit and property tests for the BN254 field tower."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.crypto.field import XI, Fp2, Fp6, Fp12, P
+from repro.errors import FieldError
+
+_rng = random.Random(42)
+
+
+def _random_fp2(rng=_rng) -> Fp2:
+    return Fp2(rng.randrange(P), rng.randrange(P))
+
+
+def _random_fp6(rng=_rng) -> Fp6:
+    return Fp6(_random_fp2(rng), _random_fp2(rng), _random_fp2(rng))
+
+
+def _random_fp12(rng=_rng) -> Fp12:
+    return Fp12(_random_fp6(rng), _random_fp6(rng))
+
+
+fp2_elements = st.builds(
+    Fp2, st.integers(min_value=0, max_value=P - 1),
+    st.integers(min_value=0, max_value=P - 1),
+)
+
+
+class TestFp2:
+    def test_u_squared_is_minus_one(self):
+        u = Fp2(0, 1)
+        assert u * u == Fp2(-1)
+
+    def test_add_sub_round_trip(self):
+        a, b = _random_fp2(), _random_fp2()
+        assert (a + b) - b == a
+
+    def test_mul_commutative(self):
+        a, b = _random_fp2(), _random_fp2()
+        assert a * b == b * a
+
+    def test_mul_one(self):
+        a = _random_fp2()
+        assert a * Fp2.one() == a
+
+    def test_square_matches_mul(self):
+        a = _random_fp2()
+        assert a.square() == a * a
+
+    def test_inverse(self):
+        a = _random_fp2()
+        assert a * a.inverse() == Fp2.one()
+
+    def test_inverse_zero_raises(self):
+        with pytest.raises(FieldError):
+            Fp2.zero().inverse()
+
+    def test_mul_by_xi_matches_mul(self):
+        a = _random_fp2()
+        assert a.mul_by_xi() == a * XI
+
+    def test_conjugate_is_frobenius(self):
+        a = _random_fp2()
+        assert a.conjugate() == a.pow(P)
+
+    def test_pow_negative(self):
+        a = _random_fp2()
+        assert a.pow(-1) == a.inverse()
+
+    @given(fp2_elements, fp2_elements, fp2_elements)
+    @settings(max_examples=25, deadline=None)
+    def test_distributive(self, a, b, c):
+        assert a * (b + c) == a * b + a * c
+
+    def test_fermat_little(self):
+        # a^(p^2) == a in Fp2.
+        a = _random_fp2()
+        assert a.pow(P * P) == a
+
+
+class TestFp6:
+    def test_v_cubed_is_xi(self):
+        v = Fp6(Fp2.zero(), Fp2.one(), Fp2.zero())
+        v3 = v * v * v
+        assert v3 == Fp6(XI, Fp2.zero(), Fp2.zero())
+
+    def test_mul_by_v_matches(self):
+        a = _random_fp6()
+        v = Fp6(Fp2.zero(), Fp2.one(), Fp2.zero())
+        assert a.mul_by_v() == a * v
+
+    def test_inverse(self):
+        a = _random_fp6()
+        assert a * a.inverse() == Fp6.one()
+
+    def test_mul_associative(self):
+        a, b, c = _random_fp6(), _random_fp6(), _random_fp6()
+        assert (a * b) * c == a * (b * c)
+
+    def test_frobenius_is_p_power(self):
+        # Verify on a few random elements that frobenius(a) == a^p by
+        # checking multiplicativity + agreement on Fp2-embedded elements.
+        a, b = _random_fp6(), _random_fp6()
+        assert (a * b).frobenius() == a.frobenius() * b.frobenius()
+        c = Fp2(12345, 678)
+        embedded = Fp6(c, Fp2.zero(), Fp2.zero())
+        assert embedded.frobenius() == Fp6(c.conjugate(), Fp2.zero(), Fp2.zero())
+
+    def test_frobenius_order_six(self):
+        a = _random_fp6()
+        result = a
+        for _ in range(6):
+            result = result.frobenius()
+        assert result == a
+
+
+class TestFp12:
+    def test_w_squared_is_v(self):
+        w = Fp12(Fp6.zero(), Fp6.one())
+        v = Fp12(Fp6(Fp2.zero(), Fp2.one(), Fp2.zero()), Fp6.zero())
+        assert w * w == v
+
+    def test_w_sixth_is_xi(self):
+        w = Fp12(Fp6.zero(), Fp6.one())
+        w6 = w.pow(6)
+        assert w6 == Fp12(Fp6(XI, Fp2.zero(), Fp2.zero()), Fp6.zero())
+
+    def test_inverse(self):
+        a = _random_fp12()
+        assert a * a.inverse() == Fp12.one()
+
+    def test_square_matches_mul(self):
+        a = _random_fp12()
+        assert a.square() == a * a
+
+    def test_conjugate_is_p6_power(self):
+        a = _random_fp12()
+        frob6 = a
+        for _ in range(6):
+            frob6 = frob6.frobenius()
+        assert a.conjugate() == frob6
+
+    def test_frobenius_multiplicative(self):
+        a, b = _random_fp12(), _random_fp12()
+        assert (a * b).frobenius() == a.frobenius() * b.frobenius()
+
+    def test_frobenius_order_twelve(self):
+        a = _random_fp12()
+        result = a
+        for _ in range(12):
+            result = result.frobenius()
+        assert result == a
+
+    def test_frobenius_agrees_with_pow_on_base(self):
+        a = Fp12.from_int(987654321)
+        assert a.frobenius() == a  # base-field elements are fixed by Frobenius
+
+    def test_pow_addition_law(self):
+        a = _random_fp12()
+        assert a.pow(13) * a.pow(29) == a.pow(42)
+
+    def test_pow_zero(self):
+        a = _random_fp12()
+        assert a.pow(0) == Fp12.one()
+
+    def test_to_bytes_round_trip_equality(self):
+        a = _random_fp12()
+        b = Fp12(a.b0, a.b1)
+        assert a.to_bytes() == b.to_bytes()
+        assert len(a.to_bytes()) == 384
+
+    def test_hashable(self):
+        a = _random_fp12()
+        b = Fp12(a.b0, a.b1)
+        assert hash(a) == hash(b)
+        assert len({a, b}) == 1
+
+    def test_frobenius_is_actual_p_power(self):
+        """The definitive check: frobenius(a) == a^p for a random element."""
+        a = _random_fp12()
+        assert a.frobenius() == a.pow(P)

@@ -1,0 +1,89 @@
+"""Unit tests for hashing, value encoding and keyed tags."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.crypto.hashing import (
+    derive_key,
+    encode_value,
+    hash_bytes_to_zq,
+    hash_to_zq,
+    keyed_tag,
+)
+from repro.crypto.params import CURVE_ORDER
+
+
+class TestEncodeValue:
+    def test_type_tags_prevent_cross_type_collisions(self):
+        assert encode_value(1) != encode_value("1")
+        assert encode_value(True) != encode_value(1)
+        assert encode_value(None) != encode_value("")
+        assert encode_value(b"x") != encode_value("x")
+
+    def test_deterministic(self):
+        assert encode_value("hello") == encode_value("hello")
+
+    def test_floats(self):
+        assert encode_value(1.5) == encode_value(1.5)
+        assert encode_value(1.5) != encode_value(2.5)
+
+    def test_unsupported_type(self):
+        with pytest.raises(TypeError):
+            encode_value([1, 2])
+
+    @given(st.integers(), st.integers())
+    def test_int_injective(self, a, b):
+        if a != b:
+            assert encode_value(a) != encode_value(b)
+
+
+class TestHashToZq:
+    def test_in_range(self):
+        h = hash_to_zq("custkey-42", CURVE_ORDER)
+        assert 0 <= h < CURVE_ORDER
+
+    def test_deterministic(self):
+        assert hash_to_zq(42, CURVE_ORDER) == hash_to_zq(42, CURVE_ORDER)
+
+    def test_distinct_inputs(self):
+        assert hash_to_zq(1, CURVE_ORDER) != hash_to_zq(2, CURVE_ORDER)
+
+    def test_domain_separation(self):
+        assert hash_to_zq(1, CURVE_ORDER, b"a") != hash_to_zq(1, CURVE_ORDER, b"b")
+
+    def test_small_modulus(self):
+        values = {hash_to_zq(i, 17) for i in range(100)}
+        assert values <= set(range(17))
+        assert len(values) > 8
+
+    def test_bytes_variant(self):
+        assert hash_bytes_to_zq(b"k", CURVE_ORDER) != hash_bytes_to_zq(b"j", CURVE_ORDER)
+
+
+class TestKeyedTag:
+    def test_same_key_same_value(self):
+        assert keyed_tag(b"k", "x") == keyed_tag(b"k", "x")
+
+    def test_different_keys_unlinkable(self):
+        assert keyed_tag(b"k1", "x") != keyed_tag(b"k2", "x")
+
+    def test_different_values(self):
+        assert keyed_tag(b"k", "x") != keyed_tag(b"k", "y")
+
+    def test_domain_separation(self):
+        assert keyed_tag(b"k", "x", b"d1") != keyed_tag(b"k", "x", b"d2")
+
+    def test_length(self):
+        assert len(keyed_tag(b"k", "x")) == 32
+
+
+class TestDeriveKey:
+    def test_distinct_labels(self):
+        master = b"master-secret"
+        assert derive_key(master, "join") != derive_key(master, "filter")
+
+    def test_deterministic(self):
+        assert derive_key(b"m", "a") == derive_key(b"m", "a")

@@ -1,0 +1,165 @@
+"""Tests for the function-hiding inner-product encryption schemes.
+
+Most cases run on the fast backend (semantically identical exponents);
+a small number of smoke tests exercise the real BN254 backend to confirm
+the schemes are backend-agnostic.
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.crypto.backend import FastBackend
+from repro.crypto.ipe import IPEScheme, ModifiedIPEScheme
+from repro.errors import IPEError
+
+
+def _scheme(dim, seed=0):
+    return IPEScheme(dim, FastBackend(), random.Random(seed))
+
+
+def _modified(dim, seed=0):
+    return ModifiedIPEScheme(dim, FastBackend(), random.Random(seed))
+
+
+class TestIPECorrectness:
+    def test_decrypt_recovers_inner_product(self):
+        scheme = _scheme(4)
+        msk = scheme.setup()
+        v = [1, 2, 3, 4]
+        w = [5, 6, 7, 8]
+        expected = sum(a * b for a, b in zip(v, w))
+        sk = scheme.keygen(msk, v)
+        ct = scheme.encrypt(msk, w)
+        assert scheme.decrypt(sk, ct, range(200)) == expected
+
+    def test_decrypt_returns_none_outside_search_space(self):
+        scheme = _scheme(2)
+        msk = scheme.setup()
+        sk = scheme.keygen(msk, [10, 10])
+        ct = scheme.encrypt(msk, [10, 10])  # <v,w> = 200
+        assert scheme.decrypt(sk, ct, range(100)) is None
+
+    def test_zero_inner_product(self):
+        scheme = _scheme(2)
+        msk = scheme.setup()
+        sk = scheme.keygen(msk, [1, 1])
+        ct = scheme.encrypt(msk, [1, -1])
+        assert scheme.decrypt(sk, ct, range(10)) == 0
+
+    def test_dimension_mismatch_raises(self):
+        scheme = _scheme(3)
+        msk = scheme.setup()
+        with pytest.raises(IPEError):
+            scheme.keygen(msk, [1, 2])
+        with pytest.raises(IPEError):
+            scheme.encrypt(msk, [1, 2, 3, 4])
+
+    def test_invalid_dimension(self):
+        with pytest.raises(IPEError):
+            IPEScheme(0)
+
+    def test_keys_are_randomized(self):
+        """Two keys for the same vector must differ (alpha randomness)."""
+        scheme = _scheme(2)
+        msk = scheme.setup()
+        sk1 = scheme.keygen(msk, [3, 4])
+        sk2 = scheme.keygen(msk, [3, 4])
+        assert sk1.k2 != sk2.k2
+
+    def test_ciphertexts_are_randomized(self):
+        scheme = _scheme(2)
+        msk = scheme.setup()
+        ct1 = scheme.encrypt(msk, [3, 4])
+        ct2 = scheme.encrypt(msk, [3, 4])
+        assert ct1.c2 != ct2.c2
+
+    @given(
+        st.lists(st.integers(min_value=0, max_value=20), min_size=3, max_size=3),
+        st.lists(st.integers(min_value=0, max_value=20), min_size=3, max_size=3),
+    )
+    @settings(max_examples=20, deadline=None)
+    def test_correctness_property(self, v, w):
+        scheme = _scheme(3, seed=hash((tuple(v), tuple(w))) & 0xFFFF)
+        msk = scheme.setup()
+        sk = scheme.keygen(msk, v)
+        ct = scheme.encrypt(msk, w)
+        expected = sum(a * b for a, b in zip(v, w))
+        assert scheme.decrypt(sk, ct, range(1300)) == expected
+
+
+class TestModifiedIPE:
+    def test_match_on_equal_inner_products(self):
+        """D handles are equal iff det(B)<v,w> coincide."""
+        scheme = _modified(3)
+        msk = scheme.setup()
+        tk = scheme.keygen(msk, [1, 2, 3])
+        ct1 = scheme.encrypt(msk, [6, 0, 1])   # <v,w> = 9
+        ct2 = scheme.encrypt(msk, [1, 1, 2])   # <v,w> = 9
+        ct3 = scheme.encrypt(msk, [1, 1, 3])   # <v,w> = 12
+        d1 = scheme.decrypt(tk, ct1)
+        d2 = scheme.decrypt(tk, ct2)
+        d3 = scheme.decrypt(tk, ct3)
+        assert d1 == d2
+        assert d1 != d3
+
+    def test_no_pair_components(self):
+        """Modified scheme emits bare vectors (no K1/C1 components)."""
+        scheme = _modified(2)
+        msk = scheme.setup()
+        tk = scheme.keygen(msk, [1, 0])
+        ct = scheme.encrypt(msk, [0, 1])
+        assert isinstance(tk, tuple) and len(tk) == 2
+        assert isinstance(ct, tuple) and len(ct) == 2
+
+    def test_deterministic_given_msk_and_vector(self):
+        """With alpha=beta=1, same vector -> same token (randomness is
+        the caller's responsibility via the extra slots)."""
+        scheme = _modified(2)
+        msk = scheme.setup()
+        assert scheme.keygen(msk, [5, 6]) == scheme.keygen(msk, [5, 6])
+
+    def test_decrypt_dimension_check(self):
+        scheme = _modified(3)
+        msk = scheme.setup()
+        tk = scheme.keygen(msk, [1, 2, 3])
+        with pytest.raises(IPEError):
+            scheme.decrypt(tk[:2], scheme.encrypt(msk, [1, 2, 3]))
+
+    def test_handle_equals_generator_power(self):
+        """D == e(g1,g2)^(det(B) <v,w>) exactly."""
+        backend = FastBackend()
+        scheme = ModifiedIPEScheme(2, backend, random.Random(1))
+        msk = scheme.setup()
+        v, w = [2, 5], [7, 3]
+        d = scheme.decrypt(scheme.keygen(msk, v), scheme.encrypt(msk, w))
+        expected = backend.gt_generator_power(
+            msk.det_b * (2 * 7 + 5 * 3) % backend.order
+        )
+        assert d == expected
+
+
+@pytest.mark.bn254
+class TestIPEOnRealPairing:
+    """Smoke tests on the real BN254 backend (slow: real pairings)."""
+
+    def test_original_scheme(self, bn254_backend):
+        scheme = IPEScheme(2, bn254_backend, random.Random(5))
+        msk = scheme.setup()
+        sk = scheme.keygen(msk, [2, 3])
+        ct = scheme.encrypt(msk, [4, 1])
+        assert scheme.decrypt(sk, ct, range(20)) == 11
+
+    def test_modified_scheme_match(self, bn254_backend):
+        scheme = ModifiedIPEScheme(2, bn254_backend, random.Random(6))
+        msk = scheme.setup()
+        tk = scheme.keygen(msk, [1, 2])
+        ct1 = scheme.encrypt(msk, [4, 3])  # 10
+        ct2 = scheme.encrypt(msk, [2, 4])  # 10
+        ct3 = scheme.encrypt(msk, [1, 1])  # 3
+        assert scheme.decrypt(tk, ct1) == scheme.decrypt(tk, ct2)
+        assert scheme.decrypt(tk, ct1) != scheme.decrypt(tk, ct3)

@@ -1,0 +1,108 @@
+"""Correctness tests for the optimal-ate pairing.
+
+These are the definitive checks for the whole crypto substrate: if
+bilinearity and non-degeneracy hold, the tower, curve and Miller loop
+are all consistent.
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.crypto.curve import G1Point, G2Point
+from repro.crypto.field import Fp12
+from repro.crypto.pairing import final_exponentiation, miller_loop, multi_pairing, pairing
+from repro.crypto.params import CURVE_ORDER
+
+_rng = random.Random(99)
+
+
+@pytest.fixture(scope="module")
+def gt_generator():
+    return pairing(G1Point.generator(), G2Point.generator())
+
+
+class TestPairing:
+    def test_non_degenerate(self, gt_generator):
+        assert not gt_generator.is_one()
+
+    def test_gt_has_order_r(self, gt_generator):
+        assert gt_generator.pow(CURVE_ORDER).is_one()
+        assert not gt_generator.pow(CURVE_ORDER - 1).is_one()
+
+    def test_bilinear_left(self, gt_generator):
+        a = _rng.randrange(2, 10**6)
+        lhs = pairing(G1Point.generator() * a, G2Point.generator())
+        assert lhs == gt_generator.pow(a)
+
+    def test_bilinear_right(self, gt_generator):
+        b = _rng.randrange(2, 10**6)
+        lhs = pairing(G1Point.generator(), G2Point.generator() * b)
+        assert lhs == gt_generator.pow(b)
+
+    def test_bilinear_both(self, gt_generator):
+        a = _rng.randrange(2, 10**6)
+        b = _rng.randrange(2, 10**6)
+        lhs = pairing(G1Point.generator() * a, G2Point.generator() * b)
+        assert lhs == gt_generator.pow(a * b % CURVE_ORDER)
+
+    def test_large_scalars(self, gt_generator):
+        a = _rng.randrange(CURVE_ORDER)
+        lhs = pairing(G1Point.generator() * a, G2Point.generator())
+        assert lhs == gt_generator.pow(a)
+
+    def test_infinity_maps_to_one(self):
+        assert pairing(G1Point.infinity(), G2Point.generator()).is_one()
+        assert pairing(G1Point.generator(), G2Point.infinity()).is_one()
+
+    def test_inverse_argument(self, gt_generator):
+        lhs = pairing(-G1Point.generator(), G2Point.generator())
+        assert lhs == gt_generator.pow(CURVE_ORDER - 1)
+        assert lhs * gt_generator == Fp12.one()
+
+
+class TestMultiPairing:
+    def test_matches_product_of_pairings(self):
+        pairs = [
+            (G1Point.generator() * a, G2Point.generator() * b)
+            for a, b in [(2, 3), (5, 7), (1, 11)]
+        ]
+        product = Fp12.one()
+        for p, q in pairs:
+            product = product * pairing(p, q)
+        assert multi_pairing(pairs) == product
+
+    def test_exponent_sums(self, gt_generator):
+        # prod e(g1^ai, g2^bi) = gt^(sum ai*bi)
+        coeffs = [(2, 9), (4, 1), (6, 5)]
+        pairs = [
+            (G1Point.generator() * a, G2Point.generator() * b) for a, b in coeffs
+        ]
+        expected = sum(a * b for a, b in coeffs) % CURVE_ORDER
+        assert multi_pairing(pairs) == gt_generator.pow(expected)
+
+    def test_empty_is_one(self):
+        assert multi_pairing([]).is_one()
+
+    def test_skips_infinity(self, gt_generator):
+        pairs = [
+            (G1Point.infinity(), G2Point.generator()),
+            (G1Point.generator() * 3, G2Point.generator()),
+        ]
+        assert multi_pairing(pairs) == gt_generator.pow(3)
+
+
+class TestFinalExponentiation:
+    def test_kills_r_th_powers_structure(self):
+        """FE output always has order dividing r."""
+        f = miller_loop(G2Point.generator() * 2, G1Point.generator() * 3)
+        out = final_exponentiation(f)
+        assert out.pow(CURVE_ORDER).is_one()
+
+    def test_degenerate_zero_raises(self):
+        from repro.errors import PairingError
+
+        with pytest.raises(PairingError):
+            final_exponentiation(Fp12.zero())

@@ -1,0 +1,133 @@
+"""Tests for the optimized pairing against the reference implementation."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.crypto.curve import G1Point, G2Point, untwist
+from repro.crypto.field import Fp12
+from repro.crypto.pairing import (
+    final_exponentiation,
+    miller_loop,
+    multi_pairing,
+    pairing,
+)
+from repro.crypto.pairing_fast import (
+    _twist_frobenius,
+    final_exponentiation_fast,
+    miller_loop_fast,
+    multi_pairing_fast,
+    pairing_fast,
+)
+from repro.crypto.params import CURVE_ORDER
+
+_rng = random.Random(2718)
+
+
+class TestAgreementWithReference:
+    def test_generator_pairing(self):
+        g1, g2 = G1Point.generator(), G2Point.generator()
+        assert pairing_fast(g1, g2) == pairing(g1, g2)
+
+    def test_random_points(self):
+        for _ in range(3):
+            a = _rng.randrange(2, 10**9)
+            b = _rng.randrange(2, 10**9)
+            p = G1Point.generator() * a
+            q = G2Point.generator() * b
+            assert pairing_fast(p, q) == pairing(p, q)
+
+    def test_multi_pairing_agreement(self):
+        pairs = [
+            (G1Point.generator() * a, G2Point.generator() * b)
+            for a, b in [(3, 4), (5, 6), (7, 8)]
+        ]
+        assert multi_pairing_fast(pairs) == multi_pairing(pairs)
+
+    def test_final_exponentiation_agreement(self):
+        """Both hard parts compute the same map on Miller outputs."""
+        f = miller_loop(G2Point.generator() * 9, G1Point.generator() * 4)
+        assert final_exponentiation_fast(f) == final_exponentiation(f)
+
+    def test_miller_values_equal_after_fe(self):
+        """Raw Miller values may differ by subfield factors; the final
+        exponentiation must reconcile them."""
+        q = G2Point.generator() * 13
+        p = G1Point.generator() * 17
+        naive = miller_loop(q, p)
+        fast = miller_loop_fast(q, p)
+        assert final_exponentiation(naive) == final_exponentiation(fast)
+
+
+class TestFastPairingProperties:
+    def test_bilinearity(self):
+        e = pairing_fast(G1Point.generator(), G2Point.generator())
+        lhs = pairing_fast(G1Point.generator() * 6, G2Point.generator() * 7)
+        assert lhs == e.pow(42)
+
+    def test_non_degenerate(self):
+        assert not pairing_fast(G1Point.generator(), G2Point.generator()).is_one()
+
+    def test_order(self):
+        e = pairing_fast(G1Point.generator(), G2Point.generator())
+        assert e.pow(CURVE_ORDER).is_one()
+
+    def test_infinity(self):
+        assert pairing_fast(G1Point.infinity(), G2Point.generator()).is_one()
+        assert pairing_fast(G1Point.generator(), G2Point.infinity()).is_one()
+
+    def test_multi_pairing_empty(self):
+        assert multi_pairing_fast([]).is_one()
+
+
+class TestTwistFrobenius:
+    def test_commutes_with_untwist(self):
+        """psi(pi_twist(Q)) == Frobenius(psi(Q)) — the map's defining property."""
+        q = G2Point.generator() * 5
+        fx, fy = _twist_frobenius((q.x, q.y))
+        ux, uy = untwist(q)
+        assert untwist(G2Point(fx, fy, check=False)) == (
+            ux.frobenius(), uy.frobenius()
+        )
+
+    def test_frobenius_image_on_twist(self):
+        """pi(Q) stays on the twist curve (and in the subgroup)."""
+        q = G2Point.generator() * 3
+        fx, fy = _twist_frobenius((q.x, q.y))
+        image = G2Point(fx, fy)  # constructor checks the curve equation
+        assert image.is_in_subgroup()
+
+    def test_order_twelve(self):
+        q = G2Point.generator()
+        point = (q.x, q.y)
+        for _ in range(12):
+            point = _twist_frobenius(point)
+        assert point == (q.x, q.y)
+
+
+class TestSparseMultiplication:
+    def test_mul_by_line_matches_generic(self):
+        """The sparse path equals building the line element and multiplying."""
+        from repro.crypto.field import XI, Fp2, Fp6
+
+        f = Fp12(
+            Fp6(Fp2(3, 1), Fp2(4, 1), Fp2(5, 9)),
+            Fp6(Fp2(2, 6), Fp2(5, 3), Fp2(5, 8)),
+        )
+        a, b, c = 12345, Fp2(67, 89), Fp2(10, 11)
+        line = Fp12(Fp6(Fp2(a), Fp2.zero(), Fp2.zero()),
+                    Fp6(b, c, Fp2.zero()))
+        assert f.mul_by_line(a, b, c) == f * line
+
+    def test_mul_by_vertical_matches_generic(self):
+        from repro.crypto.field import Fp2, Fp6
+
+        f = Fp12(
+            Fp6(Fp2(1, 2), Fp2(3, 4), Fp2(5, 6)),
+            Fp6(Fp2(7, 8), Fp2(9, 10), Fp2(11, 12)),
+        )
+        a, b = 999, Fp2(13, 14)
+        vertical = Fp12(Fp6(Fp2(a), b, Fp2.zero()), Fp6.zero())
+        assert f.mul_by_vertical(a, b) == f * vertical

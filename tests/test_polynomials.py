@@ -1,0 +1,117 @@
+"""Tests for the polynomial selection encoding (Section 4.1)."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.polynomials import ZqPolynomial, power_vector
+from repro.crypto.params import CURVE_ORDER
+from repro.errors import SchemeError
+
+Q = CURVE_ORDER
+
+
+class TestFromRoots:
+    def test_vanishes_on_all_roots(self):
+        rng = random.Random(1)
+        roots = [5, 17, 99]
+        poly = ZqPolynomial.from_roots(roots, 5, Q, rng)
+        for root in roots:
+            assert poly.evaluate(root) == 0
+
+    def test_degree_is_exact(self):
+        rng = random.Random(2)
+        poly = ZqPolynomial.from_roots([3], 4, Q, rng)
+        assert poly.degree() == 4
+
+    def test_nonzero_off_roots(self):
+        rng = random.Random(3)
+        poly = ZqPolynomial.from_roots([1, 2], 3, Q, rng)
+        # Schwartz-Zippel: hitting another zero by chance is ~ t/q.
+        for x in range(3, 50):
+            assert poly.evaluate(x) != 0
+
+    def test_too_many_roots_rejected(self):
+        rng = random.Random(4)
+        with pytest.raises(SchemeError):
+            ZqPolynomial.from_roots([1, 2, 3], 2, Q, rng)
+
+    def test_randomized_encodings_differ(self):
+        """Same roots, two draws -> different polynomials (>= q candidates)."""
+        rng = random.Random(5)
+        a = ZqPolynomial.from_roots([7], 3, Q, rng)
+        b = ZqPolynomial.from_roots([7], 3, Q, rng)
+        assert a != b
+        assert a.evaluate(7) == 0 and b.evaluate(7) == 0
+
+    @given(st.lists(st.integers(min_value=0, max_value=Q - 1),
+                    min_size=1, max_size=5, unique=True),
+           st.integers(min_value=0, max_value=2**32))
+    @settings(max_examples=25, deadline=None)
+    def test_roots_property(self, roots, seed):
+        rng = random.Random(seed)
+        poly = ZqPolynomial.from_roots(roots, len(roots) + 2, Q, rng)
+        assert all(poly.evaluate(r) == 0 for r in roots)
+        assert poly.degree() == len(roots) + 2
+
+
+class TestBasics:
+    def test_zero(self):
+        zero = ZqPolynomial.zero(4, Q)
+        assert zero.is_zero
+        assert zero.degree() == -1
+        assert zero.evaluate(12345) == 0
+
+    def test_evaluate_horner(self):
+        # 2 + 3x + x^2 at x = 5 -> 42.
+        poly = ZqPolynomial([2, 3, 1], Q)
+        assert poly.evaluate(5) == 42
+
+    def test_modular_reduction(self):
+        poly = ZqPolynomial([Q + 1, -1], Q)
+        assert poly.coefficients == (1, Q - 1)
+
+    def test_padded(self):
+        poly = ZqPolynomial([1, 2], Q)
+        assert poly.padded(4) == (1, 2, 0, 0)
+
+    def test_padded_truncation_of_zeros_ok(self):
+        poly = ZqPolynomial([1, 2, 0, 0], Q)
+        assert poly.padded(2) == (1, 2)
+
+    def test_padded_truncation_of_nonzero_rejected(self):
+        poly = ZqPolynomial([1, 2, 3], Q)
+        with pytest.raises(SchemeError):
+            poly.padded(2)
+
+    def test_equality_ignores_trailing_zeros(self):
+        assert ZqPolynomial([1, 2], Q) == ZqPolynomial([1, 2, 0], Q)
+        assert hash(ZqPolynomial([1, 2], Q)) == hash(ZqPolynomial([1, 2, 0], Q))
+
+    def test_tiny_modulus_rejected(self):
+        with pytest.raises(SchemeError):
+            ZqPolynomial([1], 1)
+
+
+class TestPowerVector:
+    def test_values(self):
+        assert power_vector(3, 4, 1000) == [1, 3, 9, 27, 81]
+
+    def test_zero_value(self):
+        assert power_vector(0, 3, Q) == [1, 0, 0, 0]
+
+    def test_reduction(self):
+        assert power_vector(Q + 2, 2, Q) == [1, 2, 4]
+
+    def test_inner_product_is_evaluation(self):
+        """<coefficients, powers> == P(x) — the core encoding identity."""
+        rng = random.Random(6)
+        poly = ZqPolynomial.from_roots([11, 22], 4, Q, rng)
+        x = 12345
+        powers = power_vector(x, 4, Q)
+        ip = sum(c * p for c, p in zip(poly.padded(5), powers)) % Q
+        assert ip == poly.evaluate(x)

@@ -1,0 +1,229 @@
+"""Tests for the five Secure Join algorithms, including Claim 5.1's cases.
+
+The eight cases of the security proof (same/different query, equal/
+unequal join values, selection satisfied or not) reduce to: handles
+match iff all three conditions hold; every other combination matches
+only with negligible probability, which these tests sample.
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.core.scheme import SecureJoinParams, SecureJoinScheme
+from repro.crypto.backend import FastBackend
+from repro.errors import SchemeError
+
+
+@pytest.fixture
+def scheme():
+    params = SecureJoinParams(num_attributes=2, in_clause_limit=3)
+    return SecureJoinScheme(params, FastBackend(), random.Random(42))
+
+
+@pytest.fixture
+def msk(scheme):
+    return scheme.setup()
+
+
+def _handles(scheme, msk, *, key, selection_a, selection_b, row_a, row_b):
+    """Decrypt two rows under (possibly different) tokens; return handles."""
+    token_a = scheme.token(msk, selection_a, key[0])
+    token_b = scheme.token(msk, selection_b, key[1])
+    ct_a = scheme.encrypt_row(msk, row_a[0], row_a[1])
+    ct_b = scheme.encrypt_row(msk, row_b[0], row_b[1])
+    return scheme.decrypt(token_a, ct_a), scheme.decrypt(token_b, ct_b)
+
+
+class TestClaim51:
+    """The eight cases of the proof of Theorem 5.2."""
+
+    def test_case1_same_query_same_join_selected_matches(self, scheme, msk):
+        k = scheme.new_query_key()
+        d_a, d_b = _handles(
+            scheme, msk, key=(k, k),
+            selection_a={0: ["red"]}, selection_b={0: ["blue"]},
+            row_a=(7, ["red", "x"]), row_b=(7, ["blue", "y"]),
+        )
+        assert scheme.match(d_a, d_b)
+
+    def test_case2_same_query_same_join_unselected_no_match(self, scheme, msk):
+        k = scheme.new_query_key()
+        d_a, d_b = _handles(
+            scheme, msk, key=(k, k),
+            selection_a={0: ["red"]}, selection_b={0: ["blue"]},
+            row_a=(7, ["NOT-red", "x"]), row_b=(7, ["blue", "y"]),
+        )
+        assert not scheme.match(d_a, d_b)
+
+    def test_case3_same_query_different_join_selected_no_match(self, scheme, msk):
+        k = scheme.new_query_key()
+        d_a, d_b = _handles(
+            scheme, msk, key=(k, k),
+            selection_a={0: ["red"]}, selection_b={0: ["blue"]},
+            row_a=(7, ["red", "x"]), row_b=(8, ["blue", "y"]),
+        )
+        assert not scheme.match(d_a, d_b)
+
+    def test_case4_same_query_different_join_unselected_no_match(self, scheme, msk):
+        k = scheme.new_query_key()
+        d_a, d_b = _handles(
+            scheme, msk, key=(k, k),
+            selection_a={0: ["red"]}, selection_b={0: ["blue"]},
+            row_a=(7, ["zzz", "x"]), row_b=(8, ["blue", "y"]),
+        )
+        assert not scheme.match(d_a, d_b)
+
+    def test_case5_different_query_same_join_selected_no_match(self, scheme, msk):
+        k1, k2 = scheme.new_query_key(), scheme.new_query_key()
+        d_a, d_b = _handles(
+            scheme, msk, key=(k1, k2),
+            selection_a={0: ["red"]}, selection_b={0: ["blue"]},
+            row_a=(7, ["red", "x"]), row_b=(7, ["blue", "y"]),
+        )
+        assert not scheme.match(d_a, d_b)
+
+    def test_case6_different_query_same_join_unselected_no_match(self, scheme, msk):
+        k1, k2 = scheme.new_query_key(), scheme.new_query_key()
+        d_a, d_b = _handles(
+            scheme, msk, key=(k1, k2),
+            selection_a={0: ["red"]}, selection_b={0: ["blue"]},
+            row_a=(7, ["zzz", "x"]), row_b=(7, ["blue", "y"]),
+        )
+        assert not scheme.match(d_a, d_b)
+
+    def test_case7_different_query_different_join_selected_no_match(self, scheme, msk):
+        k1, k2 = scheme.new_query_key(), scheme.new_query_key()
+        d_a, d_b = _handles(
+            scheme, msk, key=(k1, k2),
+            selection_a={0: ["red"]}, selection_b={0: ["blue"]},
+            row_a=(7, ["red", "x"]), row_b=(8, ["blue", "y"]),
+        )
+        assert not scheme.match(d_a, d_b)
+
+    def test_case8_different_query_different_join_unselected_no_match(self, scheme, msk):
+        k1, k2 = scheme.new_query_key(), scheme.new_query_key()
+        d_a, d_b = _handles(
+            scheme, msk, key=(k1, k2),
+            selection_a={0: ["red"]}, selection_b={0: ["blue"]},
+            row_a=(7, ["u", "x"]), row_b=(8, ["v", "y"]),
+        )
+        assert not scheme.match(d_a, d_b)
+
+    def test_negative_cases_sampled(self, scheme, msk):
+        """Repeat the no-match cases with fresh randomness (probabilistic)."""
+        for trial in range(10):
+            k1, k2 = scheme.new_query_key(), scheme.new_query_key()
+            d_a, d_b = _handles(
+                scheme, msk, key=(k1, k2),
+                selection_a={0: [f"s{trial}"]}, selection_b={0: [f"s{trial}"]},
+                row_a=(trial, [f"s{trial}", "x"]), row_b=(trial, [f"s{trial}", "y"]),
+            )
+            assert not scheme.match(d_a, d_b)
+
+
+class TestSchemeMechanics:
+    def test_in_clause_membership(self, scheme, msk):
+        """Any of the t IN values selects the row."""
+        k = scheme.new_query_key()
+        token = scheme.token(msk, {0: ["a", "b", "c"]}, k)
+        reference = scheme.decrypt(
+            token, scheme.encrypt_row(msk, 1, ["a", "pad"])
+        )
+        for value in ("b", "c"):
+            handle = scheme.decrypt(
+                token, scheme.encrypt_row(msk, 1, [value, "pad"])
+            )
+            assert scheme.match(reference, handle)
+        miss = scheme.decrypt(token, scheme.encrypt_row(msk, 1, ["d", "pad"]))
+        assert not scheme.match(reference, miss)
+
+    def test_selection_on_second_attribute(self, scheme, msk):
+        k = scheme.new_query_key()
+        token = scheme.token(msk, {1: ["wanted"]}, k)
+        hit = scheme.decrypt(token, scheme.encrypt_row(msk, 5, ["x", "wanted"]))
+        miss = scheme.decrypt(token, scheme.encrypt_row(msk, 5, ["x", "other"]))
+        other = scheme.decrypt(token, scheme.encrypt_row(msk, 5, ["y", "wanted"]))
+        assert scheme.match(hit, other)
+        assert not scheme.match(hit, miss)
+
+    def test_conjunctive_selection(self, scheme, msk):
+        """Both IN clauses must hold (AND semantics)."""
+        k = scheme.new_query_key()
+        token = scheme.token(msk, {0: ["a"], 1: ["b"]}, k)
+        both = scheme.decrypt(token, scheme.encrypt_row(msk, 9, ["a", "b"]))
+        both2 = scheme.decrypt(token, scheme.encrypt_row(msk, 9, ["a", "b"]))
+        only_first = scheme.decrypt(token, scheme.encrypt_row(msk, 9, ["a", "z"]))
+        assert scheme.match(both, both2)
+        assert not scheme.match(both, only_first)
+
+    def test_non_pk_fk_join_many_to_many(self, scheme, msk):
+        """Duplicate join values on both sides all produce equal handles."""
+        k = scheme.new_query_key()
+        token = scheme.token(msk, {}, k)
+        handles = [
+            scheme.decrypt(token, scheme.encrypt_row(msk, 3, [f"r{i}", "y"]))
+            for i in range(4)
+        ]
+        assert all(scheme.match(handles[0], h) for h in handles[1:])
+
+    def test_query_key_nonzero(self, scheme):
+        keys = {scheme.new_query_key() for _ in range(50)}
+        assert 0 not in keys
+        assert len(keys) == 50
+
+    def test_dimension_checks(self, scheme, msk):
+        other = SecureJoinScheme(
+            SecureJoinParams(num_attributes=3, in_clause_limit=3),
+            FastBackend(), random.Random(1),
+        )
+        other_msk = other.setup()
+        token = other.token(other_msk, {}, 5)
+        ct = scheme.encrypt_row(msk, 1, ["a", "b"])
+        with pytest.raises(SchemeError):
+            scheme.decrypt(token, ct)
+
+    def test_msk_params_mismatch(self, scheme):
+        other = SecureJoinScheme(
+            SecureJoinParams(num_attributes=3, in_clause_limit=3),
+            FastBackend(), random.Random(1),
+        )
+        other_msk = other.setup()
+        with pytest.raises(SchemeError):
+            scheme.encrypt_row(other_msk, 1, ["a", "b"])
+
+    def test_handles_from_same_row_same_token_are_stable(self, scheme, msk):
+        k = scheme.new_query_key()
+        token = scheme.token(msk, {}, k)
+        ct = scheme.encrypt_row(msk, 1, ["a", "b"])
+        assert scheme.decrypt(token, ct) == scheme.decrypt(token, ct)
+
+
+@pytest.mark.bn254
+class TestSchemeOnRealPairing:
+    """The same core behaviours on the real BN254 backend."""
+
+    def test_match_and_no_match(self, bn254_backend):
+        params = SecureJoinParams(1, 1, "bn254")
+        scheme = SecureJoinScheme(params, bn254_backend, random.Random(7))
+        msk = scheme.setup()
+        k = scheme.new_query_key()
+        token = scheme.token(msk, {0: ["yes"]}, k)
+        d1 = scheme.decrypt(token, scheme.encrypt_row(msk, 1, ["yes"]))
+        d2 = scheme.decrypt(token, scheme.encrypt_row(msk, 1, ["yes"]))
+        d3 = scheme.decrypt(token, scheme.encrypt_row(msk, 2, ["yes"]))
+        d4 = scheme.decrypt(token, scheme.encrypt_row(msk, 1, ["no"]))
+        assert scheme.match(d1, d2)
+        assert not scheme.match(d1, d3)
+        assert not scheme.match(d1, d4)
+
+    def test_fresh_keys_unlinkable(self, bn254_backend):
+        params = SecureJoinParams(1, 1, "bn254")
+        scheme = SecureJoinScheme(params, bn254_backend, random.Random(8))
+        msk = scheme.setup()
+        token1 = scheme.token(msk, {}, scheme.new_query_key())
+        token2 = scheme.token(msk, {}, scheme.new_query_key())
+        ct = scheme.encrypt_row(msk, 1, ["a"])
+        assert not scheme.match(scheme.decrypt(token1, ct), scheme.decrypt(token2, ct))

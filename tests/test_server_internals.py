@@ -1,0 +1,163 @@
+"""Focused tests for server internals: tag index, candidates, observations."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.core.client import SecureJoinClient
+from repro.core.server import SecureJoinServer
+from repro.db.query import JoinQuery
+from repro.db.schema import Schema
+from repro.db.table import Table
+from repro.errors import QueryError
+from repro.store.tables import (
+    decode_encrypted_table,
+    encode_encrypted_table,
+)
+
+
+def _setup(seed=41):
+    left = Table("L", Schema.of(("k", "int"), ("c", "str"), ("d", "str")),
+                 [(1, "x", "p"), (2, "y", "p"), (1, "x", "q"), (3, "z", "q")])
+    right = Table("R", Schema.of(("k", "int"), ("e", "str")),
+                  [(1, "m"), (2, "n"), (3, "o")])
+    client = SecureJoinClient.for_tables(
+        [(left, "k"), (right, "k")],
+        in_clause_limit=2,
+        rng=random.Random(seed),
+        enable_prefilter=True,
+    )
+    server = SecureJoinServer(client.params)
+    server.store(client.encrypt_table(left, "k"))
+    server.store(client.encrypt_table(right, "k"))
+    return client, server
+
+
+class TestTagIndex:
+    def test_multi_column_prefilter_intersects(self):
+        client, server = _setup()
+        query = JoinQuery.build(
+            "L", "R", on=("k", "k"),
+            where_left={"c": ["x"], "d": ["q"]},
+        )
+        result = server.execute_join(client.create_query(query))
+        # Only L row 2 matches (x AND q); it joins R row 0 on k=1.
+        assert result.stats.candidates_left == 1
+        assert result.index_pairs == [(2, 0)]
+
+    def test_empty_intersection_short_circuits(self):
+        client, server = _setup()
+        query = JoinQuery.build(
+            "L", "R", on=("k", "k"),
+            where_left={"c": ["y"], "d": ["q"]},  # y rows are all d=p
+        )
+        result = server.execute_join(client.create_query(query))
+        assert result.stats.candidates_left == 0
+        assert result.stats.decryptions == len(
+            server.table("R").ciphertexts
+        )  # only the right side is decrypted
+        assert result.index_pairs == []
+
+    def test_no_matching_tag_value(self):
+        client, server = _setup()
+        query = JoinQuery.build(
+            "L", "R", on=("k", "k"),
+            where_left={"c": ["never-seen"]},
+        )
+        result = server.execute_join(client.create_query(query))
+        assert result.stats.candidates_left == 0
+
+    def test_index_rebuilt_after_reload(self):
+        """A server restarted from serialized tables rebuilds its index."""
+        client, server = _setup()
+        backend = client.scheme.backend
+        fresh = SecureJoinServer(client.params)
+        for name in ("L", "R"):
+            blob = encode_encrypted_table(server.table(name), backend)
+            fresh.store(decode_encrypted_table(blob, backend))
+        query = JoinQuery.build("L", "R", on=("k", "k"),
+                                where_left={"c": ["x"]})
+        original = server.execute_join(client.create_query(query))
+        reloaded = fresh.execute_join(client.create_query(query))
+        assert sorted(original.index_pairs) == sorted(reloaded.index_pairs)
+        assert original.stats.candidates_left == reloaded.stats.candidates_left
+
+
+class TestObservationsWithPrefilter:
+    def test_only_candidates_observed(self):
+        """The adversary view contains exactly the decrypted rows."""
+        client, server = _setup()
+        query = JoinQuery.build("L", "R", on=("k", "k"),
+                                where_left={"c": ["x"]})
+        server.execute_join(client.create_query(query))
+        observation = server.observations[-1]
+        left_refs = [ref for ref in observation.handles if ref[0] == "L"]
+        assert sorted(left_refs) == [("L", 0), ("L", 2)]
+
+    def test_matching_handles_within_query(self):
+        """Rows 0 and 2 share join value 1 and both pass the filter."""
+        client, server = _setup()
+        query = JoinQuery.build("L", "R", on=("k", "k"),
+                                where_left={"c": ["x"]})
+        server.execute_join(client.create_query(query))
+        handles = server.observations[-1].handles
+        assert handles[("L", 0)] == handles[("L", 2)]
+        assert handles[("L", 0)] == handles[("R", 0)]
+        assert handles[("L", 0)] != handles[("R", 1)]
+
+
+class TestPrefilterMismatches:
+    def test_query_tokens_without_table_tags(self):
+        """Pre-filter tokens against a table without tags must fail loudly."""
+        left = Table("L", Schema.of(("k", "int"), ("c", "str")), [(1, "x")])
+        right = Table("R", Schema.of(("k", "int"), ("d", "str")), [(1, "y")])
+        tagging_client = SecureJoinClient.for_tables(
+            [(left, "k"), (right, "k")],
+            in_clause_limit=1,
+            rng=random.Random(1),
+            enable_prefilter=True,
+        )
+        plain_client = SecureJoinClient.for_tables(
+            [(left, "k"), (right, "k")],
+            in_clause_limit=1,
+            rng=random.Random(1),
+            enable_prefilter=False,
+        )
+        server = SecureJoinServer(tagging_client.params)
+        # The tagging client knows the tables (so it can build queries)...
+        tagging_client.encrypt_table(left, "k")
+        tagging_client.encrypt_table(right, "k")
+        # ...but the server stores tag-less encryptions of them.
+        server.store(plain_client.encrypt_table(left, "k"))
+        server.store(plain_client.encrypt_table(right, "k"))
+        query = JoinQuery.build("L", "R", on=("k", "k"),
+                                where_left={"c": ["x"]})
+        encrypted_query = tagging_client.create_query(query)
+        with pytest.raises(QueryError):
+            server.execute_join(encrypted_query)
+
+    def test_restricted_prefilter_columns(self):
+        """Only listed columns get tags; filtering on others still works
+        (via polynomial selection), just without candidate pruning."""
+        left = Table("L", Schema.of(("k", "int"), ("c", "str"), ("d", "str")),
+                     [(1, "x", "p"), (2, "y", "q")])
+        right = Table("R", Schema.of(("k", "int"), ("e", "str")),
+                      [(1, "m"), (2, "n")])
+        client = SecureJoinClient.for_tables(
+            [(left, "k"), (right, "k")],
+            in_clause_limit=1,
+            rng=random.Random(2),
+            enable_prefilter=True,
+            prefilter_columns=("c",),
+        )
+        server = SecureJoinServer(client.params)
+        server.store(client.encrypt_table(left, "k"))
+        server.store(client.encrypt_table(right, "k"))
+        # Selection on the untagged column d: no tags exist, so no
+        # pre-filter tokens are sent for it; the polynomial still gates.
+        query = JoinQuery.build("L", "R", on=("k", "k"),
+                                where_left={"d": ["p"]})
+        result = server.execute_join(client.create_query(query))
+        assert result.index_pairs == [(0, 0)]

@@ -1,0 +1,131 @@
+"""Tests for the SIM-security simulator (Definition 5.2 / Theorem 5.2).
+
+The operational content of the security theorem: an adversary view built
+by the simulator from the trace alone has exactly the same match
+structure as the real scheme's view.  These tests compute both views on
+concrete query series and compare them.
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.baselines.api import make_pair
+from repro.bench.experiments import example_queries, example_tables
+from repro.core.client import SecureJoinClient
+from repro.core.server import SecureJoinServer
+from repro.db.query import JoinQuery
+from repro.db.schema import Schema
+from repro.db.table import Table
+from repro.leakage.pairs import minimal_query_leakage
+from repro.leakage.simulator import TraceSimulator
+
+
+def _real_views(tables, queries, seed=5, prefilter=True):
+    """Run the real scheme; return the server's per-query views."""
+    client = SecureJoinClient.for_tables(
+        [(t, c) for t, c in tables],
+        in_clause_limit=4,
+        rng=random.Random(seed),
+        enable_prefilter=prefilter,
+    )
+    server = SecureJoinServer(client.params)
+    for table, join_column in tables:
+        server.store(client.encrypt_table(table, join_column))
+    for query in queries:
+        server.execute_join(client.create_query(query))
+    return server.observations
+
+
+def _match_classes(handles: dict) -> set[frozenset]:
+    groups: dict[bytes, list] = {}
+    for ref, handle in handles.items():
+        groups.setdefault(handle, []).append(ref)
+    return {frozenset(refs) for refs in groups.values() if len(refs) >= 2}
+
+
+class TestSimulatedView:
+    def test_pairs_grouped(self):
+        simulator = TraceSimulator(rng=random.Random(1))
+        rows = [("A", 0), ("A", 1), ("B", 0)]
+        pairs = {make_pair(("A", 0), ("B", 0))}
+        view = simulator.simulate_query(1, rows, pairs)
+        assert view.handles[("A", 0)] == view.handles[("B", 0)]
+        assert view.handles[("A", 1)] != view.handles[("A", 0)]
+
+    def test_fresh_handles_across_queries(self):
+        simulator = TraceSimulator(rng=random.Random(2))
+        rows = [("A", 0)]
+        v1 = simulator.simulate_query(1, rows, set())
+        v2 = simulator.simulate_query(2, rows, set())
+        assert v1.handles[("A", 0)] != v2.handles[("A", 0)]
+
+    def test_match_classes(self):
+        simulator = TraceSimulator(rng=random.Random(3))
+        rows = [("A", 0), ("A", 1), ("B", 0), ("B", 1)]
+        pairs = {
+            make_pair(("A", 0), ("B", 0)),
+            make_pair(("B", 0), ("B", 1)),
+        }
+        view = simulator.simulate_query(1, rows, pairs)
+        assert view.match_classes() == {
+            frozenset({("A", 0), ("B", 0), ("B", 1)})
+        }
+
+
+class TestSimulationMatchesReality:
+    """The core SIM-security check on concrete workloads."""
+
+    @pytest.mark.parametrize("prefilter", [True, False])
+    def test_example_workload(self, prefilter):
+        tables = example_tables()
+        queries = example_queries()
+        observations = _real_views(tables, queries, prefilter=prefilter)
+        simulator = TraceSimulator(rng=random.Random(7))
+        for observation, query in zip(observations, queries):
+            # The trace: which rows were decrypted and their equality pairs.
+            decrypted = list(observation.handles.keys())
+            sigma = minimal_query_leakage(tables, query)
+            if prefilter:
+                decrypted_set = set(decrypted)
+                sigma = {
+                    p for p in sigma if all(r in decrypted_set for r in p)
+                }
+            view = simulator.simulate_query(
+                observation.query_id, decrypted, sigma
+            )
+            assert view.match_classes() == _match_classes(observation.handles)
+
+    def test_many_to_many_workload(self):
+        left = Table("L", Schema.of(("k", "int"), ("c", "str")),
+                     [(1, "x"), (1, "y"), (2, "x"), (3, "y")])
+        right = Table("R", Schema.of(("k", "int"), ("d", "str")),
+                      [(1, "p"), (2, "p"), (2, "q"), (3, "q")])
+        tables = [(left, "k"), (right, "k")]
+        queries = [
+            JoinQuery.build("L", "R", on=("k", "k"),
+                            where_left={"c": ["x"]}),
+            JoinQuery.build("L", "R", on=("k", "k"),
+                            where_right={"d": ["q"]}),
+            JoinQuery.build("L", "R", on=("k", "k")),
+        ]
+        observations = _real_views(tables, queries, prefilter=False)
+        simulator = TraceSimulator(rng=random.Random(8))
+        for observation, query in zip(observations, queries):
+            decrypted = list(observation.handles.keys())
+            sigma = minimal_query_leakage(tables, query)
+            view = simulator.simulate_query(
+                observation.query_id, decrypted, sigma
+            )
+            assert view.match_classes() == _match_classes(observation.handles)
+
+    def test_simulate_series_length(self):
+        simulator = TraceSimulator(rng=random.Random(9))
+        views = simulator.simulate_series(
+            [[("A", 0)], [("A", 0), ("A", 1)]],
+            [set(), {make_pair(("A", 0), ("A", 1))}],
+        )
+        assert len(views) == 2
+        assert views[1].handles[("A", 0)] == views[1].handles[("A", 1)]

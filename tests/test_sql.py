@@ -1,0 +1,131 @@
+"""Tests for the restricted SQL parser."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.db.schema import Schema
+from repro.db.sql import parse_join_query
+from repro.errors import QueryError
+
+TEAMS = Schema.of(("key", "int"), ("name", "str"))
+EMPLOYEES = Schema.of(
+    ("record", "int"), ("employee", "str"), ("role", "str"), ("team", "int")
+)
+
+
+class TestParser:
+    def test_paper_query(self):
+        query = parse_join_query(
+            "SELECT * FROM Employees JOIN Teams ON Team = Key "
+            "WHERE Name = 'Web Application' AND Role = 'Tester'",
+            left_schema=Schema.of(
+                ("Record", "int"), ("Employee", "str"),
+                ("Role", "str"), ("Team", "int"),
+            ),
+            right_schema=Schema.of(("Key", "int"), ("Name", "str")),
+        )
+        assert query.left_table == "Employees"
+        assert query.right_table == "Teams"
+        assert query.left_join_column == "Team"
+        assert query.right_join_column == "Key"
+        assert query.left_selection.as_dict() == {"Role": ("Tester",)}
+        assert query.right_selection.as_dict() == {"Name": ("Web Application",)}
+
+    def test_in_clause(self):
+        query = parse_join_query(
+            "SELECT * FROM A JOIN B ON A.x = B.y "
+            "WHERE A.c IN (1, 2, 3) AND B.d IN ('p')"
+        )
+        assert query.left_selection.as_dict() == {"c": (1, 2, 3)}
+        assert query.right_selection.as_dict() == {"d": ("p",)}
+
+    def test_qualified_on_reversed(self):
+        query = parse_join_query("SELECT * FROM A JOIN B ON B.y = A.x")
+        assert query.left_join_column == "x"
+        assert query.right_join_column == "y"
+
+    def test_no_where(self):
+        query = parse_join_query("SELECT * FROM A JOIN B ON A.x = B.y")
+        assert query.left_selection.is_empty
+        assert query.right_selection.is_empty
+
+    def test_numeric_literals(self):
+        query = parse_join_query(
+            "SELECT * FROM A JOIN B ON A.x = B.y WHERE A.c IN (1, 2.5, -3)"
+        )
+        assert query.left_selection.as_dict() == {"c": (1, 2.5, -3)}
+
+    def test_double_quoted_strings(self):
+        query = parse_join_query(
+            'SELECT * FROM A JOIN B ON A.x = B.y WHERE A.c = "hi there"'
+        )
+        assert query.left_selection.as_dict() == {"c": ("hi there",)}
+
+    def test_case_insensitive_keywords(self):
+        query = parse_join_query(
+            "select * from A join B on A.x = B.y where A.c in (1)"
+        )
+        assert query.left_selection.as_dict() == {"c": (1,)}
+
+    def test_roundtrip_via_str(self):
+        query = parse_join_query(
+            "SELECT * FROM A JOIN B ON A.x = B.y WHERE A.c IN (1, 2)"
+        )
+        reparsed = parse_join_query(str(query).replace("A.", "A.").replace("B.", "B."),
+                                    left_schema=Schema.of(("x", "int"), ("c", "int")),
+                                    right_schema=Schema.of(("y", "int")))
+        assert reparsed.left_selection.as_dict() == {"c": (1, 2)}
+
+
+class TestParserErrors:
+    def test_garbage(self):
+        with pytest.raises(QueryError):
+            parse_join_query("DROP TABLE students")
+
+    def test_missing_on(self):
+        with pytest.raises(QueryError):
+            parse_join_query("SELECT * FROM A JOIN B WHERE A.x = 1")
+
+    def test_unqualified_without_schema(self):
+        with pytest.raises(QueryError):
+            parse_join_query("SELECT * FROM A JOIN B ON x = y")
+
+    def test_ambiguous_column(self):
+        schema = Schema.of(("x", "int"),)
+        with pytest.raises(QueryError):
+            parse_join_query(
+                "SELECT * FROM A JOIN B ON x = x",
+                left_schema=schema, right_schema=schema,
+            )
+
+    def test_unknown_qualifier(self):
+        with pytest.raises(QueryError):
+            parse_join_query("SELECT * FROM A JOIN B ON C.x = B.y")
+
+    def test_on_same_side(self):
+        with pytest.raises(QueryError):
+            parse_join_query("SELECT * FROM A JOIN B ON A.x = A.y")
+
+    def test_duplicate_where_column(self):
+        with pytest.raises(QueryError):
+            parse_join_query(
+                "SELECT * FROM A JOIN B ON A.x = B.y "
+                "WHERE A.c IN (1) AND A.c IN (2)"
+            )
+
+    def test_unterminated_string(self):
+        with pytest.raises(QueryError):
+            parse_join_query("SELECT * FROM A JOIN B ON A.x = B.y WHERE A.c = 'oops")
+
+    def test_trailing_tokens(self):
+        with pytest.raises(QueryError):
+            parse_join_query(
+                "SELECT * FROM A JOIN B ON A.x = B.y WHERE A.c = 1 ORDER"
+            )
+
+    def test_empty_in_clause(self):
+        with pytest.raises(QueryError):
+            parse_join_query(
+                "SELECT * FROM A JOIN B ON A.x = B.y WHERE A.c IN ()"
+            )

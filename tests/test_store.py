@@ -1,0 +1,208 @@
+"""Tests for the persistence and wire formats."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.core.client import SecureJoinClient
+from repro.core.server import SecureJoinServer
+from repro.crypto.backend import BN254Backend, FastBackend
+from repro.db.query import JoinQuery
+from repro.db.schema import Schema
+from repro.db.table import Table
+from repro.errors import SchemeError
+from repro.store.codec import Reader, Writer, read_header, write_header
+from repro.store.tables import (
+    decode_encrypted_table,
+    encode_encrypted_table,
+    load_encrypted_table,
+    save_encrypted_table,
+)
+from repro.store.wire import (
+    decode_join_query,
+    decode_join_result,
+    encode_join_query,
+    encode_join_result,
+)
+
+
+def _fixture(backend=None, enable_prefilter=False, seed=6):
+    left = Table("L", Schema.of(("k", "int"), ("c", "str")),
+                 [(1, "x"), (2, "y"), (1, "z")])
+    right = Table("R", Schema.of(("k", "int"), ("d", "str")),
+                  [(1, "p"), (3, "q")])
+    client = SecureJoinClient.for_tables(
+        [(left, "k"), (right, "k")],
+        in_clause_limit=2,
+        backend=backend,
+        rng=random.Random(seed),
+        enable_prefilter=enable_prefilter,
+    )
+    enc_left = client.encrypt_table(left, "k")
+    enc_right = client.encrypt_table(right, "k")
+    return client, enc_left, enc_right
+
+
+class TestCodecPrimitives:
+    def test_reader_writer_round_trip(self):
+        writer = Writer()
+        writer.u8(7).u32(123456).blob(b"hello")
+        reader = Reader(writer.getvalue())
+        assert reader.u8() == 7
+        assert reader.u32() == 123456
+        assert reader.blob() == b"hello"
+        reader.expect_end()
+
+    def test_truncated_read(self):
+        reader = Reader(b"\x00\x01")
+        with pytest.raises(SchemeError):
+            reader.u32()
+
+    def test_trailing_bytes_detected(self):
+        reader = Reader(b"\x00extra")
+        reader.u8()
+        with pytest.raises(SchemeError):
+            reader.expect_end()
+
+    def test_header_round_trip(self):
+        writer = Writer()
+        write_header(writer, b"MAGICXYZ", 1, {"a": [1, 2]})
+        reader = Reader(writer.getvalue())
+        assert read_header(reader, b"MAGICXYZ", 1) == {"a": [1, 2]}
+
+    def test_bad_magic(self):
+        writer = Writer()
+        write_header(writer, b"MAGICXYZ", 1, {})
+        with pytest.raises(SchemeError):
+            read_header(Reader(writer.getvalue()), b"OTHERMAG", 1)
+
+    def test_bad_version(self):
+        writer = Writer()
+        write_header(writer, b"MAGICXYZ", 2, {})
+        with pytest.raises(SchemeError):
+            read_header(Reader(writer.getvalue()), b"MAGICXYZ", 1)
+
+
+class TestEncryptedTableFormat:
+    def test_round_trip_fast_backend(self):
+        client, enc_left, _ = _fixture()
+        backend = client.scheme.backend
+        decoded = decode_encrypted_table(
+            encode_encrypted_table(enc_left, backend), backend
+        )
+        assert decoded.name == enc_left.name
+        assert decoded.schema == enc_left.schema
+        assert decoded.join_column == enc_left.join_column
+        assert decoded.attribute_columns == enc_left.attribute_columns
+        assert [c.elements for c in decoded.ciphertexts] == [
+            c.elements for c in enc_left.ciphertexts
+        ]
+        assert decoded.payloads == enc_left.payloads
+
+    def test_round_trip_with_prefilter(self):
+        client, enc_left, _ = _fixture(enable_prefilter=True)
+        backend = client.scheme.backend
+        decoded = decode_encrypted_table(
+            encode_encrypted_table(enc_left, backend), backend
+        )
+        assert decoded.prefilter_tags == enc_left.prefilter_tags
+
+    @pytest.mark.bn254
+    def test_round_trip_bn254(self, bn254_backend):
+        client, enc_left, _ = _fixture(backend=bn254_backend)
+        decoded = decode_encrypted_table(
+            encode_encrypted_table(enc_left, bn254_backend), bn254_backend
+        )
+        assert [c.elements for c in decoded.ciphertexts] == [
+            c.elements for c in enc_left.ciphertexts
+        ]
+
+    def test_backend_mismatch_rejected(self):
+        client, enc_left, _ = _fixture()
+        blob = encode_encrypted_table(enc_left, client.scheme.backend)
+        with pytest.raises(SchemeError):
+            decode_encrypted_table(blob, BN254Backend())
+
+    def test_corrupt_blob_rejected(self):
+        client, enc_left, _ = _fixture()
+        blob = encode_encrypted_table(enc_left, client.scheme.backend)
+        with pytest.raises(SchemeError):
+            decode_encrypted_table(blob[:-3], client.scheme.backend)
+
+    def test_save_load_file(self, tmp_path):
+        client, enc_left, _ = _fixture()
+        backend = client.scheme.backend
+        path = tmp_path / "left.etbl"
+        save_encrypted_table(enc_left, path, backend)
+        loaded = load_encrypted_table(path, backend)
+        assert loaded.payloads == enc_left.payloads
+
+    def test_loaded_table_joins_correctly(self, tmp_path):
+        """A server restarted from disk must produce identical results."""
+        client, enc_left, enc_right = _fixture(seed=9)
+        backend = client.scheme.backend
+        save_encrypted_table(enc_left, tmp_path / "l.etbl", backend)
+        save_encrypted_table(enc_right, tmp_path / "r.etbl", backend)
+
+        server = SecureJoinServer(client.params)
+        server.store(load_encrypted_table(tmp_path / "l.etbl", backend))
+        server.store(load_encrypted_table(tmp_path / "r.etbl", backend))
+        query = JoinQuery.build("L", "R", on=("k", "k"))
+        result = server.execute_join(client.create_query(query))
+        assert sorted(result.index_pairs) == [(0, 0), (2, 0)]
+        decrypted = client.decrypt_result(result)
+        assert len(decrypted.table) == 2
+
+
+class TestWireFormats:
+    def test_query_round_trip(self):
+        client, _, _ = _fixture(enable_prefilter=True)
+        query = JoinQuery.build("L", "R", on=("k", "k"),
+                                where_left={"c": ["x"]})
+        encrypted_query = client.create_query(query)
+        backend = client.scheme.backend
+        decoded = decode_join_query(
+            encode_join_query(encrypted_query, backend), backend
+        )
+        assert decoded.query_id == encrypted_query.query_id
+        assert decoded.left_token == encrypted_query.left_token
+        assert decoded.right_token == encrypted_query.right_token
+        assert decoded.left_prefilter == encrypted_query.left_prefilter
+        assert decoded.right_prefilter is None
+
+    def test_query_over_wire_executes(self):
+        """Full split-process flow: bytes in, bytes out, decrypt."""
+        client, enc_left, enc_right = _fixture(seed=10)
+        backend = client.scheme.backend
+        server = SecureJoinServer(client.params)
+        server.store(enc_left)
+        server.store(enc_right)
+
+        query = JoinQuery.build("L", "R", on=("k", "k"))
+        wire_query = encode_join_query(client.create_query(query), backend)
+        result = server.execute_join(decode_join_query(wire_query, backend))
+        wire_result = encode_join_result(result)
+        decrypted = client.decrypt_result(decode_join_result(wire_result))
+        assert len(decrypted.table) == 2
+
+    def test_result_round_trip_preserves_stats(self):
+        client, enc_left, enc_right = _fixture(seed=11)
+        server = SecureJoinServer(client.params)
+        server.store(enc_left)
+        server.store(enc_right)
+        query = JoinQuery.build("L", "R", on=("k", "k"))
+        result = server.execute_join(client.create_query(query))
+        decoded = decode_join_result(encode_join_result(result))
+        assert decoded.stats == result.stats
+        assert decoded.index_pairs == result.index_pairs
+
+    def test_query_backend_mismatch(self):
+        client, _, _ = _fixture()
+        query = JoinQuery.build("L", "R", on=("k", "k"))
+        blob = encode_join_query(
+            client.create_query(query), client.scheme.backend
+        )
+        with pytest.raises(SchemeError):
+            decode_join_query(blob, BN254Backend())

@@ -1,0 +1,66 @@
+"""Tests for the payload stream cipher."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.crypto.symmetric import SymmetricCipher
+from repro.errors import CryptoError
+
+
+class TestSymmetricCipher:
+    def test_round_trip(self):
+        cipher = SymmetricCipher(b"k" * 32)
+        blob = cipher.encrypt(b"hello world")
+        assert cipher.decrypt(blob) == b"hello world"
+
+    def test_empty_plaintext(self):
+        cipher = SymmetricCipher(b"k" * 32)
+        assert cipher.decrypt(cipher.encrypt(b"")) == b""
+
+    def test_probabilistic(self):
+        cipher = SymmetricCipher(b"k" * 32)
+        assert cipher.encrypt(b"same") != cipher.encrypt(b"same")
+
+    def test_fixed_nonce_deterministic(self):
+        cipher = SymmetricCipher(b"k" * 32)
+        nonce = b"n" * 16
+        assert cipher.encrypt(b"x", nonce) == cipher.encrypt(b"x", nonce)
+
+    def test_wrong_key_fails(self):
+        blob = SymmetricCipher(b"a" * 32).encrypt(b"secret")
+        with pytest.raises(CryptoError):
+            SymmetricCipher(b"b" * 32).decrypt(blob)
+
+    def test_tamper_detection(self):
+        cipher = SymmetricCipher(b"k" * 32)
+        blob = bytearray(cipher.encrypt(b"payload bytes"))
+        blob[20] ^= 0x01
+        with pytest.raises(CryptoError):
+            cipher.decrypt(bytes(blob))
+
+    def test_truncated_blob(self):
+        cipher = SymmetricCipher(b"k" * 32)
+        with pytest.raises(CryptoError):
+            cipher.decrypt(b"short")
+
+    def test_short_key_rejected(self):
+        with pytest.raises(CryptoError):
+            SymmetricCipher(b"tiny")
+
+    def test_bad_nonce_length(self):
+        cipher = SymmetricCipher(b"k" * 32)
+        with pytest.raises(CryptoError):
+            cipher.encrypt(b"x", b"short-nonce")
+
+    def test_long_plaintext(self):
+        cipher = SymmetricCipher(b"k" * 32)
+        plaintext = bytes(range(256)) * 64
+        assert cipher.decrypt(cipher.encrypt(plaintext)) == plaintext
+
+    @given(st.binary(max_size=512))
+    def test_round_trip_property(self, plaintext):
+        cipher = SymmetricCipher(b"prop-key-32-bytes-prop-key-32-by")
+        assert cipher.decrypt(cipher.encrypt(plaintext)) == plaintext

@@ -1,0 +1,108 @@
+"""Tests for the TPC-H-style generator."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.db.predicate import InPredicate
+from repro.errors import BenchmarkError
+from repro.tpch.generator import (
+    SELECTIVITY_LABELS,
+    SELECTIVITY_VALUES,
+    TPCHGenerator,
+    selectivity_label,
+)
+from repro.tpch.tables import CUSTOMERS_SCHEMA, ORDERS_SCHEMA
+
+
+@pytest.fixture(scope="module")
+def generated():
+    generator = TPCHGenerator(scale_factor=0.004)
+    return generator.customers(), generator.orders()
+
+
+class TestRowCounts:
+    def test_tpch_scaling(self, generated):
+        customers, orders = generated
+        assert len(customers) == round(150_000 * 0.004)
+        assert len(orders) == round(1_500_000 * 0.004)
+
+    def test_tiny_scale_factor_never_empty(self):
+        generator = TPCHGenerator(scale_factor=1e-9)
+        assert generator.num_customers == 1
+        assert generator.num_orders == 1
+
+    def test_invalid_scale_factor(self):
+        with pytest.raises(BenchmarkError):
+            TPCHGenerator(scale_factor=0)
+
+
+class TestSchemas:
+    def test_schemas_used(self, generated):
+        customers, orders = generated
+        assert customers.schema is CUSTOMERS_SCHEMA
+        assert orders.schema is ORDERS_SCHEMA
+
+    def test_paper_attribute_counts(self):
+        # 8 TPC-H attributes + selectivity; 9 + selectivity.
+        assert len(CUSTOMERS_SCHEMA) == 9
+        assert len(ORDERS_SCHEMA) == 10
+
+
+class TestJoinStructure:
+    def test_custkeys_unique_in_customers(self, generated):
+        customers, _ = generated
+        keys = customers.column_values("custkey")
+        assert len(set(keys)) == len(keys)
+
+    def test_orders_reference_existing_customers(self, generated):
+        customers, orders = generated
+        valid = set(customers.column_values("custkey"))
+        assert set(orders.column_values("custkey")) <= valid
+
+
+class TestSelectivityColumn:
+    def test_label_mapping(self):
+        assert selectivity_label(1 / 100) == "1/100"
+        assert selectivity_label(1 / 12.5) == "1/12.5"
+        with pytest.raises(BenchmarkError):
+            selectivity_label(0.5)
+
+    @pytest.mark.parametrize("value,label", zip(SELECTIVITY_VALUES, SELECTIVITY_LABELS))
+    def test_assigned_fractions(self, generated, value, label):
+        customers, orders = generated
+        for table in (customers, orders):
+            count = len(table.filter(InPredicate("selectivity", [label])))
+            assert count == round(value * len(table))
+
+    def test_filler_rows_exist(self, generated):
+        customers, _ = generated
+        fillers = [
+            v for v in customers.column_values("selectivity") if v == "-"
+        ]
+        # 1 - (0.08 + 0.04 + 0.02 + 0.01) = 0.85 of rows are unassigned.
+        assert len(fillers) == len(customers) - sum(
+            round(v * len(customers)) for v in SELECTIVITY_VALUES
+        )
+
+
+class TestDeterminism:
+    def test_same_seed_same_data(self):
+        a = TPCHGenerator(0.001, seed=9).customers()
+        b = TPCHGenerator(0.001, seed=9).customers()
+        assert a.rows() == b.rows()
+
+    def test_different_seed_different_data(self):
+        a = TPCHGenerator(0.001, seed=9).customers()
+        b = TPCHGenerator(0.001, seed=10).customers()
+        assert a.rows() != b.rows()
+
+    def test_value_plausibility(self, generated):
+        customers, orders = generated
+        row = customers[0]
+        assert row[1].startswith("Customer#")
+        assert 0 <= row[3] < 25
+        assert isinstance(row[5], float)
+        order = orders[0]
+        assert order[2] in ("O", "F", "P")
+        assert order[4].count("-") == 2  # date format
