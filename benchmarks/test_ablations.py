@@ -57,7 +57,15 @@ def test_prefilter_ablation(benchmark, prefilter):
         assert result.stats.decryptions == total_rows
 
 
-@pytest.mark.parametrize("backend_name", ["fast", "bn254"])
+@pytest.mark.parametrize(
+    "backend_name",
+    [
+        "fast",
+        pytest.param(
+            "bn254", marks=[pytest.mark.bn254, pytest.mark.slow]
+        ),
+    ],
+)
 def test_backend_ablation_decryption(benchmark, backend_name):
     """One SJ.Dec on each backend (m=2, t=1: a 9-dimensional pairing)."""
     backend = get_backend(backend_name)
@@ -74,6 +82,8 @@ def test_backend_ablation_decryption(benchmark, backend_name):
     assert handle is not None
 
 
+@pytest.mark.slow
+@pytest.mark.bn254
 class TestPairingImplementations:
     """Reference vs. optimized pairing: Miller loop and final exponentiation.
 
@@ -120,6 +130,8 @@ class TestPairingImplementations:
         )
 
 
+@pytest.mark.slow
+@pytest.mark.bn254
 class TestMultiPairing:
     _PAIRS = [
         (G1Point.generator() * a, G2Point.generator() * b)

@@ -1,0 +1,75 @@
+"""Execution-engine ablation: serial vs. batched vs. parallel SJ.Dec.
+
+The server-side join is pairing-bound, so how SJ.Dec is issued against
+the backend decides the scale ceiling:
+
+- ``serial`` — the naive product of pairings (one final exponentiation
+  per vector component per row);
+- ``batched`` — chunked multi-pairings, one shared final exponentiation
+  per row (d× fewer, d = scheme dimension);
+- ``parallel`` — the batched plan fanned out over a worker pool.
+
+``REPRO_BENCH_FULL=1`` widens the sweep as for the other benchmarks.
+Run ``python -m repro.bench`` for the paper-style engine table, or
+``pytest benchmarks/test_engine_scaling.py --benchmark-only`` here.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from benchmarks.conftest import SCALE_FACTORS
+from repro.bench.workloads import build_encrypted_tpch, tpch_query
+
+_SELECTIVITY = 1 / 12.5  # densest series: the most decryptions per query
+_ENGINES = ("serial", "batched", "parallel")
+
+
+@pytest.mark.parametrize("scale_factor", list(SCALE_FACTORS))
+@pytest.mark.parametrize("engine", _ENGINES)
+def test_engine_scaling(benchmark, scale_factor, engine):
+    workload = build_encrypted_tpch(scale_factor, in_clause_limit=1)
+    encrypted_query = workload.client.create_query(
+        tpch_query(_SELECTIVITY, in_clause_size=1)
+    )
+
+    result = benchmark.pedantic(
+        lambda: workload.server.execute_join(encrypted_query, engine=engine),
+        rounds=3, iterations=1,
+    )
+    assert result.stats.engine == engine
+    assert result.stats.matches > 0
+
+
+def test_batched_final_exponentiation_savings():
+    """Acceptance: >= 2x fewer final exponentiations on a 64+ handle side."""
+    workload = build_encrypted_tpch(0.008, in_clause_limit=1)
+    encrypted_query = workload.client.create_query(
+        tpch_query(_SELECTIVITY, in_clause_size=1)
+    )
+    serial = workload.server.execute_join(encrypted_query, engine="serial")
+    batched = workload.server.execute_join(encrypted_query, engine="batched")
+
+    assert serial.stats.candidates_left >= 64  # a 64-handle (or larger) side
+    assert serial.index_pairs == batched.index_pairs
+    assert batched.stats.final_exponentiations == batched.stats.decryptions
+    assert (
+        serial.stats.final_exponentiations
+        >= 2 * batched.stats.final_exponentiations
+    )
+
+
+def test_parallel_engine_matches_batched_plan():
+    """The pool fan-out must not change the batched plan's results."""
+    workload = build_encrypted_tpch(0.004, in_clause_limit=1)
+    encrypted_query = workload.client.create_query(
+        tpch_query(_SELECTIVITY, in_clause_size=1)
+    )
+    batched = workload.server.execute_join(encrypted_query, engine="batched")
+    parallel = workload.server.execute_join(encrypted_query, engine="parallel")
+
+    assert parallel.index_pairs == batched.index_pairs
+    assert parallel.stats.final_exponentiations == (
+        batched.stats.final_exponentiations
+    )
+    assert parallel.stats.workers >= 2

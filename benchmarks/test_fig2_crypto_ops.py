@@ -57,6 +57,8 @@ class TestFastBackend:
         benchmark(lambda: scheme.decrypt(token, ciphertext))
 
 
+@pytest.mark.slow
+@pytest.mark.bn254
 @pytest.mark.parametrize("t", list(BN254_T_VALUES))
 class TestBN254Backend:
     """The real pairing. One round per op: each call is ms-to-seconds."""

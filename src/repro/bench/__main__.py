@@ -83,6 +83,15 @@ def main() -> None:
     result = experiments.prefilter_ablation(repeats=3 if args.full else 1)
     _print_result(result, ["prefilter", "seconds", "decryptions"])
 
+    result = experiments.engine_ablation(
+        scale_factors=scale_factors, repeats=3 if args.full else 1
+    )
+    _print_result(
+        result,
+        ["scale_factor", "engine", "seconds", "final_exponentiations",
+         "batches", "workers"],
+    )
+
 
 if __name__ == "__main__":
     main()

@@ -219,6 +219,57 @@ def comparison_with_hahn(
     return result
 
 
+def engine_ablation(
+    scale_factors=(0.01, 0.02, 0.04),
+    selectivity: float = 1 / 12.5,
+    engines=("serial", "batched", "parallel"),
+    repeats: int = 3,
+    prefilter: bool = True,
+) -> ExperimentResult:
+    """Ablation: SJ.Dec execution engine vs. join runtime and pairing ops.
+
+    Runs the Figure 3 workload under each execution engine
+    (:mod:`repro.core.engine`) and records the pairing-operation counts
+    alongside wall-clock time, so both the shared-final-exponentiation
+    saving of the batched engine and the fan-out of the parallel engine
+    are visible.  Use :func:`repro.bench.harness.speedup_series` with
+    ``baseline_group="serial"`` to summarize.
+    """
+    result = ExperimentResult(
+        name="engine_ablation",
+        notes=f"execution engines on the Figure 3 workload, s={selectivity}",
+    )
+    for scale_factor in scale_factors:
+        workload = build_encrypted_tpch(
+            scale_factor, in_clause_limit=1, prefilter=prefilter
+        )
+        query = tpch_query(selectivity, in_clause_size=1)
+        encrypted_query = workload.client.create_query(query)
+        for engine in engines:
+            holder = {}
+
+            def run():
+                holder["result"] = workload.server.execute_join(
+                    encrypted_query, engine=engine
+                )
+
+            mean, stdev = time_callable(run, repeats=repeats)
+            stats = holder["result"].stats
+            result.records.append(BenchmarkRecord(
+                {"scale_factor": scale_factor, "engine": engine},
+                mean, stdev, repeats,
+                extra={
+                    "decryptions": stats.decryptions,
+                    "matches": stats.matches,
+                    "final_exponentiations": stats.final_exponentiations,
+                    "miller_loops": stats.miller_loops,
+                    "batches": stats.batches,
+                    "workers": stats.workers,
+                },
+            ))
+    return result
+
+
 def example_tables() -> list[tuple[Table, str]]:
     """Tables 1 and 2 of the paper (Teams and Employees)."""
     teams = Table(

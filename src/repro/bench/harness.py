@@ -52,6 +52,35 @@ class ExperimentResult:
         return series
 
 
+def speedup_series(
+    result: ExperimentResult,
+    x_param: str,
+    group_param: str,
+    baseline_group: object,
+) -> dict[object, list[tuple[object, float]]]:
+    """Per-group speedup over a baseline group: ``{group: [(x, x̄_base/x̄)]}``.
+
+    Used by the engine ablation to report how much faster each execution
+    engine runs than the serial baseline at every sweep point.
+    """
+    series = result.series(x_param, group_param)
+    if baseline_group not in series:
+        raise ValueError(
+            f"baseline group {baseline_group!r} not present in results"
+        )
+    baseline = dict(series[baseline_group])
+    speedups: dict[object, list[tuple[object, float]]] = {}
+    for group, points in series.items():
+        if group == baseline_group:
+            continue
+        speedups[group] = [
+            (x, baseline[x] / seconds)
+            for x, seconds in points
+            if x in baseline and seconds > 0
+        ]
+    return speedups
+
+
 def time_callable(
     fn: Callable[[], object],
     repeats: int = 3,

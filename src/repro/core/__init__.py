@@ -11,6 +11,13 @@
 """
 
 from repro.core.client import DecryptedJoinResult, SecureJoinClient
+from repro.core.engine import (
+    BatchedEngine,
+    ExecutionEngine,
+    ParallelEngine,
+    SerialEngine,
+    get_engine,
+)
 from repro.core.polynomials import ZqPolynomial
 from repro.core.scheme import (
     SecureJoinParams,
@@ -22,15 +29,20 @@ from repro.core.scheme import (
 from repro.core.server import EncryptedJoinResult, SecureJoinServer, ServerStats
 
 __all__ = [
+    "BatchedEngine",
     "DecryptedJoinResult",
     "EncryptedJoinResult",
+    "ExecutionEngine",
+    "ParallelEngine",
     "SecureJoinClient",
     "SecureJoinParams",
     "SecureJoinScheme",
     "SecureJoinServer",
+    "SerialEngine",
     "ServerStats",
     "SJMasterKey",
     "SJRowCiphertext",
     "SJToken",
     "ZqPolynomial",
+    "get_engine",
 ]

@@ -13,6 +13,7 @@ import os
 import random
 from dataclasses import dataclass, field
 
+from repro.core.engine import ENGINE_NAMES
 from repro.core.scheme import (
     SecureJoinParams,
     SecureJoinScheme,
@@ -53,7 +54,12 @@ class EncryptedTable:
 
 @dataclass(frozen=True)
 class EncryptedJoinQuery:
-    """The query-phase message from client to server."""
+    """The query-phase message from client to server.
+
+    ``engine_hint`` is an optional request for a server execution engine
+    (``"serial"``, ``"batched"`` or ``"parallel"``); the server may
+    override it, so it carries no security weight.
+    """
 
     query_id: int
     left_table: str
@@ -62,6 +68,7 @@ class EncryptedJoinQuery:
     right_token: SJToken
     left_prefilter: dict[str, frozenset[bytes]] | None = None
     right_prefilter: dict[str, frozenset[bytes]] | None = None
+    engine_hint: str | None = None
 
 
 @dataclass
@@ -259,8 +266,20 @@ class SecureJoinClient:
             tokens[column] = frozenset(keyed_tag(key, v) for v in values)
         return tokens or None
 
-    def create_query(self, query: JoinQuery) -> EncryptedJoinQuery:
-        """SJ.TokenGen for both tables under one fresh query key."""
+    def create_query(
+        self, query: JoinQuery, engine: str | None = None
+    ) -> EncryptedJoinQuery:
+        """SJ.TokenGen for both tables under one fresh query key.
+
+        ``engine`` attaches an execution-engine hint for the server
+        (validated here so typos fail on the client side; the server
+        honors it only if its ``hint_engines`` allowlist permits).
+        """
+        if engine is not None and engine not in ENGINE_NAMES:
+            raise QueryError(
+                f"unknown execution engine {engine!r}; "
+                f"use one of {ENGINE_NAMES}"
+            )
         left = self._table(query.left_table)
         right = self._table(query.right_table)
         if query.left_join_column != left.join_column:
@@ -298,6 +317,7 @@ class SecureJoinClient:
             right_token=right_token,
             left_prefilter=self._prefilter_tokens(left, query.left_selection),
             right_prefilter=self._prefilter_tokens(right, query.right_selection),
+            engine_hint=engine,
         )
 
     # -- result phase -----------------------------------------------------

@@ -1,0 +1,246 @@
+"""Execution engines: how the server turns ciphertexts into handles.
+
+SJ.Dec over a candidate side is the server's hot path — one product of
+pairings per row.  The three engines here trade off how that work is
+issued against the bilinear backend:
+
+- :class:`SerialEngine` — the naive baseline: one *full pairing per
+  vector component* (d Miller loops and d final exponentiations per
+  row), combined in GT.  This is the "one pairing at a time" path the
+  ablation benchmarks call the naive product of pairings.
+- :class:`BatchedEngine` — groups rows into chunks and issues each chunk
+  through :meth:`~repro.crypto.backend.BilinearBackend.pair_vectors_batch`,
+  so every row costs d Miller loops but only *one* shared final
+  exponentiation — the multi-pairing optimization applied to the join.
+- :class:`ParallelEngine` — fans the batches out across a
+  ``multiprocessing`` worker pool.  Chunks are pulled by idle workers
+  (``imap_unordered`` with one chunk per pull — chunked work stealing),
+  and each worker caches the query token and backend once per side, so
+  per-chunk messages carry only ciphertext vectors.
+
+All three produce byte-identical handles: the final exponentiation is a
+group homomorphism, so the per-pair product equals the shared-exponent
+multi-pairing, and the fast backend's modular arithmetic agrees by
+construction.  Engines report their work in an :class:`EngineReport`
+that the server merges into :class:`~repro.core.server.ServerStats`.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+from abc import ABC, abstractmethod
+from collections.abc import Sequence
+from dataclasses import dataclass
+
+from repro.crypto.backend import BilinearBackend
+from repro.errors import QueryError
+
+#: Rows per chunk when a batching engine is built without an explicit size.
+DEFAULT_BATCH_SIZE = 64
+
+
+@dataclass
+class EngineReport:
+    """What one engine invocation did, for ``ServerStats`` accounting."""
+
+    engine: str
+    batches: int = 0
+    max_batch_size: int = 0
+    workers: int = 1
+    miller_loops: int = 0
+    final_exponentiations: int = 0
+
+
+class ExecutionEngine(ABC):
+    """Strategy for decrypting one side's candidate rows into handles."""
+
+    name: str
+
+    @abstractmethod
+    def decrypt_handles(
+        self,
+        backend: BilinearBackend,
+        token_elements: Sequence,
+        ciphertext_vectors: Sequence[Sequence],
+    ) -> tuple[list[bytes], EngineReport]:
+        """Handles (canonical bytes) for each ciphertext vector, in order."""
+
+
+def _chunked(items: Sequence, size: int) -> list[tuple[int, Sequence]]:
+    """``(start_offset, slice)`` chunks covering ``items`` in order."""
+    return [(i, items[i : i + size]) for i in range(0, len(items), size)]
+
+
+class SerialEngine(ExecutionEngine):
+    """One full pairing per vector component, one row at a time.
+
+    Every component pair costs a Miller loop *and* a final
+    exponentiation; the GT partial products are combined with the group
+    operation.  On the fast backend the arithmetic (and therefore the
+    handle bytes) is identical to the batched path — only the modeled
+    operation counts differ.
+    """
+
+    name = "serial"
+
+    def decrypt_handles(self, backend, token_elements, ciphertext_vectors):
+        snapshot = backend.ops.snapshot()
+        handles = []
+        for ciphertext in ciphertext_vectors:
+            accumulator = backend.gt_identity()
+            for g1, g2 in zip(token_elements, ciphertext):
+                accumulator = backend.gt_mul(accumulator, backend.pair(g1, g2))
+            handles.append(accumulator.to_bytes())
+        delta = backend.ops.since(snapshot)
+        report = EngineReport(
+            engine=self.name,
+            batches=len(ciphertext_vectors),
+            max_batch_size=1 if ciphertext_vectors else 0,
+            workers=1,
+            miller_loops=delta.miller_loops,
+            final_exponentiations=delta.final_exponentiations,
+        )
+        return handles, report
+
+
+class BatchedEngine(ExecutionEngine):
+    """Chunked multi-pairing decryption with shared final exponentiations."""
+
+    name = "batched"
+
+    def __init__(self, batch_size: int = DEFAULT_BATCH_SIZE):
+        if batch_size < 1:
+            raise QueryError("batch size must be at least 1")
+        self.batch_size = batch_size
+
+    def decrypt_handles(self, backend, token_elements, ciphertext_vectors):
+        snapshot = backend.ops.snapshot()
+        chunks = _chunked(ciphertext_vectors, self.batch_size)
+        handles = []
+        for _, chunk in chunks:
+            gts = backend.pair_vectors_batch(token_elements, chunk)
+            handles.extend(gt.to_bytes() for gt in gts)
+        delta = backend.ops.since(snapshot)
+        report = EngineReport(
+            engine=self.name,
+            batches=len(chunks),
+            max_batch_size=max((len(c) for _, c in chunks), default=0),
+            workers=1,
+            miller_loops=delta.miller_loops,
+            final_exponentiations=delta.final_exponentiations,
+        )
+        return handles, report
+
+
+# Per-worker cache, set once per side by the pool initializer: the query
+# token and the backend are shipped a single time instead of with every
+# chunk, and the worker-local op counter starts from a known state.
+_WORKER_BACKEND: BilinearBackend | None = None
+_WORKER_TOKEN: Sequence | None = None
+
+
+def _init_worker(backend: BilinearBackend, token_elements: Sequence) -> None:
+    global _WORKER_BACKEND, _WORKER_TOKEN
+    _WORKER_BACKEND = backend
+    _WORKER_TOKEN = token_elements
+    backend.ops.reset()
+
+
+def _decrypt_chunk(task):
+    """Decrypt one chunk in a worker; returns its offset, handles and cost."""
+    start, ciphertext_vectors = task
+    snapshot = _WORKER_BACKEND.ops.snapshot()
+    gts = _WORKER_BACKEND.pair_vectors_batch(_WORKER_TOKEN, ciphertext_vectors)
+    delta = _WORKER_BACKEND.ops.since(snapshot)
+    return (
+        start,
+        [gt.to_bytes() for gt in gts],
+        (delta.miller_loops, delta.final_exponentiations),
+    )
+
+
+class ParallelEngine(ExecutionEngine):
+    """Batched decryption fanned out over a multiprocessing pool.
+
+    Sides with at most one chunk's worth of rows run inline (pool
+    startup would dominate); larger sides are split into
+    ``batch_size``-row chunks that idle workers pull one at a time.
+    """
+
+    name = "parallel"
+
+    def __init__(
+        self,
+        workers: int | None = None,
+        batch_size: int = DEFAULT_BATCH_SIZE // 2,
+    ):
+        if workers is not None and workers < 1:
+            raise QueryError("worker count must be at least 1")
+        if batch_size < 1:
+            raise QueryError("batch size must be at least 1")
+        self.workers = workers if workers is not None else max(
+            2, os.cpu_count() or 1
+        )
+        self.batch_size = batch_size
+        self._inline = BatchedEngine(batch_size)
+
+    def decrypt_handles(self, backend, token_elements, ciphertext_vectors):
+        if self.workers == 1 or len(ciphertext_vectors) <= self.batch_size:
+            handles, report = self._inline.decrypt_handles(
+                backend, token_elements, ciphertext_vectors
+            )
+            report.engine = self.name
+            return handles, report
+
+        chunks = _chunked(ciphertext_vectors, self.batch_size)
+        report = EngineReport(
+            engine=self.name,
+            batches=len(chunks),
+            max_batch_size=max(len(c) for _, c in chunks),
+            workers=min(self.workers, len(chunks)),
+        )
+        ordered: list[tuple[int, list[bytes]]] = []
+        with multiprocessing.Pool(
+            processes=report.workers,
+            initializer=_init_worker,
+            initargs=(backend, token_elements),
+        ) as pool:
+            for start, handles, (millers, final_exps) in pool.imap_unordered(
+                _decrypt_chunk, chunks, chunksize=1
+            ):
+                ordered.append((start, handles))
+                report.miller_loops += millers
+                report.final_exponentiations += final_exps
+        ordered.sort(key=lambda item: item[0])
+        flat = [handle for _, handles in ordered for handle in handles]
+        return flat, report
+
+
+_ENGINE_FACTORIES = {
+    SerialEngine.name: SerialEngine,
+    BatchedEngine.name: BatchedEngine,
+    ParallelEngine.name: ParallelEngine,
+}
+
+ENGINE_NAMES = tuple(_ENGINE_FACTORIES)
+
+
+#: The default engine: behaviorally identical to the pre-engine code
+#: path (one shared final exponentiation per row) plus chunking; the
+#: serial engine is the naive ablation baseline, not the default.
+DEFAULT_ENGINE_NAME = BatchedEngine.name
+
+
+def get_engine(engine: ExecutionEngine | str | None) -> ExecutionEngine:
+    """Resolve an engine choice: an instance, a name, or None (batched)."""
+    if engine is None:
+        return BatchedEngine()
+    if isinstance(engine, ExecutionEngine):
+        return engine
+    factory = _ENGINE_FACTORIES.get(engine)
+    if factory is None:
+        raise QueryError(
+            f"unknown execution engine {engine!r}; use one of {ENGINE_NAMES}"
+        )
+    return factory()

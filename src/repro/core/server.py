@@ -12,14 +12,26 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 
 from repro.core.client import EncryptedJoinQuery, EncryptedTable
+from repro.core.engine import EngineReport, ExecutionEngine, get_engine
 from repro.core.scheme import SecureJoinParams, SecureJoinScheme, SJToken
 from repro.crypto.backend import BilinearBackend
-from repro.errors import QueryError
+from repro.errors import QueryError, SchemeError
 
 
 @dataclass
 class ServerStats:
-    """Operation counts for one join execution."""
+    """Operation counts for one join execution.
+
+    ``comparisons`` counts handle-equality work in the matcher: the
+    nested-loop matcher compares every candidate pair (O(n·m)); the hash
+    matcher performs one hash-key comparison per probe plus one equality
+    confirmation per bucket entry it emits (O(n + m + output)).
+
+    ``miller_loops`` / ``final_exponentiations`` record the pairing work
+    of SJ.Dec as issued by the execution engine (see
+    :mod:`repro.core.engine`); ``batches``, ``max_batch_size`` and
+    ``workers`` describe how that work was grouped and fanned out.
+    """
 
     candidates_left: int = 0
     candidates_right: int = 0
@@ -27,6 +39,21 @@ class ServerStats:
     probes: int = 0
     comparisons: int = 0
     matches: int = 0
+    engine: str = "batched"
+    batches: int = 0
+    max_batch_size: int = 0
+    workers: int = 1
+    miller_loops: int = 0
+    final_exponentiations: int = 0
+
+    def merge_report(self, report: EngineReport) -> None:
+        """Fold one side's engine report into the per-query totals."""
+        self.engine = report.engine
+        self.batches += report.batches
+        self.max_batch_size = max(self.max_batch_size, report.max_batch_size)
+        self.workers = max(self.workers, report.workers)
+        self.miller_loops += report.miller_loops
+        self.final_exponentiations += report.final_exponentiations
 
 
 @dataclass
@@ -60,9 +87,19 @@ class SecureJoinServer:
         self,
         params: SecureJoinParams,
         backend: BilinearBackend | None = None,
+        engine: ExecutionEngine | str | None = None,
+        hint_engines: tuple[str, ...] = ("serial", "batched"),
     ):
         # The server only needs public parameters — never the master key.
         self.scheme = SecureJoinScheme(params, backend)
+        # Default execution engine; per-query overrides and client hints
+        # (see execute_join) take precedence.  ``hint_engines`` is the
+        # allowlist of engines a client hint may select: hints are
+        # advisory, and the resources they spend belong to the server,
+        # so "parallel" (a worker pool per query) requires the operator
+        # to opt in here.  Disallowed hints fall back to the default.
+        self.engine = get_engine(engine)
+        self.hint_engines = frozenset(hint_engines)
         self._tables: dict[str, EncryptedTable] = {}
         # Inverted index over pre-filter tags: table -> column -> tag -> rows.
         self._tag_index: dict[str, dict[str, dict[bytes, list[int]]]] = {}
@@ -176,30 +213,62 @@ class SecureJoinServer:
         candidates: list[int],
         observation: QueryObservation,
         stats: ServerStats,
+        engine: ExecutionEngine,
     ) -> list[tuple[int, bytes]]:
         """SJ.Dec over the candidate rows; returns (row_index, handle bytes)."""
-        handles = []
+        dimension = self.scheme.params.dimension
+        if len(token) != dimension:
+            raise SchemeError(
+                f"token dimension {len(token)} != scheme dimension {dimension}"
+            )
+        ciphertexts = []
         for index in candidates:
-            handle = self.scheme.decrypt(token, table.ciphertexts[index])
-            stats.decryptions += 1
-            key = handle.to_bytes()
+            ciphertext = table.ciphertexts[index]
+            if len(ciphertext) != dimension:
+                raise SchemeError(
+                    f"ciphertext dimension {len(ciphertext)} != scheme "
+                    f"dimension {dimension}"
+                )
+            ciphertexts.append(ciphertext.elements)
+        keys, report = engine.decrypt_handles(
+            self.scheme.backend, token.elements, ciphertexts
+        )
+        stats.decryptions += len(candidates)
+        stats.merge_report(report)
+        handles = list(zip(candidates, keys))
+        for index, key in handles:
             observation.handles[(table.name, index)] = key
-            handles.append((index, key))
         return handles
 
     def execute_join(
         self,
         query: EncryptedJoinQuery,
         algorithm: str = "hash",
+        engine: ExecutionEngine | str | None = None,
     ) -> EncryptedJoinResult:
         """Run SJ.Dec + SJ.Match and return the joined encrypted rows.
 
         ``algorithm`` selects the matcher: ``"hash"`` (the paper's
         expected-O(n) hash join) or ``"nested"`` (the O(n^2) nested loop
         that Hahn et al.'s scheme is limited to — kept for ablations).
+
+        ``engine`` selects the SJ.Dec execution engine for this query
+        (``"serial"``, ``"batched"``, ``"parallel"`` or an
+        :class:`~repro.core.engine.ExecutionEngine` instance); when
+        omitted, the query's client hint applies if the server's
+        ``hint_engines`` allowlist permits it, then the server default.
         """
         if algorithm not in ("hash", "nested"):
             raise QueryError(f"unknown join algorithm {algorithm!r}")
+        if engine is not None:
+            active_engine = get_engine(engine)
+        elif (
+            query.engine_hint is not None
+            and query.engine_hint in self.hint_engines
+        ):
+            active_engine = get_engine(query.engine_hint)
+        else:
+            active_engine = self.engine
         left = self.table(query.left_table)
         right = self.table(query.right_table)
         stats = ServerStats()
@@ -215,10 +284,12 @@ class SecureJoinServer:
         stats.candidates_right = len(right_candidates)
 
         left_handles = self._decrypt_side(
-            left, query.left_token, left_candidates, observation, stats
+            left, query.left_token, left_candidates, observation, stats,
+            active_engine,
         )
         right_handles = self._decrypt_side(
-            right, query.right_token, right_candidates, observation, stats
+            right, query.right_token, right_candidates, observation, stats,
+            active_engine,
         )
         self.observations.append(observation)
 
@@ -248,6 +319,10 @@ class SecureJoinServer:
         pairs = []
         for right_index, handle in right_handles:
             stats.probes += 1
+            # One hash-key comparison per probe, plus one equality
+            # confirmation per bucket entry: O(n + m + output) total,
+            # versus the nested matcher's O(n * m).
+            stats.comparisons += 1
             for left_index in buckets.get(handle, ()):
                 stats.comparisons += 1
                 pairs.append((left_index, right_index))

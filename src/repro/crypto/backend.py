@@ -22,6 +22,7 @@ from __future__ import annotations
 import random
 from abc import ABC, abstractmethod
 from collections.abc import Sequence
+from dataclasses import dataclass
 
 from repro.crypto.curve import G1Point, G2Point
 from repro.crypto.field import Fp12
@@ -82,10 +83,46 @@ class FastGT(GTElement):
         return f"FastGT({self.value})"
 
 
+@dataclass
+class PairingOpCounter:
+    """Pairing work performed through a backend's decryption entry points.
+
+    ``miller_loops`` and ``final_exponentiations`` count what the BN254
+    pairing actually executes for the observed call pattern; the fast
+    backend reports the *same* counts for the same calls (it is the
+    documented cost-model stand-in for BN254, see DESIGN.md §4), so
+    engine ablations measured on either backend agree.
+    """
+
+    miller_loops: int = 0
+    final_exponentiations: int = 0
+
+    def snapshot(self) -> tuple[int, int]:
+        return (self.miller_loops, self.final_exponentiations)
+
+    def since(self, snapshot: tuple[int, int]) -> "PairingOpCounter":
+        """The operations performed after ``snapshot`` was taken."""
+        return PairingOpCounter(
+            miller_loops=self.miller_loops - snapshot[0],
+            final_exponentiations=self.final_exponentiations - snapshot[1],
+        )
+
+    def add(self, other: "PairingOpCounter") -> None:
+        self.miller_loops += other.miller_loops
+        self.final_exponentiations += other.final_exponentiations
+
+    def reset(self) -> None:
+        self.miller_loops = 0
+        self.final_exponentiations = 0
+
+
 class BilinearBackend(ABC):
     """The group-operation interface the Secure Join scheme is generic over."""
 
     name: str
+
+    def __init__(self):
+        self.ops = PairingOpCounter()
 
     @property
     @abstractmethod
@@ -103,6 +140,14 @@ class BilinearBackend(ABC):
     @abstractmethod
     def pair_vectors(self, g1_vector: Sequence, g2_vector: Sequence) -> GTElement:
         """``prod_i e(g1_vector[i], g2_vector[i])`` (a multi-pairing)."""
+
+    @abstractmethod
+    def gt_identity(self) -> GTElement:
+        """The identity of GT (the empty product of pairings)."""
+
+    @abstractmethod
+    def gt_mul(self, a: GTElement, b: GTElement) -> GTElement:
+        """The GT group operation (product of two pairing outputs)."""
 
     @abstractmethod
     def gt_generator_power(self, exponent: int) -> GTElement:
@@ -147,6 +192,20 @@ class BilinearBackend(ABC):
     def pair(self, g1_element, g2_element) -> GTElement:
         return self.pair_vectors([g1_element], [g2_element])
 
+    def pair_vectors_batch(
+        self, g1_vector: Sequence, g2_vectors: Sequence[Sequence]
+    ) -> list[GTElement]:
+        """One multi-pairing of ``g1_vector`` against *each* G2 vector.
+
+        This is the batched SJ.Dec entry point: the fixed vector is the
+        query token, each G2 vector is one row ciphertext, and every row
+        costs d Miller loops plus a *single* shared final exponentiation
+        (versus d full pairings on the naive per-pair path).  The default
+        loops over :meth:`pair_vectors`, so any backend works; subclasses
+        may vectorize.
+        """
+        return [self.pair_vectors(g1_vector, g2) for g2 in g2_vectors]
+
 
 class _FixedBaseTable:
     """Precomputed powers-of-two of a fixed base point for fast fixed-base
@@ -184,6 +243,7 @@ class BN254Backend(BilinearBackend):
     name = "bn254"
 
     def __init__(self, use_fast_pairing: bool = True):
+        super().__init__()
         self._g1_table: _FixedBaseTable | None = None
         self._g2_table: _FixedBaseTable | None = None
         self.use_fast_pairing = use_fast_pairing
@@ -215,8 +275,22 @@ class BN254Backend(BilinearBackend):
     ) -> BN254GT:
         if len(g1_vector) != len(g2_vector):
             raise CryptoError("pairing vectors must have the same length")
+        pairs = [
+            (p, q)
+            for p, q in zip(g1_vector, g2_vector)
+            if not (p.is_infinity() or q.is_infinity())
+        ]
+        self.ops.miller_loops += len(pairs)
+        if pairs:
+            self.ops.final_exponentiations += 1
         multi = multi_pairing_fast if self.use_fast_pairing else multi_pairing
-        return BN254GT(multi(list(zip(g1_vector, g2_vector))))
+        return BN254GT(multi(pairs))
+
+    def gt_identity(self) -> BN254GT:
+        return BN254GT(Fp12.one())
+
+    def gt_mul(self, a: BN254GT, b: BN254GT) -> BN254GT:
+        return BN254GT(a.value * b.value)
 
     def gt_generator_power(self, exponent: int) -> BN254GT:
         pair = pairing_fast if self.use_fast_pairing else pairing
@@ -258,6 +332,7 @@ class FastBackend(BilinearBackend):
     name = "fast"
 
     def __init__(self, modulus: int = CURVE_ORDER):
+        super().__init__()
         if not is_probable_prime(modulus):
             raise CryptoError("FastBackend modulus must be prime")
         self._modulus = modulus
@@ -279,11 +354,43 @@ class FastBackend(BilinearBackend):
     ) -> FastGT:
         if len(g1_vector) != len(g2_vector):
             raise CryptoError("pairing vectors must have the same length")
+        # Model the op counts of the equivalent BN254 call: d Miller
+        # loops sharing one final exponentiation (a 0 exponent stands
+        # for the identity, which the real pairing would skip).
+        nontrivial = sum(1 for a, b in zip(g1_vector, g2_vector) if a and b)
+        self.ops.miller_loops += nontrivial
+        if nontrivial:
+            self.ops.final_exponentiations += 1
         q = self._modulus
         total = 0
         for a, b in zip(g1_vector, g2_vector):
             total += a * b
         return FastGT(total % q, q)
+
+    def pair_vectors_batch(
+        self, g1_vector: Sequence[int], g2_vectors: Sequence[Sequence[int]]
+    ) -> list[FastGT]:
+        q = self._modulus
+        handles = []
+        for g2_vector in g2_vectors:
+            if len(g1_vector) != len(g2_vector):
+                raise CryptoError("pairing vectors must have the same length")
+            nontrivial = sum(
+                1 for a, b in zip(g1_vector, g2_vector) if a and b
+            )
+            self.ops.miller_loops += nontrivial
+            if nontrivial:
+                self.ops.final_exponentiations += 1
+            handles.append(
+                FastGT(sum(a * b for a, b in zip(g1_vector, g2_vector)) % q, q)
+            )
+        return handles
+
+    def gt_identity(self) -> FastGT:
+        return FastGT(0, self._modulus)
+
+    def gt_mul(self, a: FastGT, b: FastGT) -> FastGT:
+        return FastGT(a.value + b.value, self._modulus)
 
     def gt_generator_power(self, exponent: int) -> FastGT:
         return FastGT(exponent, self._modulus)

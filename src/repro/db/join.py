@@ -94,6 +94,9 @@ def hash_join(
         if not right_predicate.evaluate(row, right.schema):
             continue
         stats.probes += 1
+        # One hash-key comparison per probe plus one confirmation per
+        # bucket entry — mirrors the encrypted matcher's accounting.
+        stats.comparisons += 1
         for i, left_row in buckets.get(row[right_key], ()):
             stats.comparisons += 1
             result.insert(left_row + row)

@@ -30,7 +30,9 @@ from repro.store.codec import (
 
 _QUERY_MAGIC = b"RPROJQRY"
 _RESULT_MAGIC = b"RPROJRES"
-_VERSION = 1
+# Version 2: queries carry ``engine_hint``; result stats carry the
+# execution-engine fields (engine, batches, workers, pairing op counts).
+_VERSION = 2
 _TAG_SIZE = 32
 
 
@@ -67,6 +69,7 @@ def encode_join_query(
         "g1_element_size": backend.g1_element_size,
         "left_prefilter_columns": left_columns,
         "right_prefilter_columns": right_columns,
+        "engine_hint": query.engine_hint,
     }
     write_header(writer, _QUERY_MAGIC, _VERSION, header)
     writer.raw(body.getvalue())
@@ -108,6 +111,7 @@ def decode_join_query(
         right_token=tokens[1],
         left_prefilter=left_prefilter,
         right_prefilter=right_prefilter,
+        engine_hint=header.get("engine_hint"),
     )
 
 
@@ -125,6 +129,12 @@ def encode_join_result(result: EncryptedJoinResult) -> bytes:
             "probes": result.stats.probes,
             "comparisons": result.stats.comparisons,
             "matches": result.stats.matches,
+            "engine": result.stats.engine,
+            "batches": result.stats.batches,
+            "max_batch_size": result.stats.max_batch_size,
+            "workers": result.stats.workers,
+            "miller_loops": result.stats.miller_loops,
+            "final_exponentiations": result.stats.final_exponentiations,
         },
     }
     write_header(writer, _RESULT_MAGIC, _VERSION, header)

@@ -1,0 +1,345 @@
+"""Execution engines: result equivalence, batching edge cases, accounting.
+
+The contract under test: serial, batched and parallel engines return
+*byte-identical* join results (index pairs, payloads and observed
+handles) for every workload, while their ``ServerStats`` expose the
+different pairing-work profiles — the batched path shares one final
+exponentiation per row where the serial path pays one per vector
+component.
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.core.client import SecureJoinClient
+from repro.core.engine import (
+    BatchedEngine,
+    ParallelEngine,
+    SerialEngine,
+    _chunked,
+    get_engine,
+)
+from repro.core.server import SecureJoinServer
+from repro.db.query import JoinQuery
+from repro.db.schema import Schema
+from repro.db.table import Table
+from repro.errors import QueryError
+
+try:
+    from hypothesis import given, settings
+    from hypothesis import strategies as st
+
+    HAVE_HYPOTHESIS = True
+except ImportError:  # pragma: no cover - hypothesis is an optional dev dep
+    HAVE_HYPOTHESIS = False
+
+ENGINES = (
+    SerialEngine(),
+    BatchedEngine(batch_size=3),
+    ParallelEngine(workers=2, batch_size=4),
+)
+
+
+def _build(left_keys, right_keys, seed=7):
+    left = Table(
+        "L", Schema.of(("k", "int"), ("a", "str")),
+        [(k, f"a{i}") for i, k in enumerate(left_keys)],
+    )
+    right = Table(
+        "R", Schema.of(("k", "int"), ("b", "str")),
+        [(k, f"b{i}") for i, k in enumerate(right_keys)],
+    )
+    client = SecureJoinClient.for_tables(
+        [(left, "k"), (right, "k")], in_clause_limit=2,
+        rng=random.Random(seed),
+    )
+    server = SecureJoinServer(client.params)
+    server.store(client.encrypt_table(left, "k"))
+    server.store(client.encrypt_table(right, "k"))
+    return client, server
+
+
+def _expected_pairs(left_keys, right_keys):
+    """Right-major order, matching both matchers' output order."""
+    return [
+        (i, j)
+        for j, rk in enumerate(right_keys)
+        for i, lk in enumerate(left_keys)
+        if lk == rk
+    ]
+
+
+def _run_engines(client, server, query):
+    results = []
+    for engine in ENGINES:
+        encrypted = client.create_query(query)
+        results.append(server.execute_join(encrypted, engine=engine))
+    return results
+
+
+def _assert_equivalent(results, server):
+    base = results[0]
+    observations = server.observations[-len(results):]
+    for result, observation in zip(results[1:], observations[1:]):
+        assert result.index_pairs == base.index_pairs
+        assert result.left_payloads == base.left_payloads
+        assert result.right_payloads == base.right_payloads
+        assert result.stats.matches == base.stats.matches
+        assert result.stats.decryptions == base.stats.decryptions
+    # Handles differ across queries (fresh query keys) but each engine
+    # must observe handles with the same equality pattern per query;
+    # within one query the three runs used three different tokens, so we
+    # only compare the join outputs above and the per-run handle counts.
+    for observation, result in zip(observations, results):
+        assert len(observation.handles) == result.stats.decryptions
+
+
+class TestEquivalence:
+    def test_seeded_random_workload(self):
+        rng = random.Random(20260729)
+        for trial in range(5):
+            left_keys = [rng.randrange(6) for _ in range(rng.randrange(1, 14))]
+            right_keys = [rng.randrange(6) for _ in range(rng.randrange(1, 14))]
+            client, server = _build(left_keys, right_keys, seed=trial)
+            query = JoinQuery.build("L", "R", on=("k", "k"))
+            results = _run_engines(client, server, query)
+            for result in results:
+                assert result.index_pairs == _expected_pairs(
+                    left_keys, right_keys
+                )
+            _assert_equivalent(results, server)
+
+    def test_same_token_same_handles(self):
+        """With one shared query, all engines observe identical bytes."""
+        client, server = _build([1, 2, 2, 3], [2, 2, 3, 4, 1])
+        encrypted = client.create_query(JoinQuery.build("L", "R", on=("k", "k")))
+        handle_sets = []
+        for engine in ENGINES:
+            server.execute_join(encrypted, engine=engine)
+            handle_sets.append(dict(server.observations[-1].handles))
+        assert handle_sets[0] == handle_sets[1] == handle_sets[2]
+
+    @pytest.mark.skipif(not HAVE_HYPOTHESIS, reason="hypothesis not installed")
+    @settings(max_examples=12, deadline=None)
+    @given(
+        left_keys=st.lists(st.integers(0, 4), min_size=0, max_size=10),
+        right_keys=st.lists(st.integers(0, 4), min_size=0, max_size=10),
+        seed=st.integers(0, 2**16),
+    )
+    def test_property_round_trip(self, left_keys, right_keys, seed):
+        client, server = _build(left_keys, right_keys, seed=seed)
+        query = JoinQuery.build("L", "R", on=("k", "k"))
+        results = _run_engines(client, server, query)
+        expected = _expected_pairs(left_keys, right_keys)
+        for result in results:
+            assert result.index_pairs == expected
+            decrypted = client.decrypt_result(result)
+            assert len(decrypted.table) == len(expected)
+        _assert_equivalent(results, server)
+
+    def test_tpch_workload_equivalence(self):
+        from repro.bench.workloads import build_encrypted_tpch, tpch_query
+
+        workload = build_encrypted_tpch(0.002, in_clause_limit=1)
+        encrypted = workload.client.create_query(tpch_query(1 / 12.5))
+        results = [
+            workload.server.execute_join(encrypted, engine=engine)
+            for engine in ("serial", "batched", "parallel")
+        ]
+        assert results[0].stats.matches > 0
+        for result in results[1:]:
+            assert result.index_pairs == results[0].index_pairs
+            assert result.left_payloads == results[0].left_payloads
+            assert result.right_payloads == results[0].right_payloads
+
+
+class TestChunking:
+    def test_chunks_cover_in_order(self):
+        items = list(range(10))
+        chunks = _chunked(items, 3)
+        assert [start for start, _ in chunks] == [0, 3, 6, 9]
+        assert [x for _, chunk in chunks for x in chunk] == items
+
+    def test_chunk_larger_than_side(self):
+        assert _chunked([1, 2], 64) == [(0, [1, 2])]
+
+    def test_chunk_of_one(self):
+        assert _chunked([1, 2, 3], 1) == [(0, [1]), (1, [2]), (2, [3])]
+
+    def test_empty_side(self):
+        assert _chunked([], 4) == []
+        client, server = _build([1, 2], [])
+        query = JoinQuery.build("L", "R", on=("k", "k"))
+        for engine in ENGINES:
+            result = server.execute_join(
+                client.create_query(query), engine=engine
+            )
+            assert result.index_pairs == []
+            assert result.stats.candidates_right == 0
+
+    def test_single_handle(self):
+        client, server = _build([3], [3])
+        query = JoinQuery.build("L", "R", on=("k", "k"))
+        for engine in ENGINES:
+            result = server.execute_join(
+                client.create_query(query), engine=engine
+            )
+            assert result.index_pairs == [(0, 0)]
+
+    def test_batch_exceeds_side_size(self):
+        client, server = _build([1, 1, 2], [1, 2])
+        query = JoinQuery.build("L", "R", on=("k", "k"))
+        result = server.execute_join(
+            client.create_query(query), engine=BatchedEngine(batch_size=100)
+        )
+        # One chunk per side.
+        assert result.stats.batches == 2
+        assert result.stats.max_batch_size == 3
+
+    def test_invalid_configuration(self):
+        with pytest.raises(QueryError):
+            BatchedEngine(batch_size=0)
+        with pytest.raises(QueryError):
+            ParallelEngine(workers=0)
+        with pytest.raises(QueryError):
+            ParallelEngine(batch_size=0)
+        with pytest.raises(QueryError):
+            get_engine("warp-drive")
+
+
+class TestAccounting:
+    def test_batched_halves_final_exponentiations_on_64_handles(self):
+        """The headline saving: one shared final exponentiation per row.
+
+        A 64-row side decrypted serially costs one final exponentiation
+        per *vector component* per row (the naive product of pairings);
+        batched it costs one per row — at least 2x fewer for every
+        scheme dimension >= 2 (the dimension is >= 5 by construction).
+        """
+        left_keys = [i % 8 for i in range(64)]
+        right_keys = list(range(8))
+        client, server = _build(left_keys, right_keys)
+        encrypted = client.create_query(JoinQuery.build("L", "R", on=("k", "k")))
+
+        serial = server.execute_join(encrypted, engine="serial")
+        batched = server.execute_join(encrypted, engine="batched")
+
+        assert serial.index_pairs == batched.index_pairs
+        rows = serial.stats.decryptions
+        assert rows == 64 + 8
+        # Batched: exactly one shared final exponentiation per decrypted
+        # row; serial: one per pairing, i.e. one per Miller loop.
+        assert batched.stats.final_exponentiations == rows
+        assert serial.stats.final_exponentiations == serial.stats.miller_loops
+        assert serial.stats.miller_loops == batched.stats.miller_loops
+        assert (
+            serial.stats.final_exponentiations
+            >= 2 * batched.stats.final_exponentiations
+        )
+
+    def test_stats_record_batches_and_workers(self):
+        client, server = _build([i % 4 for i in range(20)], [0, 1, 2, 3])
+        encrypted = client.create_query(JoinQuery.build("L", "R", on=("k", "k")))
+        result = server.execute_join(
+            encrypted, engine=ParallelEngine(workers=2, batch_size=5)
+        )
+        # Left side: 20 rows in 4 chunks through the pool (2 workers);
+        # right side: 4 rows, inline fallback (1 chunk).
+        assert result.stats.engine == "parallel"
+        assert result.stats.workers == 2
+        assert result.stats.batches == 5
+        assert result.stats.max_batch_size == 5
+        assert result.stats.final_exponentiations == 24
+
+    def test_engine_hint_and_override_precedence(self):
+        client, server = _build([1, 2], [2, 3])
+        query = JoinQuery.build("L", "R", on=("k", "k"))
+
+        hinted = client.create_query(query, engine="serial")
+        assert hinted.engine_hint == "serial"
+        assert server.execute_join(hinted).stats.engine == "serial"
+        # An explicit engine argument beats the hint.
+        assert (
+            server.execute_join(hinted, engine="batched").stats.engine
+            == "batched"
+        )
+        # Without hint or argument, the server default (batched) applies.
+        plain = client.create_query(query)
+        assert server.execute_join(plain).stats.engine == "batched"
+        # A server built with an explicit default engine uses it.
+        serial_server = SecureJoinServer(client.params, engine="serial")
+        assert serial_server.engine.name == "serial"
+        with pytest.raises(QueryError):
+            client.create_query(query, engine="warp-drive")
+
+    def test_parallel_hint_requires_server_opt_in(self):
+        """Hints spend server resources, so "parallel" is allowlisted."""
+        client, server = _build([1, 2], [2, 3])
+        query = JoinQuery.build("L", "R", on=("k", "k"))
+        hinted = client.create_query(query, engine="parallel")
+        # Default allowlist ignores the hint: server default applies.
+        assert server.execute_join(hinted).stats.engine == "batched"
+        # An operator who opts in gets the hinted engine.
+        open_server = SecureJoinServer(
+            client.params, hint_engines=("serial", "batched", "parallel")
+        )
+        for table in ("L", "R"):
+            open_server.store(server.table(table))
+        assert open_server.execute_join(hinted).stats.engine == "parallel"
+
+    def test_wire_format_round_trips_engine_fields(self):
+        from repro.store.wire import (
+            decode_join_query,
+            decode_join_result,
+            encode_join_query,
+            encode_join_result,
+        )
+
+        client, server = _build([1, 2, 2], [2, 2, 5])
+        backend = client.scheme.backend
+        encrypted = client.create_query(
+            JoinQuery.build("L", "R", on=("k", "k")), engine="parallel"
+        )
+        decoded = decode_join_query(encode_join_query(encrypted, backend), backend)
+        assert decoded.engine_hint == "parallel"
+
+        result = server.execute_join(encrypted, engine="batched")
+        round_tripped = decode_join_result(encode_join_result(result))
+        assert round_tripped.stats == result.stats
+
+
+@pytest.mark.bn254
+class TestBN254CrossCheck:
+    """The op counters model BN254: check them against the real backend."""
+
+    def test_serial_and_batched_agree_on_real_pairings(self, bn254_backend):
+        left = Table("L", Schema.of(("k", "int"), ("a", "str")), [(1, "x")])
+        right = Table("R", Schema.of(("k", "int"), ("b", "str")),
+                      [(1, "y"), (2, "z")])
+        client = SecureJoinClient.for_tables(
+            [(left, "k"), (right, "k")], in_clause_limit=1,
+            backend=bn254_backend, rng=random.Random(11),
+        )
+        server = SecureJoinServer(client.params, backend=bn254_backend)
+        server.store(client.encrypt_table(left, "k"))
+        server.store(client.encrypt_table(right, "k"))
+        encrypted = client.create_query(JoinQuery.build("L", "R", on=("k", "k")))
+
+        serial = server.execute_join(encrypted, engine="serial")
+        batched = server.execute_join(encrypted, engine="batched")
+
+        assert serial.index_pairs == batched.index_pairs == [(0, 0)]
+        assert dict(server.observations[-2].handles) == dict(
+            server.observations[-1].handles
+        )
+        # Real counts: serial pays one final exponentiation per Miller
+        # loop, batched one per row.
+        assert serial.stats.final_exponentiations == serial.stats.miller_loops
+        assert batched.stats.final_exponentiations == 3
+        assert (
+            serial.stats.final_exponentiations
+            >= 2 * batched.stats.final_exponentiations
+        )
