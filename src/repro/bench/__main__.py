@@ -89,7 +89,7 @@ def main() -> None:
     _print_result(
         result,
         ["scale_factor", "engine", "seconds", "final_exponentiations",
-         "batches", "workers"],
+         "batches", "workers", "engine_selected"],
     )
 
 

@@ -18,9 +18,9 @@ all four reported Figure 3 corner points to < 1% relative error.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-
-import numpy as np
+import math
+import time
+from dataclasses import dataclass, replace
 
 from repro.bench.harness import BenchmarkRecord
 from repro.errors import BenchmarkError
@@ -49,6 +49,11 @@ class CostModel:
 
 def fit_join_cost(records: list[BenchmarkRecord]) -> CostModel:
     """Least-squares fit over records carrying decryptions/matches extras."""
+    # numpy is a dev-only dependency; importing it lazily keeps the
+    # planner entry points (``engine="auto"`` goes through this module)
+    # usable in a bare install that never fits measurement series.
+    import numpy as np
+
     rows = [
         r for r in records
         if "decryptions" in r.extra and "matches" in r.extra
@@ -115,6 +120,216 @@ def implied_paper_unit_cost() -> float:
         for (scale_factor, selectivity), runtime in PAPER_FIGURE3_POINTS.items()
     ]
     return sum(costs) / len(costs)
+
+
+# -- engine planner cost model -------------------------------------------
+
+
+@dataclass(frozen=True)
+class EngineCostModel:
+    """Per-operation timings the engine planner prices a side with.
+
+    The planner (``engine="auto"``) estimates, per candidate side,
+
+    - ``serial``:   one full pairing per vector component —
+      ``rows * d * (miller_loop + final_exponentiation)``;
+    - ``batched``:  ``d`` Miller loops but one shared final
+      exponentiation per row, plus a per-chunk dispatch cost;
+    - ``parallel``: the batched pairing work divided across ``workers``,
+      plus what the persistent pool charges — a one-time spawn cost when
+      the pool is cold, per-element encode/transport/decode, and a
+      per-chunk scheduling round trip.
+
+    ``switch_margin`` is the planner's conservatism: a non-default
+    engine must beat ``batched`` by at least this factor before it is
+    chosen, so estimate noise can never make ``auto`` slower than the
+    static default.
+    """
+
+    backend: str
+    miller_loop: float
+    final_exponentiation: float
+    row_overhead: float
+    batch_overhead: float
+    element_transport: float
+    chunk_overhead: float
+    pool_spawn: float
+    switch_margin: float = 1.25
+
+
+#: Defaults measured on the fast (exponent-group) backend: pairing work
+#: is a handful of modular multiplications, so transport dominates and
+#: the planner correctly prefers ``batched`` at every realistic size.
+FAST_ENGINE_COSTS = EngineCostModel(
+    backend="fast",
+    miller_loop=3.5e-7,
+    final_exponentiation=1.5e-6,
+    row_overhead=1.5e-6,
+    # Kept <= final_exponentiation so batched dominates serial at every
+    # side size (their gap is rows*(d-1)*fexp - chunks*batch_overhead).
+    batch_overhead=1e-6,
+    element_transport=1.2e-6,
+    chunk_overhead=4e-4,
+    pool_spawn=3e-2,
+)
+
+#: Defaults for the pure-Python BN254 pairing (seconds per Miller loop):
+#: compute dwarfs IPC, so the planner fans out whenever the pool has
+#: more than one worker.
+BN254_ENGINE_COSTS = EngineCostModel(
+    backend="bn254",
+    miller_loop=0.5,
+    final_exponentiation=0.7,
+    row_overhead=1.5e-6,
+    batch_overhead=4e-5,
+    element_transport=2e-5,
+    chunk_overhead=1e-3,
+    pool_spawn=5e-2,
+)
+
+_DEFAULT_ENGINE_COSTS = {
+    "fast": FAST_ENGINE_COSTS,
+    "bn254": BN254_ENGINE_COSTS,
+}
+
+
+def default_engine_cost_model(backend_name: str) -> EngineCostModel:
+    """The built-in cost model for a backend (fast-backend shape if unknown)."""
+    return _DEFAULT_ENGINE_COSTS.get(backend_name, FAST_ENGINE_COSTS)
+
+
+def estimate_engine_costs(
+    model: EngineCostModel,
+    rows: int,
+    dimension: int,
+    workers: int,
+    batch_size: int,
+    parallel_batch_size: int | None = None,
+    pool_warm: bool = False,
+) -> dict[str, float]:
+    """Predicted seconds per engine for one candidate side."""
+    if rows < 0 or dimension < 1:
+        raise BenchmarkError("need rows >= 0 and dimension >= 1")
+    workers = max(1, workers)
+    if parallel_batch_size is None:
+        parallel_batch_size = max(1, batch_size // 2)
+    pairing_rows = rows * (
+        dimension * model.miller_loop + model.final_exponentiation
+    )
+    overhead_rows = rows * model.row_overhead
+    serial = (
+        rows * dimension * (model.miller_loop + model.final_exponentiation)
+        + overhead_rows
+    )
+    batches = math.ceil(rows / batch_size) if rows else 0
+    batched = pairing_rows + overhead_rows + batches * model.batch_overhead
+    chunks = math.ceil(rows / parallel_batch_size) if rows else 0
+    parallel = (
+        (0.0 if pool_warm else model.pool_spawn * workers)
+        + rows * dimension * model.element_transport
+        + chunks * model.chunk_overhead
+        + pairing_rows / workers
+        + overhead_rows
+    )
+    return {"serial": serial, "batched": batched, "parallel": parallel}
+
+
+def choose_engine(
+    model: EngineCostModel,
+    rows: int,
+    dimension: int,
+    workers: int,
+    batch_size: int,
+    parallel_batch_size: int | None = None,
+    pool_warm: bool = False,
+    allowed: tuple[str, ...] = ("serial", "batched", "parallel"),
+) -> tuple[str, dict[str, float]]:
+    """The planner decision: ``(chosen_engine, per-engine estimates)``.
+
+    ``batched`` (the static default) wins unless another allowed engine
+    is estimated at least ``switch_margin`` times cheaper — the
+    guarantee behind "auto is never slower than the default".
+    """
+    estimates = estimate_engine_costs(
+        model, rows, dimension, workers, batch_size,
+        parallel_batch_size, pool_warm,
+    )
+    candidates = {
+        name: cost for name, cost in estimates.items() if name in allowed
+    }
+    if not candidates:
+        raise BenchmarkError(
+            f"no allowed engine among {sorted(estimates)}; allowed={allowed}"
+        )
+    if "batched" in candidates:
+        baseline = candidates["batched"]
+        best_name, best_cost = min(
+            candidates.items(), key=lambda item: item[1]
+        )
+        # Ties (and anything inside the margin) go to the default:
+        # a challenger must be strictly better, by the full margin.
+        if best_name != "batched" and (
+            best_cost >= baseline
+            or best_cost * model.switch_margin > baseline
+        ):
+            return "batched", estimates
+        return best_name, estimates
+    best_name = min(candidates, key=candidates.get)
+    return best_name, estimates
+
+
+def calibrate_engine_cost_model(
+    backend,
+    dimension: int = 8,
+    rows: int = 24,
+    repeats: int = 3,
+) -> EngineCostModel:
+    """Measure per-op pairing costs on ``backend``; keep default overheads.
+
+    Times the serial (full pairing per component) and batched
+    (``pair_vectors_batch``) paths over a synthetic side and solves for
+    the Miller-loop and final-exponentiation costs; transport and
+    scheduling constants are inherited from the backend's default model
+    (measuring those would itself require spawning a pool).
+    """
+    if dimension < 2 or rows < 1:
+        raise BenchmarkError("calibration needs dimension >= 2 and rows >= 1")
+    token = backend.g1_powers(range(1, dimension + 1))
+    side = [
+        backend.g2_powers(range(r + 1, r + dimension + 1))
+        for r in range(rows)
+    ]
+
+    def measure(fn) -> float:
+        best = math.inf
+        for _ in range(repeats):
+            start = time.perf_counter()
+            fn()
+            best = min(best, time.perf_counter() - start)
+        return best
+
+    def run_batched():
+        backend.pair_vectors_batch(token, side)
+
+    def run_serial():
+        for row in side:
+            accumulator = backend.gt_identity()
+            for g1, g2 in zip(token, row):
+                accumulator = backend.gt_mul(
+                    accumulator, backend.pair(g1, g2)
+                )
+
+    batched_row = measure(run_batched) / rows   # d*miller + 1*fexp
+    serial_row = measure(run_serial) / rows     # d*(miller + fexp)
+    base = default_engine_cost_model(backend.name)
+    fexp = max((serial_row - batched_row) / (dimension - 1), 0.0)
+    miller = max((batched_row - fexp) / dimension, 1e-12)
+    return replace(
+        base,
+        backend=backend.name,
+        miller_loop=miller,
+        final_exponentiation=max(fexp, 1e-12),
+    )
 
 
 def paper_shape_errors(unit_cost: float | None = None) -> dict[tuple, float]:

@@ -222,7 +222,7 @@ def comparison_with_hahn(
 def engine_ablation(
     scale_factors=(0.01, 0.02, 0.04),
     selectivity: float = 1 / 12.5,
-    engines=("serial", "batched", "parallel"),
+    engines=("serial", "batched", "parallel", "auto"),
     repeats: int = 3,
     prefilter: bool = True,
 ) -> ExperimentResult:
@@ -232,7 +232,11 @@ def engine_ablation(
     (:mod:`repro.core.engine`) and records the pairing-operation counts
     alongside wall-clock time, so both the shared-final-exponentiation
     saving of the batched engine and the fan-out of the parallel engine
-    are visible.  Use :func:`repro.bench.harness.speedup_series` with
+    are visible.  The parallel engine runs on the workload server's
+    persistent pool, so its first record pays the one-time fork and the
+    rest measure the warm path; ``auto`` records what the planner chose
+    per query (``engine_selected``).  Use
+    :func:`repro.bench.harness.speedup_series` with
     ``baseline_group="serial"`` to summarize.
     """
     result = ExperimentResult(
@@ -265,8 +269,13 @@ def engine_ablation(
                     "miller_loops": stats.miller_loops,
                     "batches": stats.batches,
                     "workers": stats.workers,
+                    "engine_selected": stats.engine_selected,
+                    "pool_generation": stats.pool_generation,
                 },
             ))
+        # The workload server is cached across drivers; don't leave its
+        # worker pool idling after the measurements (it restarts lazily).
+        workload.server.close()
     return result
 
 

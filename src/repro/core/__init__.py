@@ -12,12 +12,14 @@
 
 from repro.core.client import DecryptedJoinResult, SecureJoinClient
 from repro.core.engine import (
+    AutoEngine,
     BatchedEngine,
     ExecutionEngine,
     ParallelEngine,
     SerialEngine,
     get_engine,
 )
+from repro.core.service import ExecutionService
 from repro.core.polynomials import ZqPolynomial
 from repro.core.scheme import (
     SecureJoinParams,
@@ -29,10 +31,12 @@ from repro.core.scheme import (
 from repro.core.server import EncryptedJoinResult, SecureJoinServer, ServerStats
 
 __all__ = [
+    "AutoEngine",
     "BatchedEngine",
     "DecryptedJoinResult",
     "EncryptedJoinResult",
     "ExecutionEngine",
+    "ExecutionService",
     "ParallelEngine",
     "SecureJoinClient",
     "SecureJoinParams",

@@ -57,8 +57,9 @@ class EncryptedJoinQuery:
     """The query-phase message from client to server.
 
     ``engine_hint`` is an optional request for a server execution engine
-    (``"serial"``, ``"batched"`` or ``"parallel"``); the server may
-    override it, so it carries no security weight.
+    (``"serial"``, ``"batched"``, ``"parallel"`` or ``"auto"`` — the
+    server-side cost-model planner); the server may override it, so it
+    carries no security weight.
     """
 
     query_id: int
@@ -271,7 +272,8 @@ class SecureJoinClient:
     ) -> EncryptedJoinQuery:
         """SJ.TokenGen for both tables under one fresh query key.
 
-        ``engine`` attaches an execution-engine hint for the server
+        ``engine`` attaches an execution-engine hint for the server —
+        one of ``"serial"``, ``"batched"``, ``"parallel"`` or ``"auto"``
         (validated here so typos fail on the client side; the server
         honors it only if its ``hint_engines`` allowlist permits).
         """

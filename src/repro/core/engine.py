@@ -12,14 +12,17 @@ issued against the bilinear backend:
   through :meth:`~repro.crypto.backend.BilinearBackend.pair_vectors_batch`,
   so every row costs d Miller loops but only *one* shared final
   exponentiation — the multi-pairing optimization applied to the join.
-- :class:`ParallelEngine` — fans the batches out across a
-  ``multiprocessing`` worker pool.  Chunks are pulled by idle workers
-  (``imap_unordered`` with one chunk per pull — chunked work stealing),
-  and each worker caches the query token and backend once per side, so
-  per-chunk messages carry only ciphertext vectors.
+- :class:`ParallelEngine` — fans the batches out across a *persistent*
+  worker pool (:class:`~repro.core.service.ExecutionService`): workers
+  are forked lazily, survive across queries, cache the backend and
+  decoded tokens, and read ciphertext chunks out of shared memory.
+- :class:`AutoEngine` — the cost-model planner: estimates each
+  engine's runtime per side from the candidate count, the scheme
+  dimension and per-operation timings
+  (:mod:`repro.bench.costmodel`) and delegates to the cheapest engine.
 
-All three produce byte-identical handles: the final exponentiation is a
-group homomorphism, so the per-pair product equals the shared-exponent
+All engines produce byte-identical handles: the final exponentiation is
+a group homomorphism, so the per-pair product equals the shared-exponent
 multi-pairing, and the fast backend's modular arithmetic agrees by
 construction.  Engines report their work in an :class:`EngineReport`
 that the server merges into :class:`~repro.core.server.ServerStats`.
@@ -27,12 +30,16 @@ that the server merges into :class:`~repro.core.server.ServerStats`.
 
 from __future__ import annotations
 
-import multiprocessing
-import os
 from abc import ABC, abstractmethod
 from collections.abc import Sequence
 from dataclasses import dataclass
 
+from repro.core.service import (
+    ExecutionService,
+    default_worker_count,
+    get_default_service,
+    peek_default_service,
+)
 from repro.crypto.backend import BilinearBackend
 from repro.errors import QueryError
 
@@ -42,7 +49,15 @@ DEFAULT_BATCH_SIZE = 64
 
 @dataclass
 class EngineReport:
-    """What one engine invocation did, for ``ServerStats`` accounting."""
+    """What one engine invocation did, for ``ServerStats`` accounting.
+
+    ``selected`` is the engine that actually executed the side — it
+    differs from ``engine`` only for the planner (``engine`` stays
+    ``"auto"``, ``selected`` records its choice).  ``planner`` carries
+    the planner's inputs and per-engine cost estimates for that side;
+    ``pool_generation`` / ``worker_restarts`` surface the persistent
+    pool's lifecycle when the side ran through it.
+    """
 
     engine: str
     batches: int = 0
@@ -50,6 +65,10 @@ class EngineReport:
     workers: int = 1
     miller_loops: int = 0
     final_exponentiations: int = 0
+    selected: str = ""
+    planner: dict | None = None
+    pool_generation: int = 0
+    worker_restarts: int = 0
 
 
 class ExecutionEngine(ABC):
@@ -133,39 +152,15 @@ class BatchedEngine(ExecutionEngine):
         return handles, report
 
 
-# Per-worker cache, set once per side by the pool initializer: the query
-# token and the backend are shipped a single time instead of with every
-# chunk, and the worker-local op counter starts from a known state.
-_WORKER_BACKEND: BilinearBackend | None = None
-_WORKER_TOKEN: Sequence | None = None
-
-
-def _init_worker(backend: BilinearBackend, token_elements: Sequence) -> None:
-    global _WORKER_BACKEND, _WORKER_TOKEN
-    _WORKER_BACKEND = backend
-    _WORKER_TOKEN = token_elements
-    backend.ops.reset()
-
-
-def _decrypt_chunk(task):
-    """Decrypt one chunk in a worker; returns its offset, handles and cost."""
-    start, ciphertext_vectors = task
-    snapshot = _WORKER_BACKEND.ops.snapshot()
-    gts = _WORKER_BACKEND.pair_vectors_batch(_WORKER_TOKEN, ciphertext_vectors)
-    delta = _WORKER_BACKEND.ops.since(snapshot)
-    return (
-        start,
-        [gt.to_bytes() for gt in gts],
-        (delta.miller_loops, delta.final_exponentiations),
-    )
-
-
 class ParallelEngine(ExecutionEngine):
-    """Batched decryption fanned out over a multiprocessing pool.
+    """Batched decryption fanned out over a *persistent* worker pool.
 
-    Sides with at most one chunk's worth of rows run inline (pool
-    startup would dominate); larger sides are split into
-    ``batch_size``-row chunks that idle workers pull one at a time.
+    Sides with at most one chunk's worth of rows run inline (even a
+    warm pool costs IPC); larger sides go through an
+    :class:`~repro.core.service.ExecutionService` — lazily started the
+    first time it is needed and reused for every subsequent query.  A
+    server binds its own service via :meth:`bind_service`; standalone
+    engines fall back to the process-wide default service.
     """
 
     name = "parallel"
@@ -174,16 +169,50 @@ class ParallelEngine(ExecutionEngine):
         self,
         workers: int | None = None,
         batch_size: int = DEFAULT_BATCH_SIZE // 2,
+        service: ExecutionService | None = None,
     ):
         if workers is not None and workers < 1:
             raise QueryError("worker count must be at least 1")
         if batch_size < 1:
             raise QueryError("batch size must be at least 1")
-        self.workers = workers if workers is not None else max(
-            2, os.cpu_count() or 1
+        self.workers = (
+            workers if workers is not None else default_worker_count()
         )
         self.batch_size = batch_size
         self._inline = BatchedEngine(batch_size)
+        self._service = service
+
+    def effective_workers(self) -> int:
+        """Workers a pooled side would actually use: the engine's own
+        cap, further capped by the pool it is (or would be) bound to."""
+        service = self._service or peek_default_service()
+        if service is not None:
+            return min(self.workers, service.worker_target)
+        return self.workers
+
+    def pool_warm(self) -> bool:
+        """Whether a pooled side would find its workers already forked."""
+        service = self._service or peek_default_service()
+        return service is not None and service.started
+
+    def bind_service(self, service: ExecutionService) -> None:
+        """Attach the pool this engine should use.
+
+        A no-op while the engine is bound to a *live* pool, so a shared
+        service keeps winning; but a bound pool whose owner closed it is
+        abandoned in favor of the new one — reusing an engine with a
+        second server must not resurrect the first server's pool.
+        """
+        if self._service is None or (
+            self._service is not service and self._service.closed
+        ):
+            self._service = service
+
+    @property
+    def service(self) -> ExecutionService:
+        if self._service is None:
+            self._service = get_default_service()
+        return self._service
 
     def decrypt_handles(self, backend, token_elements, ciphertext_vectors):
         if self.workers == 1 or len(ciphertext_vectors) <= self.batch_size:
@@ -193,34 +222,125 @@ class ParallelEngine(ExecutionEngine):
             report.engine = self.name
             return handles, report
 
-        chunks = _chunked(ciphertext_vectors, self.batch_size)
+        handles, side = self.service.run_side(
+            backend,
+            token_elements,
+            ciphertext_vectors,
+            self.batch_size,
+            max_workers=self.workers,
+        )
         report = EngineReport(
             engine=self.name,
-            batches=len(chunks),
-            max_batch_size=max(len(c) for _, c in chunks),
-            workers=min(self.workers, len(chunks)),
+            batches=side.chunks,
+            max_batch_size=side.max_chunk,
+            workers=side.workers_used,
+            miller_loops=side.miller_loops,
+            final_exponentiations=side.final_exponentiations,
+            pool_generation=side.pool_generation,
+            worker_restarts=side.worker_restarts,
         )
-        ordered: list[tuple[int, list[bytes]]] = []
-        with multiprocessing.Pool(
-            processes=report.workers,
-            initializer=_init_worker,
-            initargs=(backend, token_elements),
-        ) as pool:
-            for start, handles, (millers, final_exps) in pool.imap_unordered(
-                _decrypt_chunk, chunks, chunksize=1
-            ):
-                ordered.append((start, handles))
-                report.miller_loops += millers
-                report.final_exponentiations += final_exps
-        ordered.sort(key=lambda item: item[0])
-        flat = [handle for _, handles in ordered for handle in handles]
-        return flat, report
+        return handles, report
+
+
+#: Engines the planner may pick from, in "prefer the cheaper estimate,
+#: break ties towards batched" order.
+PLANNER_CANDIDATES = ("serial", "batched", "parallel")
+
+
+class AutoEngine(ExecutionEngine):
+    """The cost-model planner: per side, run the cheapest engine.
+
+    For every candidate side the planner estimates the runtime of each
+    candidate engine from the candidate count, the scheme dimension and
+    a per-operation cost model (:mod:`repro.bench.costmodel` — default
+    models per backend, or a calibrated/custom one), then delegates to
+    the winner.  Estimates, inputs and the choice are recorded in the
+    report so ``ServerStats`` (and wire v2) expose why a query ran the
+    way it did.  Selection is conservative: ``parallel`` must beat
+    ``batched`` by the model's margin before it is chosen, so ``auto``
+    never trades a sure thing for pool overhead.
+    """
+
+    name = "auto"
+
+    def __init__(
+        self,
+        candidates: tuple[str, ...] = PLANNER_CANDIDATES,
+        cost_model=None,
+        workers: int | None = None,
+        batch_size: int = DEFAULT_BATCH_SIZE,
+        service: ExecutionService | None = None,
+    ):
+        unknown = [c for c in candidates if c not in PLANNER_CANDIDATES]
+        if unknown:
+            raise QueryError(
+                f"unknown planner candidates {unknown}; "
+                f"use a subset of {PLANNER_CANDIDATES}"
+            )
+        if not candidates:
+            raise QueryError("planner needs at least one candidate engine")
+        self.candidates = tuple(candidates)
+        self.cost_model = cost_model
+        self.batch_size = batch_size
+        self._engines: dict[str, ExecutionEngine] = {
+            "serial": SerialEngine(),
+            "batched": BatchedEngine(batch_size),
+            "parallel": ParallelEngine(
+                workers=workers,
+                batch_size=max(1, batch_size // 2),
+                service=service,
+            ),
+        }
+
+    def bind_service(self, service: ExecutionService) -> None:
+        self._engines["parallel"].bind_service(service)
+
+    def _model_for(self, backend: BilinearBackend):
+        from repro.bench.costmodel import default_engine_cost_model
+
+        if self.cost_model is not None:
+            return self.cost_model
+        return default_engine_cost_model(backend.name)
+
+    def decrypt_handles(self, backend, token_elements, ciphertext_vectors):
+        from repro.bench.costmodel import choose_engine
+
+        parallel: ParallelEngine = self._engines["parallel"]
+        pool_warm = parallel.pool_warm()
+        # Price the pool the side would *actually* get: the engine's
+        # worker cap further capped by the bound service's size.
+        workers = parallel.effective_workers()
+        choice, estimates = choose_engine(
+            self._model_for(backend),
+            rows=len(ciphertext_vectors),
+            dimension=len(token_elements),
+            workers=workers,
+            batch_size=self.batch_size,
+            parallel_batch_size=parallel.batch_size,
+            pool_warm=pool_warm,
+            allowed=self.candidates,
+        )
+        handles, report = self._engines[choice].decrypt_handles(
+            backend, token_elements, ciphertext_vectors
+        )
+        report.engine = self.name
+        report.selected = choice
+        report.planner = {
+            "rows": len(ciphertext_vectors),
+            "dimension": len(token_elements),
+            "workers": workers,
+            "pool_warm": pool_warm,
+            "chosen": choice,
+            "estimates": {name: float(sec) for name, sec in estimates.items()},
+        }
+        return handles, report
 
 
 _ENGINE_FACTORIES = {
     SerialEngine.name: SerialEngine,
     BatchedEngine.name: BatchedEngine,
     ParallelEngine.name: ParallelEngine,
+    AutoEngine.name: AutoEngine,
 }
 
 ENGINE_NAMES = tuple(_ENGINE_FACTORIES)
@@ -228,19 +348,34 @@ ENGINE_NAMES = tuple(_ENGINE_FACTORIES)
 
 #: The default engine: behaviorally identical to the pre-engine code
 #: path (one shared final exponentiation per row) plus chunking; the
-#: serial engine is the naive ablation baseline, not the default.
+#: serial engine is the naive ablation baseline, not the default, and
+#: ``auto`` (the planner) is opt-in until its models are calibrated on
+#: the operator's hardware.
 DEFAULT_ENGINE_NAME = BatchedEngine.name
 
 
-def get_engine(engine: ExecutionEngine | str | None) -> ExecutionEngine:
-    """Resolve an engine choice: an instance, a name, or None (batched)."""
+def get_engine(
+    engine: ExecutionEngine | str | None,
+    service: ExecutionService | None = None,
+) -> ExecutionEngine:
+    """Resolve an engine choice: an instance, a name, or None (batched).
+
+    ``service`` (when given) is bound to pool-using engines — the
+    server passes its own persistent service here so every engine it
+    resolves shares one pool.
+    """
     if engine is None:
-        return BatchedEngine()
-    if isinstance(engine, ExecutionEngine):
-        return engine
-    factory = _ENGINE_FACTORIES.get(engine)
-    if factory is None:
-        raise QueryError(
-            f"unknown execution engine {engine!r}; use one of {ENGINE_NAMES}"
-        )
-    return factory()
+        resolved: ExecutionEngine = BatchedEngine()
+    elif isinstance(engine, ExecutionEngine):
+        resolved = engine
+    else:
+        factory = _ENGINE_FACTORIES.get(engine)
+        if factory is None:
+            raise QueryError(
+                f"unknown execution engine {engine!r}; "
+                f"use one of {ENGINE_NAMES}"
+            )
+        resolved = factory()
+    if service is not None and hasattr(resolved, "bind_service"):
+        resolved.bind_service(service)
+    return resolved

@@ -14,6 +14,7 @@ from dataclasses import dataclass, field
 from repro.core.client import EncryptedJoinQuery, EncryptedTable
 from repro.core.engine import EngineReport, ExecutionEngine, get_engine
 from repro.core.scheme import SecureJoinParams, SecureJoinScheme, SJToken
+from repro.core.service import ExecutionService
 from repro.crypto.backend import BilinearBackend
 from repro.errors import QueryError, SchemeError
 
@@ -31,6 +32,16 @@ class ServerStats:
     of SJ.Dec as issued by the execution engine (see
     :mod:`repro.core.engine`); ``batches``, ``max_batch_size`` and
     ``workers`` describe how that work was grouped and fanned out.
+
+    ``engine`` is the engine that ran the query; ``engine_source`` says
+    who picked it (``"default"`` / ``"hint"`` / ``"override"``);
+    ``engine_selected`` is what actually executed — it differs from
+    ``engine`` only under the ``"auto"`` planner, whose per-side inputs
+    and cost estimates land in ``planner`` (one dict per decrypted
+    side).  ``pool_generation`` / ``worker_restarts`` expose the
+    persistent pool's lifecycle: the generation only moves when the pool
+    is actually (re)created, so equal generations across queries prove
+    worker reuse.
     """
 
     candidates_left: int = 0
@@ -45,15 +56,31 @@ class ServerStats:
     workers: int = 1
     miller_loops: int = 0
     final_exponentiations: int = 0
+    engine_source: str = "default"
+    engine_selected: str = ""
+    planner: list | None = None
+    pool_generation: int = 0
+    worker_restarts: int = 0
 
     def merge_report(self, report: EngineReport) -> None:
         """Fold one side's engine report into the per-query totals."""
         self.engine = report.engine
+        selected = report.selected or report.engine
+        if not self.engine_selected:
+            self.engine_selected = selected
+        elif selected not in self.engine_selected.split("+"):
+            self.engine_selected += f"+{selected}"
         self.batches += report.batches
         self.max_batch_size = max(self.max_batch_size, report.max_batch_size)
         self.workers = max(self.workers, report.workers)
         self.miller_loops += report.miller_loops
         self.final_exponentiations += report.final_exponentiations
+        if report.planner is not None:
+            if self.planner is None:
+                self.planner = []
+            self.planner.append(dict(report.planner))
+        self.pool_generation = max(self.pool_generation, report.pool_generation)
+        self.worker_restarts = max(self.worker_restarts, report.worker_restarts)
 
 
 @dataclass
@@ -89,23 +116,55 @@ class SecureJoinServer:
         backend: BilinearBackend | None = None,
         engine: ExecutionEngine | str | None = None,
         hint_engines: tuple[str, ...] = ("serial", "batched"),
+        workers: int | None = None,
     ):
         # The server only needs public parameters — never the master key.
         self.scheme = SecureJoinScheme(params, backend)
+        # The server owns one persistent worker pool for its whole
+        # lifetime; every pool-using engine it resolves is bound to it.
+        # Construction is lazy — no process is forked until a query
+        # actually fans out — and ``close()`` (or using the server as a
+        # context manager) tears it down.
+        self.execution_service = ExecutionService(workers=workers)
         # Default execution engine; per-query overrides and client hints
         # (see execute_join) take precedence.  ``hint_engines`` is the
         # allowlist of engines a client hint may select: hints are
         # advisory, and the resources they spend belong to the server,
-        # so "parallel" (a worker pool per query) requires the operator
-        # to opt in here.  Disallowed hints fall back to the default.
-        self.engine = get_engine(engine)
+        # so "parallel" (the worker pool) and "auto" (which may choose
+        # it) require the operator to opt in here.  Disallowed hints
+        # fall back to the default.
+        self.engine = get_engine(engine, service=self.execution_service)
         self.hint_engines = frozenset(hint_engines)
+        self._engine_cache: dict[str, ExecutionEngine] = {}
         self._tables: dict[str, EncryptedTable] = {}
         # Inverted index over pre-filter tags: table -> column -> tag -> rows.
         self._tag_index: dict[str, dict[str, dict[bytes, list[int]]]] = {}
         # Deleted row indices per table (tombstones).
         self._tombstones: dict[str, set[int]] = {}
         self.observations: list[QueryObservation] = []
+
+    # -- lifecycle ----------------------------------------------------------
+    def close(self) -> None:
+        """Shut down the server's worker pool.  Idempotent."""
+        self.execution_service.close()
+
+    def __enter__(self) -> "SecureJoinServer":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    def _resolve_engine(self, engine: ExecutionEngine | str) -> ExecutionEngine:
+        """An engine bound to this server's pool; named engines are cached
+        so repeated ``engine="parallel"`` calls reuse one instance (and
+        therefore one warm pool) instead of re-instantiating per query."""
+        if isinstance(engine, ExecutionEngine):
+            return get_engine(engine, service=self.execution_service)
+        cached = self._engine_cache.get(engine)
+        if cached is None:
+            cached = get_engine(engine, service=self.execution_service)
+            self._engine_cache[engine] = cached
+        return cached
 
     # -- storage ------------------------------------------------------------
     def store(self, encrypted_table: EncryptedTable) -> None:
@@ -253,25 +312,30 @@ class SecureJoinServer:
         that Hahn et al.'s scheme is limited to — kept for ablations).
 
         ``engine`` selects the SJ.Dec execution engine for this query
-        (``"serial"``, ``"batched"``, ``"parallel"`` or an
+        (``"serial"``, ``"batched"``, ``"parallel"``, ``"auto"`` or an
         :class:`~repro.core.engine.ExecutionEngine` instance); when
         omitted, the query's client hint applies if the server's
         ``hint_engines`` allowlist permits it, then the server default.
+        Pool-using engines run on the server's persistent
+        ``execution_service`` either way.
         """
         if algorithm not in ("hash", "nested"):
             raise QueryError(f"unknown join algorithm {algorithm!r}")
         if engine is not None:
-            active_engine = get_engine(engine)
+            active_engine = self._resolve_engine(engine)
+            engine_source = "override"
         elif (
             query.engine_hint is not None
             and query.engine_hint in self.hint_engines
         ):
-            active_engine = get_engine(query.engine_hint)
+            active_engine = self._resolve_engine(query.engine_hint)
+            engine_source = "hint"
         else:
             active_engine = self.engine
+            engine_source = "default"
         left = self.table(query.left_table)
         right = self.table(query.right_table)
-        stats = ServerStats()
+        stats = ServerStats(engine_source=engine_source)
         observation = QueryObservation(query.query_id)
 
         left_candidates = self._live(

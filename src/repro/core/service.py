@@ -1,0 +1,634 @@
+"""A persistent parallel execution service for SJ.Dec.
+
+PR 1's :class:`~repro.core.engine.ParallelEngine` forked a
+``multiprocessing.Pool`` *per query* and pickled every ciphertext chunk
+into it — correct, but pool-overhead-bound: on the Figure 3 workload the
+fork + pickle tax exceeded the pairing work it parallelized.  This
+module replaces that with a long-lived service:
+
+- **Lazy, persistent workers.**  Nothing is spawned at construction;
+  the first large-enough side forks the workers, and they stay alive
+  across queries (``pool_generation`` in ``ServerStats`` exposes this —
+  it only increments when the pool is actually (re)created).
+- **Per-worker caches that survive queries.**  The bilinear backend is
+  shipped once per worker lifetime (as a spawn argument), and decoded
+  query tokens are cached per worker keyed by token digest, so
+  re-running a query ships and decodes nothing but chunk descriptors.
+- **Shared-memory ciphertext transport.**  A side's ciphertext vectors
+  are encoded once into a ``multiprocessing.shared_memory`` segment;
+  chunk messages carry only ``(start, count)`` offsets into it.  Where
+  POSIX shared memory is unavailable the service falls back to sending
+  each chunk's encoded bytes as a single contiguous ``bytes`` object
+  (one buffer per chunk, never per-element pickling).
+- **Crash resilience.**  Each worker is reached over its own duplex
+  pipe (no shared queue locks a dying worker could poison).  A worker
+  that disappears mid-side is respawned, its outstanding chunks are
+  redistributed, and ``worker_restarts`` records the event.
+- **Clean lifecycle.**  ``close()`` is idempotent, the service is a
+  context manager, and workers are daemonic so an unclosed service can
+  never outlive the interpreter.
+
+The service is *owned* by :class:`~repro.core.server.SecureJoinServer`
+(one service per server, bound to the engines the server resolves);
+engine instances used standalone lazily create a private service.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import itertools
+import multiprocessing
+import os
+import traceback
+from collections import deque
+from collections.abc import Sequence
+from dataclasses import dataclass
+from multiprocessing.connection import Connection, wait
+
+from repro.crypto.backend import BilinearBackend
+from repro.errors import QueryError
+
+try:  # pragma: no cover - exercised indirectly via the transport choice
+    from multiprocessing import shared_memory as _shared_memory
+except ImportError:  # pragma: no cover - always present on CPython >= 3.8
+    _shared_memory = None
+
+#: How many chunks may sit in one worker's pipe before the scheduler
+#: waits for a result (keeps workers busy without queueing a whole side
+#: into one pipe, which would defeat work stealing).
+_PREFETCH_PER_WORKER = 2
+
+#: Decoded tokens cached per worker (FIFO-evicted).
+_TOKEN_CACHE_SIZE = 32
+
+
+def default_worker_count() -> int:
+    """The service's default pool size (matches the PR 1 parallel engine)."""
+    return max(2, os.cpu_count() or 1)
+
+
+@dataclass
+class SideReport:
+    """What one ``run_side`` call did, for engine/stat accounting."""
+
+    chunks: int = 0
+    max_chunk: int = 0
+    workers_used: int = 0
+    miller_loops: int = 0
+    final_exponentiations: int = 0
+    pool_generation: int = 0
+    worker_restarts: int = 0
+    shared_memory: bool = False
+
+
+# -- worker side ----------------------------------------------------------
+
+
+def _attach_shared_memory(name: str):
+    """Attach to an existing segment without owning its lifetime.
+
+    Under ``fork`` the worker shares the main process's resource
+    tracker, where attach-registration is an idempotent set-add that the
+    owner's ``unlink`` later removes — nothing to fix up.  Under other
+    start methods the worker has its *own* tracker, which would unlink
+    the (still in use) segment when the worker exits; undo the
+    registration there.
+    """
+    segment = _shared_memory.SharedMemory(name=name)
+    if multiprocessing.get_start_method() != "fork":
+        try:  # pragma: no cover - depends on interpreter internals
+            from multiprocessing import resource_tracker
+
+            resource_tracker.unregister(segment._name, "shared_memory")
+        except Exception:
+            pass
+    return segment
+
+
+def _decode_rows(
+    backend: BilinearBackend, buffer, start: int, count: int, dimension: int
+) -> list[list]:
+    """Decode ``count`` ciphertext rows from a flat encoded buffer."""
+    element_size = backend.g2_element_size
+    stride = dimension * element_size
+    rows = []
+    for row_index in range(start, start + count):
+        base = row_index * stride
+        rows.append([
+            backend.decode_g2(
+                bytes(buffer[base + i * element_size:
+                             base + (i + 1) * element_size])
+            )
+            for i in range(dimension)
+        ])
+    return rows
+
+
+def _service_worker(conn: Connection, backend: BilinearBackend) -> None:
+    """Worker main loop: install contexts, decrypt chunks, report results.
+
+    Messages arrive on one FIFO pipe, so a ``ctx`` install is always
+    processed before the chunks that reference it.  The worker keeps the
+    backend for its whole lifetime and caches decoded tokens by digest,
+    so repeated queries cost nothing but the chunk descriptors.
+    """
+    backend.ops.reset()
+    token_cache: dict[bytes, tuple] = {}
+    current_ctx = None  # (ctx_id, token_elements, dimension, shm, blob)
+    segment = None
+    try:
+        while True:
+            message = conn.recv()
+            kind = message[0]
+            if kind == "stop":
+                return
+            if kind == "ctx":
+                _, ctx_id, digest, token_bytes, dimension, shm_name = message
+                token = token_cache.get(digest)
+                if token is None:
+                    token = tuple(
+                        backend.decode_g1(raw) for raw in token_bytes
+                    )
+                    if len(token_cache) >= _TOKEN_CACHE_SIZE:
+                        token_cache.pop(next(iter(token_cache)))
+                    token_cache[digest] = token
+                if segment is not None:
+                    segment.close()
+                    segment = None
+                if shm_name is not None:
+                    # A vanished segment means the install is stale (the
+                    # side it belonged to is over); exiting lets the
+                    # service's liveness handling respawn us cleanly.
+                    try:
+                        segment = _attach_shared_memory(shm_name)
+                    except (FileNotFoundError, OSError):
+                        return
+                current_ctx = (ctx_id, token, dimension)
+                continue
+            if kind == "chunk":
+                _, ctx_id, start, count, payload = message
+                try:
+                    if current_ctx is None or current_ctx[0] != ctx_id:
+                        raise QueryError(
+                            f"chunk for unknown context {ctx_id}"
+                        )
+                    _, token, dimension = current_ctx
+                    if payload is not None:
+                        rows = _decode_rows(
+                            backend, payload, 0, count, dimension
+                        )
+                    else:
+                        rows = _decode_rows(
+                            backend, segment.buf, start, count, dimension
+                        )
+                    snapshot = backend.ops.snapshot()
+                    gts = backend.pair_vectors_batch(token, rows)
+                    delta = backend.ops.since(snapshot)
+                    conn.send((
+                        "done", ctx_id, start,
+                        [gt.to_bytes() for gt in gts],
+                        delta.miller_loops, delta.final_exponentiations,
+                    ))
+                except Exception:
+                    conn.send((
+                        "error", ctx_id, start, traceback.format_exc()
+                    ))
+    except (EOFError, KeyboardInterrupt, BrokenPipeError):
+        pass
+    finally:
+        if segment is not None:
+            segment.close()
+        conn.close()
+
+
+# -- main-process side ----------------------------------------------------
+
+
+class _WorkerHandle:
+    """One pooled worker: its process, pipe and outstanding chunks."""
+
+    def __init__(self, index: int, process, conn: Connection):
+        self.index = index
+        self.process = process
+        self.conn = conn
+        # start offset -> (start, count) for crash redistribution.
+        self.outstanding: dict[int, tuple] = {}
+
+    def alive(self) -> bool:
+        return self.process.is_alive()
+
+
+class ExecutionService:
+    """A lazily-started, persistent pool of SJ.Dec workers.
+
+    One instance serves many queries: construct it freely (construction
+    spawns nothing), call :meth:`run_side` per candidate side, and
+    :meth:`close` when done — or use it as a context manager.  A closed
+    service transparently restarts on next use (``generation`` then
+    increments, which is how tests assert the pool was *not* recreated
+    between queries).
+    """
+
+    def __init__(
+        self,
+        workers: int | None = None,
+        use_shared_memory: bool | None = None,
+    ):
+        if workers is not None and workers < 1:
+            raise QueryError("worker count must be at least 1")
+        self.worker_target = (
+            workers if workers is not None else default_worker_count()
+        )
+        if use_shared_memory is None:
+            use_shared_memory = _shared_memory is not None
+        self.use_shared_memory = use_shared_memory and _shared_memory is not None
+        #: Incremented every time the pool is (re)started.
+        self.generation = 0
+        #: Cumulative count of workers respawned after a crash.
+        self.worker_restarts = 0
+        #: Sides executed through the pool (not counting inline fallbacks).
+        self.sides_executed = 0
+        self._workers: list[_WorkerHandle] = []
+        self._backend: BilinearBackend | None = None
+        self._ctx_counter = itertools.count(1)
+        self._closed = False
+
+    # -- lifecycle --------------------------------------------------------
+    @property
+    def started(self) -> bool:
+        return bool(self._workers)
+
+    @property
+    def closed(self) -> bool:
+        """True after :meth:`close` until the next (lazy) restart."""
+        return self._closed
+
+    def worker_pids(self) -> list[int]:
+        """PIDs of the live pool (for lifecycle tests and diagnostics)."""
+        return [w.process.pid for w in self._workers if w.alive()]
+
+    def _spawn_worker(self, index: int) -> _WorkerHandle:
+        parent_conn, child_conn = multiprocessing.Pipe(duplex=True)
+        process = multiprocessing.Process(
+            target=_service_worker,
+            args=(child_conn, self._backend),
+            daemon=True,
+            name=f"repro-sjdec-{self.generation}-{index}",
+        )
+        process.start()
+        child_conn.close()
+        return _WorkerHandle(index, process, parent_conn)
+
+    @staticmethod
+    def _backend_fingerprint(backend: BilinearBackend) -> tuple:
+        """What must match for pooled workers to be reusable: semantics,
+        not object identity (backends are stateless but for op counters,
+        which are per-process anyway)."""
+        return (
+            type(backend).__qualname__,
+            backend.name,
+            backend.order,
+            getattr(backend, "use_fast_pairing", None),
+        )
+
+    def ensure_started(self, backend: BilinearBackend) -> None:
+        """Start (or restart) the pool bound to ``backend``.
+
+        The backend is shipped once, as each worker's spawn argument;
+        asking for a semantically different backend restarts the pool,
+        since the per-worker caches would be poisoned otherwise.
+        """
+        if self._workers and (
+            self._backend_fingerprint(self._backend)
+            != self._backend_fingerprint(backend)
+        ):
+            self._stop_workers()
+        if not self._workers:
+            self._backend = backend
+            self.generation += 1
+            self._closed = False
+            if self.use_shared_memory:
+                # Start the resource tracker *before* forking so workers
+                # inherit it instead of each spawning (and exiting with)
+                # a tracker of their own.
+                try:  # pragma: no cover - tracker internals
+                    from multiprocessing import resource_tracker
+
+                    resource_tracker.ensure_running()
+                except Exception:
+                    pass
+            self._workers = [
+                self._spawn_worker(i) for i in range(self.worker_target)
+            ]
+        else:
+            self._respawn_dead_workers()
+
+    def _respawn_dead_workers(self) -> None:
+        """Replace workers that died between sides.  The replacement gets
+        no context — the next ``run_side`` installs a fresh one before
+        sending any chunk."""
+        for slot, worker in enumerate(self._workers):
+            if not worker.alive():
+                worker.conn.close()
+                self._workers[slot] = self._spawn_worker(worker.index)
+                self.worker_restarts += 1
+
+    def close(self) -> None:
+        """Stop the pool.  Idempotent; the service may be reused after."""
+        if self._closed and not self._workers:
+            return
+        self._stop_workers()
+        self._closed = True
+
+    def _stop_workers(self) -> None:
+        for worker in self._workers:
+            try:
+                worker.conn.send(("stop",))
+            except (OSError, ValueError):
+                pass
+        for worker in self._workers:
+            worker.process.join(timeout=2.0)
+            if worker.process.is_alive():  # pragma: no cover - stuck worker
+                worker.process.terminate()
+                worker.process.join(timeout=1.0)
+            worker.conn.close()
+            # Release the Process object's pidfd/sentinel immediately
+            # rather than waiting for GC (keeps FD counts flat).
+            if hasattr(worker.process, "close"):
+                worker.process.close()
+        self._workers = []
+
+    def __enter__(self) -> "ExecutionService":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    # -- execution --------------------------------------------------------
+    def run_side(
+        self,
+        backend: BilinearBackend,
+        token_elements: Sequence,
+        ciphertext_vectors: Sequence[Sequence],
+        batch_size: int,
+        max_workers: int | None = None,
+    ) -> tuple[list[bytes], SideReport]:
+        """Decrypt one side's candidate rows through the pool.
+
+        Returns the handles in row order plus a :class:`SideReport`.
+        ``max_workers`` caps how many pooled workers this call may use
+        (an engine configured narrower than the pool stays narrower).
+        """
+        if batch_size < 1:
+            raise QueryError("batch size must be at least 1")
+        self.ensure_started(backend)
+        self.sides_executed += 1
+
+        dimension = len(token_elements)
+        n_rows = len(ciphertext_vectors)
+        encoded = self._encode_rows(backend, ciphertext_vectors, dimension)
+        segment = self._create_segment(encoded)
+        ctx_id = next(self._ctx_counter)
+        token_bytes = [backend.encode_g1(e) for e in token_elements]
+        digest = hashlib.blake2b(
+            b"".join(token_bytes), digest_size=16
+        ).digest()
+        install = (
+            "ctx", ctx_id, digest, token_bytes, dimension,
+            segment.name if segment is not None else None,
+        )
+
+        element_size = backend.g2_element_size
+        stride = dimension * element_size
+        pending: deque[tuple[int, int]] = deque(
+            (start, min(batch_size, n_rows - start))
+            for start in range(0, n_rows, batch_size)
+        )
+        n_chunks = len(pending)
+        limit = min(
+            max_workers if max_workers is not None else self.worker_target,
+            len(self._workers),
+        )
+        report = SideReport(
+            chunks=n_chunks,
+            max_chunk=max((count for _, count in pending), default=0),
+            pool_generation=self.generation,
+            shared_memory=segment is not None,
+        )
+
+        try:
+            active = self._broadcast_install(install, limit)
+            results: dict[int, list[bytes]] = {}
+            self._fill_windows(active, pending, ctx_id, encoded, stride)
+            report.workers_used = sum(
+                1 for w in active if w.outstanding
+            )
+            # Crash-rescue budget for this side: a worker that dies
+            # *deterministically* (bad spawn environment, unpicklable
+            # backend) must fail the query, not fork processes forever.
+            rescue_budget = [3 * len(active) + 5]
+            while len(results) < n_chunks:
+                self._collect(
+                    active, pending, results, report, ctx_id,
+                    encoded, stride, install, rescue_budget,
+                )
+        finally:
+            report.worker_restarts = self.worker_restarts
+            if segment is not None:
+                segment.close()
+                segment.unlink()
+        handles = [
+            handle
+            for start in sorted(results)
+            for handle in results[start]
+        ]
+        return handles, report
+
+    # -- scheduling internals --------------------------------------------
+    def _encode_rows(self, backend, ciphertext_vectors, dimension) -> bytes:
+        parts = []
+        for row in ciphertext_vectors:
+            if len(row) != dimension:
+                raise QueryError(
+                    f"ciphertext dimension {len(row)} != token dimension "
+                    f"{dimension}"
+                )
+            for element in row:
+                parts.append(backend.encode_g2(element))
+        return b"".join(parts)
+
+    def _create_segment(self, encoded: bytes):
+        if not self.use_shared_memory or not encoded:
+            return None
+        try:
+            segment = _shared_memory.SharedMemory(
+                create=True, size=len(encoded)
+            )
+        except (OSError, ValueError):  # pragma: no cover - no /dev/shm
+            self.use_shared_memory = False
+            return None
+        segment.buf[: len(encoded)] = encoded
+        return segment
+
+    def _broadcast_install(self, install, limit: int) -> list[_WorkerHandle]:
+        """Install the side's context on the first ``limit`` live workers."""
+        active = []
+        for worker in self._workers:
+            # Entries left by an aborted side are stale by definition
+            # (sides run sequentially); a fresh window starts empty.
+            worker.outstanding.clear()
+        for attempt in range(2):
+            for worker in self._workers:
+                if len(active) == limit:
+                    break
+                if not worker.alive():
+                    continue
+                try:
+                    worker.conn.send(install)
+                    active.append(worker)
+                except OSError:
+                    continue
+            if active:
+                return active
+            if attempt == 0:
+                # Every worker was dead or unreachable at once; replace
+                # the dead (a live one with a broken pipe stays skipped)
+                # and retry.
+                self._respawn_dead_workers()
+        raise QueryError(
+            "execution service has no reachable workers after a restart"
+        )
+
+    def _chunk_message(self, ctx_id, start, count, encoded, stride):
+        if self.use_shared_memory:
+            payload = None
+        else:
+            # Zero-copy-ish fallback: one contiguous bytes slice per
+            # chunk (pickled as a single buffer, not element by element).
+            payload = encoded[start * stride:(start + count) * stride]
+        return ("chunk", ctx_id, start, count, payload)
+
+    def _fill_windows(self, active, pending, ctx_id, encoded, stride) -> None:
+        for _ in range(_PREFETCH_PER_WORKER):
+            for worker in active:
+                if not pending:
+                    return
+                if len(worker.outstanding) >= _PREFETCH_PER_WORKER:
+                    continue
+                start, count = pending.popleft()
+                try:
+                    worker.conn.send(
+                        self._chunk_message(
+                            ctx_id, start, count, encoded, stride
+                        )
+                    )
+                    worker.outstanding[start] = (start, count)
+                except OSError:
+                    pending.appendleft((start, count))
+
+    def _collect(
+        self, active, pending, results, report, ctx_id, encoded, stride,
+        install, rescue_budget,
+    ) -> None:
+        ready = wait([w.conn for w in active], timeout=0.25)
+        if not ready:
+            self._rescue_dead(active, pending, install, rescue_budget)
+            self._fill_windows(active, pending, ctx_id, encoded, stride)
+            return
+        for conn in ready:
+            worker = next(w for w in active if w.conn is conn)
+            try:
+                message = conn.recv()
+            except (EOFError, OSError):
+                self._rescue_worker(
+                    worker, active, pending, install, rescue_budget
+                )
+                continue
+            kind = message[0]
+            if kind == "done":
+                _, msg_ctx, start, handles, millers, fexps = message
+                if msg_ctx != ctx_id:
+                    # Stale result from an aborted side; its outstanding
+                    # entry was already cleared at side start — popping
+                    # here could drop a live chunk with the same offset.
+                    continue
+                worker.outstanding.pop(start, None)
+                if start not in results:
+                    results[start] = handles
+                    report.miller_loops += millers
+                    report.final_exponentiations += fexps
+            elif kind == "error":
+                _, msg_ctx, start, trace = message
+                if msg_ctx != ctx_id:
+                    continue
+                worker.outstanding.pop(start, None)
+                raise QueryError(f"pooled SJ.Dec worker failed:\n{trace}")
+        self._fill_windows(active, pending, ctx_id, encoded, stride)
+
+    def _rescue_dead(self, active, pending, install, rescue_budget) -> None:
+        for worker in list(active):
+            if not worker.alive():
+                self._rescue_worker(
+                    worker, active, pending, install, rescue_budget
+                )
+
+    def _rescue_worker(
+        self, worker, active, pending, install, rescue_budget
+    ) -> None:
+        """Replace a dead worker and re-queue the chunks it was holding."""
+        rescue_budget[0] -= 1
+        if rescue_budget[0] < 0:
+            raise QueryError(
+                "execution-service workers keep dying "
+                f"(restarted {self.worker_restarts} total); "
+                "refusing to respawn further for this query"
+            )
+        for start, count in list(worker.outstanding.values()):
+            pending.appendleft((start, count))
+        worker.outstanding.clear()
+        worker.conn.close()
+        slot = self._workers.index(worker)
+        position = active.index(worker)
+        replacement = self._spawn_worker(worker.index)
+        try:
+            replacement.conn.send(install)
+        except OSError:  # pragma: no cover - instant respawn death
+            pass
+        self._workers[slot] = replacement
+        active[position] = replacement
+        self.worker_restarts += 1
+
+
+_DEFAULT_SERVICE: ExecutionService | None = None
+
+
+def get_default_service() -> ExecutionService:
+    """The process-wide fallback service for engines used standalone.
+
+    Engines resolved by a :class:`~repro.core.server.SecureJoinServer`
+    are bound to the server's own service; a bare ``ParallelEngine``
+    (no server in sight) shares this singleton so ad-hoc uses still get
+    a warm, persistent pool instead of one pool per engine instance.
+    """
+    global _DEFAULT_SERVICE
+    if _DEFAULT_SERVICE is None:
+        _DEFAULT_SERVICE = ExecutionService()
+    return _DEFAULT_SERVICE
+
+
+def peek_default_service() -> ExecutionService | None:
+    """The process-wide service if one exists, without creating it.
+
+    The planner uses this to price pool warmth for engines that would
+    fall back to the default service — creating the (cheap but stateful)
+    singleton as a side effect of *estimating* would be wrong.
+    """
+    return _DEFAULT_SERVICE
+
+
+def shutdown_default_service() -> None:
+    """Close the process-wide service (tests and explicit teardowns)."""
+    global _DEFAULT_SERVICE
+    if _DEFAULT_SERVICE is not None:
+        _DEFAULT_SERVICE.close()
+        _DEFAULT_SERVICE = None

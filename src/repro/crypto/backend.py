@@ -248,6 +248,16 @@ class BN254Backend(BilinearBackend):
         self._g2_table: _FixedBaseTable | None = None
         self.use_fast_pairing = use_fast_pairing
 
+    def __getstate__(self):
+        # The fixed-base tables are pure caches and dominate the pickled
+        # size (hundreds of curve points).  The execution service ships
+        # the backend to each pooled worker once at spawn; dropping the
+        # tables keeps that message small and workers rebuild lazily.
+        state = self.__dict__.copy()
+        state["_g1_table"] = None
+        state["_g2_table"] = None
+        return state
+
     @property
     def order(self) -> int:
         return CURVE_ORDER

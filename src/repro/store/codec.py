@@ -79,18 +79,28 @@ def write_header(writer: Writer, magic: bytes, version: int, header: dict) -> No
     writer.blob(json.dumps(header, sort_keys=True).encode("utf-8"))
 
 
-def read_header(reader: Reader, magic: bytes, version: int) -> dict:
-    """Parse and validate ``magic || version || length || JSON header``."""
+def read_header(
+    reader: Reader, magic: bytes, version: int, min_version: int | None = None
+) -> dict:
+    """Parse and validate ``magic || version || length || JSON header``.
+
+    ``min_version`` (default: exactly ``version``) opens a
+    backward-compatibility window: formats that only *add* optional
+    header fields across versions can accept every version in
+    ``[min_version, version]`` and let callers default the missing keys.
+    """
     seen = reader.take(len(magic))
     if seen != magic:
         raise SchemeError(
             f"bad magic {seen!r}; expected {magic!r} (wrong file type?)"
         )
+    if min_version is None:
+        min_version = version
     seen_version = reader.u8()
-    if seen_version != version:
+    if not min_version <= seen_version <= version:
         raise SchemeError(
             f"unsupported format version {seen_version}; this build reads "
-            f"version {version}"
+            f"versions {min_version}..{version}"
         )
     try:
         return json.loads(reader.blob().decode("utf-8"))

@@ -14,6 +14,8 @@ them — the deployment model of the paper's system.
 
 from __future__ import annotations
 
+import dataclasses
+
 from repro.core.client import EncryptedJoinQuery
 from repro.core.scheme import SJToken
 from repro.core.server import EncryptedJoinResult, ServerStats
@@ -31,9 +33,18 @@ from repro.store.codec import (
 _QUERY_MAGIC = b"RPROJQRY"
 _RESULT_MAGIC = b"RPROJRES"
 # Version 2: queries carry ``engine_hint``; result stats carry the
-# execution-engine fields (engine, batches, workers, pairing op counts).
+# execution-engine fields (engine, batches, workers, pairing op counts)
+# plus — since the planner PR — ``engine_source`` / ``engine_selected``,
+# the per-side ``planner`` records and the persistent-pool lifecycle
+# counters.  All stats additions are optional JSON header keys, so the
+# version stays 2 and version-1 payloads (pre-engine) still decode:
+# missing stats fields take their dataclass defaults, unknown ones from
+# newer minor revisions are ignored.
 _VERSION = 2
+_MIN_VERSION = 1
 _TAG_SIZE = 32
+
+_STATS_FIELDS = {field.name for field in dataclasses.fields(ServerStats)}
 
 
 def _write_prefilter(
@@ -81,7 +92,7 @@ def decode_join_query(
 ) -> EncryptedJoinQuery:
     """Inverse of :func:`encode_join_query` (validating)."""
     reader = Reader(data)
-    header = read_header(reader, _QUERY_MAGIC, _VERSION)
+    header = read_header(reader, _QUERY_MAGIC, _VERSION, _MIN_VERSION)
     if header["backend"] != backend.name:
         raise SchemeError(
             f"query was built for backend {header['backend']!r}, "
@@ -135,6 +146,11 @@ def encode_join_result(result: EncryptedJoinResult) -> bytes:
             "workers": result.stats.workers,
             "miller_loops": result.stats.miller_loops,
             "final_exponentiations": result.stats.final_exponentiations,
+            "engine_source": result.stats.engine_source,
+            "engine_selected": result.stats.engine_selected,
+            "planner": result.stats.planner,
+            "pool_generation": result.stats.pool_generation,
+            "worker_restarts": result.stats.worker_restarts,
         },
     }
     write_header(writer, _RESULT_MAGIC, _VERSION, header)
@@ -151,13 +167,19 @@ def encode_join_result(result: EncryptedJoinResult) -> bytes:
 def decode_join_result(data: bytes) -> EncryptedJoinResult:
     """Inverse of :func:`encode_join_result` (validating)."""
     reader = Reader(data)
-    header = read_header(reader, _RESULT_MAGIC, _VERSION)
+    header = read_header(reader, _RESULT_MAGIC, _VERSION, _MIN_VERSION)
     n_pairs = header["n_pairs"]
     pairs = [(reader.u32(), reader.u32()) for _ in range(n_pairs)]
     left_payloads = [reader.blob() for _ in range(n_pairs)]
     right_payloads = [reader.blob() for _ in range(n_pairs)]
     reader.expect_end()
-    stats = ServerStats(**header["stats"])
+    # Tolerant stats decode: absent fields (older payloads) default,
+    # unknown fields (newer minor revisions) are dropped.
+    stats = ServerStats(**{
+        key: value
+        for key, value in header["stats"].items()
+        if key in _STATS_FIELDS
+    })
     return EncryptedJoinResult(
         left_table=header["left_table"],
         right_table=header["right_table"],

@@ -111,3 +111,29 @@ class TestBackendEquivalence:
             bn254_backend.g1_power(6), bn254_backend.g2_power(7)
         )
         assert lhs == bn254_backend.gt_generator_power(42)
+
+
+class TestBackendPickling:
+    """Backends are shipped once per pooled worker; keep that cheap."""
+
+    def test_fast_backend_round_trips(self):
+        import pickle
+
+        backend = FastBackend()
+        clone = pickle.loads(pickle.dumps(backend))
+        assert clone.order == backend.order
+        assert clone.pair_vectors([3], [5]) == backend.pair_vectors([3], [5])
+
+    @pytest.mark.bn254
+    def test_bn254_pickle_drops_fixed_base_caches(self, bn254_backend):
+        import pickle
+
+        # Populate the caches, then pickle: the blob must stay small
+        # (the tables hold hundreds of curve points) and the clone must
+        # rebuild them lazily with identical results.
+        point = bn254_backend.g1_power(7)
+        blob = pickle.dumps(bn254_backend)
+        assert len(blob) < 4096
+        clone = pickle.loads(blob)
+        assert clone._g1_table is None and clone._g2_table is None
+        assert clone.g1_power(7) == point

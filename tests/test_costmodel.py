@@ -97,3 +97,192 @@ class TestPaperShape:
 
     def test_paper_points_present(self):
         assert len(PAPER_FIGURE3_POINTS) == 4
+
+
+class TestEngineCostModel:
+    """The planner's per-engine runtime estimates and decision rule."""
+
+    def _model(self, **overrides):
+        from repro.bench.costmodel import FAST_ENGINE_COSTS
+        from dataclasses import replace
+
+        return replace(FAST_ENGINE_COSTS, **overrides)
+
+    def test_default_models_per_backend(self):
+        from repro.bench.costmodel import (
+            BN254_ENGINE_COSTS,
+            FAST_ENGINE_COSTS,
+            default_engine_cost_model,
+        )
+
+        assert default_engine_cost_model("fast") is FAST_ENGINE_COSTS
+        assert default_engine_cost_model("bn254") is BN254_ENGINE_COSTS
+        # Unknown backends fall back to the fast-backend shape.
+        assert default_engine_cost_model("???") is FAST_ENGINE_COSTS
+
+    def test_serial_never_cheaper_than_batched(self):
+        """Structural: same Miller loops, strictly more final
+        exponentiations, and batch overhead <= one final exponentiation."""
+        from repro.bench.costmodel import estimate_engine_costs
+
+        model = self._model()
+        for rows in (0, 1, 2, 7, 64, 1000, 131072):
+            for dimension in (2, 5, 21, 88):
+                est = estimate_engine_costs(
+                    model, rows=rows, dimension=dimension,
+                    workers=4, batch_size=64,
+                )
+                assert est["serial"] >= est["batched"]
+
+    def test_parallel_wins_when_compute_dominates(self):
+        from repro.bench.costmodel import BN254_ENGINE_COSTS, choose_engine
+
+        chosen, estimates = choose_engine(
+            BN254_ENGINE_COSTS, rows=64, dimension=21,
+            workers=4, batch_size=64, pool_warm=False,
+        )
+        assert chosen == "parallel"
+        assert estimates["parallel"] < estimates["batched"]
+
+    def test_transport_dominates_on_fast_backend(self):
+        """Exponent-group pairings are so cheap that IPC always loses:
+        auto must stick to batched at any realistic size."""
+        from repro.bench.costmodel import choose_engine
+
+        model = self._model()
+        for rows in (10, 1000, 100000):
+            chosen, _ = choose_engine(
+                model, rows=rows, dimension=21, workers=8,
+                batch_size=64, pool_warm=True,
+            )
+            assert chosen == "batched"
+
+    def test_single_worker_never_parallel(self):
+        from repro.bench.costmodel import BN254_ENGINE_COSTS, choose_engine
+
+        chosen, _ = choose_engine(
+            BN254_ENGINE_COSTS, rows=512, dimension=21,
+            workers=1, batch_size=64, pool_warm=True,
+        )
+        assert chosen == "batched"
+
+    def test_switch_margin_protects_the_default(self):
+        """A candidate barely under batched must NOT displace it."""
+        from repro.bench.costmodel import choose_engine
+
+        # Make parallel ~20% cheaper than batched: inside the 25% margin.
+        model = self._model(
+            element_transport=0.0, chunk_overhead=0.0, pool_spawn=0.0,
+            miller_loop=1e-6, final_exponentiation=1e-9,
+            row_overhead=2e-5, switch_margin=1.25,
+        )
+        chosen, estimates = choose_engine(
+            model, rows=1000, dimension=10, workers=2,
+            batch_size=64, pool_warm=True,
+        )
+        assert estimates["parallel"] < estimates["batched"]
+        assert chosen == "batched"
+        # Widen the gap beyond the margin: parallel may take over.
+        model = self._model(
+            element_transport=0.0, chunk_overhead=0.0, pool_spawn=0.0,
+            miller_loop=1e-6, final_exponentiation=1e-9,
+            row_overhead=0.0, switch_margin=1.25,
+        )
+        chosen, _ = choose_engine(
+            model, rows=1000, dimension=10, workers=4,
+            batch_size=64, pool_warm=True,
+        )
+        assert chosen == "parallel"
+
+    def test_zero_rows_tie_goes_to_batched(self):
+        """An empty side costs 0.0 under every engine; the tie must go
+        to the default, never to serial via dict ordering."""
+        from repro.bench.costmodel import choose_engine
+
+        chosen, estimates = choose_engine(
+            self._model(), rows=0, dimension=5, workers=4, batch_size=64
+        )
+        assert chosen == "batched"
+        assert estimates["serial"] == estimates["batched"] == 0.0
+        # A cold pool still charges its spawn cost, even for zero rows.
+        assert estimates["parallel"] > 0.0
+
+    def test_cold_pool_charges_spawn_cost(self):
+        from repro.bench.costmodel import estimate_engine_costs
+
+        model = self._model()
+        cold = estimate_engine_costs(
+            model, rows=100, dimension=5, workers=4, batch_size=64,
+            pool_warm=False,
+        )
+        warm = estimate_engine_costs(
+            model, rows=100, dimension=5, workers=4, batch_size=64,
+            pool_warm=True,
+        )
+        assert cold["parallel"] == pytest.approx(
+            warm["parallel"] + 4 * model.pool_spawn
+        )
+        assert cold["batched"] == warm["batched"]
+
+    def test_allowlist_restricts_choice(self):
+        from repro.bench.costmodel import BN254_ENGINE_COSTS, choose_engine
+        from repro.errors import BenchmarkError
+
+        chosen, _ = choose_engine(
+            BN254_ENGINE_COSTS, rows=64, dimension=21, workers=4,
+            batch_size=64, allowed=("serial", "batched"),
+        )
+        assert chosen == "batched"
+        chosen, _ = choose_engine(
+            BN254_ENGINE_COSTS, rows=64, dimension=21, workers=4,
+            batch_size=64, allowed=("serial",),
+        )
+        assert chosen == "serial"
+        with pytest.raises(BenchmarkError):
+            choose_engine(
+                BN254_ENGINE_COSTS, rows=64, dimension=21, workers=4,
+                batch_size=64, allowed=(),
+            )
+
+    def test_invalid_inputs(self):
+        from repro.bench.costmodel import estimate_engine_costs
+        from repro.errors import BenchmarkError
+
+        with pytest.raises(BenchmarkError):
+            estimate_engine_costs(
+                self._model(), rows=-1, dimension=5, workers=2, batch_size=8
+            )
+        with pytest.raises(BenchmarkError):
+            estimate_engine_costs(
+                self._model(), rows=5, dimension=0, workers=2, batch_size=8
+            )
+
+
+class TestCalibration:
+    def test_calibrate_on_fast_backend(self):
+        from repro.bench.costmodel import calibrate_engine_cost_model
+        from repro.crypto.backend import FastBackend
+
+        model = calibrate_engine_cost_model(
+            FastBackend(), dimension=6, rows=16, repeats=2
+        )
+        assert model.backend == "fast"
+        assert model.miller_loop > 0
+        assert model.final_exponentiation > 0
+        # Calibrated timings must preserve the structural ordering.
+        from repro.bench.costmodel import estimate_engine_costs
+
+        est = estimate_engine_costs(
+            model, rows=256, dimension=6, workers=2, batch_size=64
+        )
+        assert est["batched"] <= est["serial"]
+
+    def test_calibrate_rejects_degenerate_shapes(self):
+        from repro.bench.costmodel import calibrate_engine_cost_model
+        from repro.crypto.backend import FastBackend
+        from repro.errors import BenchmarkError
+
+        with pytest.raises(BenchmarkError):
+            calibrate_engine_cost_model(FastBackend(), dimension=1)
+        with pytest.raises(BenchmarkError):
+            calibrate_engine_cost_model(FastBackend(), rows=0)

@@ -16,6 +16,7 @@ import pytest
 
 from repro.core.client import SecureJoinClient
 from repro.core.engine import (
+    AutoEngine,
     BatchedEngine,
     ParallelEngine,
     SerialEngine,
@@ -36,24 +37,38 @@ try:
 except ImportError:  # pragma: no cover - hypothesis is an optional dev dep
     HAVE_HYPOTHESIS = False
 
+# Module-scoped engine instances so the parallel engine's persistent
+# pool is spawned once and reused by every test (and every Hypothesis
+# example) — which is itself part of the contract under test.
 ENGINES = (
     SerialEngine(),
     BatchedEngine(batch_size=3),
     ParallelEngine(workers=2, batch_size=4),
+    AutoEngine(batch_size=3),
 )
 
 
-def _build(left_keys, right_keys, seed=7):
+def _build(left_keys, right_keys, seed=7, num_attributes=1, in_clause_limit=2):
+    """Encrypted L/R tables with ``num_attributes`` non-join columns (m)
+    and IN-clause bound ``in_clause_limit`` (t) — the scheme dimension
+    grows with both, which is exactly what the m/t property grid varies."""
+    attr_columns = [(f"a{j}", "str") for j in range(num_attributes)]
     left = Table(
-        "L", Schema.of(("k", "int"), ("a", "str")),
-        [(k, f"a{i}") for i, k in enumerate(left_keys)],
+        "L", Schema.of(("k", "int"), *attr_columns),
+        [
+            (k, *[f"a{j}.{i}" for j in range(num_attributes)])
+            for i, k in enumerate(left_keys)
+        ],
     )
     right = Table(
-        "R", Schema.of(("k", "int"), ("b", "str")),
-        [(k, f"b{i}") for i, k in enumerate(right_keys)],
+        "R", Schema.of(("k", "int"), *attr_columns),
+        [
+            (k, *[f"b{j}.{i}" for j in range(num_attributes)])
+            for i, k in enumerate(right_keys)
+        ],
     )
     client = SecureJoinClient.for_tables(
-        [(left, "k"), (right, "k")], in_clause_limit=2,
+        [(left, "k"), (right, "k")], in_clause_limit=in_clause_limit,
         rng=random.Random(seed),
     )
     server = SecureJoinServer(client.params)
@@ -120,7 +135,7 @@ class TestEquivalence:
         for engine in ENGINES:
             server.execute_join(encrypted, engine=engine)
             handle_sets.append(dict(server.observations[-1].handles))
-        assert handle_sets[0] == handle_sets[1] == handle_sets[2]
+        assert all(handles == handle_sets[0] for handles in handle_sets[1:])
 
     @pytest.mark.skipif(not HAVE_HYPOTHESIS, reason="hypothesis not installed")
     @settings(max_examples=12, deadline=None)
@@ -140,6 +155,39 @@ class TestEquivalence:
             assert len(decrypted.table) == len(expected)
         _assert_equivalent(results, server)
 
+    @pytest.mark.skipif(not HAVE_HYPOTHESIS, reason="hypothesis not installed")
+    @settings(max_examples=10, deadline=None)
+    @given(
+        num_attributes=st.integers(1, 3),
+        in_clause_limit=st.integers(1, 3),
+        left_size=st.integers(0, 12),
+        right_size=st.integers(1, 12),
+        key_space=st.integers(1, 5),
+        seed=st.integers(0, 2**16),
+    )
+    def test_property_engines_identical_across_m_t_grid(
+        self, num_attributes, in_clause_limit, left_size, right_size,
+        key_space, seed,
+    ):
+        """All engines (incl. pooled and the planner) are byte-identical
+        for random scheme dimensions (m, t) and candidate counts."""
+        rng = random.Random(seed)
+        left_keys = [rng.randrange(key_space) for _ in range(left_size)]
+        right_keys = [rng.randrange(key_space) for _ in range(right_size)]
+        client, server = _build(
+            left_keys, right_keys, seed=seed,
+            num_attributes=num_attributes, in_clause_limit=in_clause_limit,
+        )
+        shared = client.create_query(JoinQuery.build("L", "R", on=("k", "k")))
+        expected = _expected_pairs(left_keys, right_keys)
+        handle_sets = []
+        for engine in ENGINES:
+            result = server.execute_join(shared, engine=engine)
+            assert result.index_pairs == expected
+            handle_sets.append(dict(server.observations[-1].handles))
+        # One shared token: every engine must observe the same bytes.
+        assert all(handles == handle_sets[0] for handles in handle_sets[1:])
+
     def test_tpch_workload_equivalence(self):
         from repro.bench.workloads import build_encrypted_tpch, tpch_query
 
@@ -147,7 +195,7 @@ class TestEquivalence:
         encrypted = workload.client.create_query(tpch_query(1 / 12.5))
         results = [
             workload.server.execute_join(encrypted, engine=engine)
-            for engine in ("serial", "batched", "parallel")
+            for engine in ("serial", "batched", "parallel", "auto")
         ]
         assert results[0].stats.matches > 0
         for result in results[1:]:
@@ -290,6 +338,17 @@ class TestAccounting:
             open_server.store(server.table(table))
         assert open_server.execute_join(hinted).stats.engine == "parallel"
 
+    def test_engine_source_recorded(self):
+        client, server = _build([1, 2], [2, 3])
+        query = JoinQuery.build("L", "R", on=("k", "k"))
+        plain = client.create_query(query)
+        assert server.execute_join(plain).stats.engine_source == "default"
+        hinted = client.create_query(query, engine="serial")
+        assert server.execute_join(hinted).stats.engine_source == "hint"
+        overridden = server.execute_join(hinted, engine="batched")
+        assert overridden.stats.engine_source == "override"
+        assert overridden.stats.engine_selected == "batched"
+
     def test_wire_format_round_trips_engine_fields(self):
         from repro.store.wire import (
             decode_join_query,
@@ -309,6 +368,108 @@ class TestAccounting:
         result = server.execute_join(encrypted, engine="batched")
         round_tripped = decode_join_result(encode_join_result(result))
         assert round_tripped.stats == result.stats
+
+
+class TestPlanner:
+    """The ``auto`` engine: per-side cost-model engine selection."""
+
+    def test_auto_records_planner_inputs_per_side(self):
+        client, server = _build([i % 4 for i in range(20)], [0, 1, 2, 3])
+        encrypted = client.create_query(JoinQuery.build("L", "R", on=("k", "k")))
+        result = server.execute_join(encrypted, engine="auto")
+        assert result.stats.engine == "auto"
+        assert result.stats.planner is not None
+        assert len(result.stats.planner) == 2  # one record per side
+        left_side, right_side = result.stats.planner
+        assert left_side["rows"] == 20
+        assert right_side["rows"] == 4
+        for side in result.stats.planner:
+            assert side["dimension"] >= 2
+            assert set(side["estimates"]) == {"serial", "batched", "parallel"}
+            assert side["chosen"] in ("serial", "batched", "parallel")
+            assert side["chosen"] == min(
+                side["estimates"], key=side["estimates"].get
+            ) or side["chosen"] == "batched"
+        # engine_selected names what actually executed.
+        assert result.stats.engine_selected in (
+            "serial", "batched", "parallel",
+            "batched+parallel", "parallel+batched",
+        )
+
+    def test_auto_never_picks_serial_with_default_models(self):
+        """Serial can never beat batched (same Miller loops, strictly
+        more final exponentiations), and the planner knows it."""
+        for rows in ([3], [0] * 40):
+            client, server = _build(rows, [0, 1])
+            encrypted = client.create_query(
+                JoinQuery.build("L", "R", on=("k", "k"))
+            )
+            result = server.execute_join(encrypted, engine="auto")
+            for side in result.stats.planner:
+                assert side["chosen"] != "serial"
+
+    def test_auto_matches_batched_results_exactly(self):
+        client, server = _build([1, 2, 2, 3] * 6, [2, 3, 4])
+        encrypted = client.create_query(JoinQuery.build("L", "R", on=("k", "k")))
+        auto = server.execute_join(encrypted, engine="auto")
+        batched = server.execute_join(encrypted, engine="batched")
+        assert auto.index_pairs == batched.index_pairs
+        assert (
+            server.observations[-2].handles == server.observations[-1].handles
+        )
+
+    def test_auto_honors_candidate_allowlist(self):
+        client, server = _build([1, 2, 3], [2, 3])
+        encrypted = client.create_query(JoinQuery.build("L", "R", on=("k", "k")))
+        pinned = AutoEngine(candidates=("serial",))
+        result = server.execute_join(encrypted, engine=pinned)
+        assert result.stats.engine == "auto"
+        assert result.stats.engine_selected == "serial"
+        # Serial profile: one final exponentiation per Miller loop.
+        assert (
+            result.stats.final_exponentiations == result.stats.miller_loops
+        )
+
+    def test_auto_hint_requires_server_opt_in(self):
+        """"auto" may choose the pool, so it is allowlisted like parallel."""
+        client, server = _build([1, 2], [2, 3])
+        query = JoinQuery.build("L", "R", on=("k", "k"))
+        hinted = client.create_query(query, engine="auto")
+        assert hinted.engine_hint == "auto"
+        # Default allowlist: hint ignored, server default applies.
+        assert server.execute_join(hinted).stats.engine == "batched"
+        open_server = SecureJoinServer(
+            client.params, hint_engines=("serial", "batched", "auto")
+        )
+        for table in ("L", "R"):
+            open_server.store(server.table(table))
+        assert open_server.execute_join(hinted).stats.engine == "auto"
+
+    def test_auto_as_server_default(self):
+        client, _ = _build([1, 2], [2, 3])
+        auto_server = SecureJoinServer(client.params, engine="auto")
+        assert auto_server.engine.name == "auto"
+
+    def test_planner_prices_actual_pool_size(self):
+        """The estimate must divide work by the pool the side really
+        gets (engine cap ∧ service size), not the engine cap alone."""
+        from repro.core.service import ExecutionService
+
+        with ExecutionService(workers=2) as service:
+            engine = AutoEngine(workers=8, service=service)
+            client, server = _build([i % 3 for i in range(9)], [0, 1, 2])
+            encrypted = client.create_query(
+                JoinQuery.build("L", "R", on=("k", "k"))
+            )
+            result = server.execute_join(encrypted, engine=engine)
+            for side in result.stats.planner:
+                assert side["workers"] == 2
+
+    def test_invalid_planner_configuration(self):
+        with pytest.raises(QueryError):
+            AutoEngine(candidates=("warp-drive",))
+        with pytest.raises(QueryError):
+            AutoEngine(candidates=())
 
 
 @pytest.mark.bn254

@@ -161,3 +161,66 @@ class TestPrefilterMismatches:
                                 where_left={"d": ["p"]})
         result = server.execute_join(client.create_query(query))
         assert result.index_pairs == [(0, 0)]
+
+
+class TestMatcherComparisonAccounting:
+    """Regression pin for the PR 1 `comparisons` accounting fix.
+
+    The hash matcher charges exactly one hash-key comparison per probe
+    plus one equality confirmation per emitted bucket entry:
+    ``comparisons == probes + matches`` — O(n + m + output), never a
+    function of the n*m product.  The nested matcher stays exactly n*m.
+    """
+
+    def _run(self, left_rows, right_rows, algorithm):
+        left = Table("L", Schema.of(("k", "int"), ("c", "str")),
+                     [(k, f"l{i}") for i, k in enumerate(left_rows)])
+        right = Table("R", Schema.of(("k", "int"), ("e", "str")),
+                      [(k, f"r{i}") for i, k in enumerate(right_rows)])
+        client = SecureJoinClient.for_tables(
+            [(left, "k"), (right, "k")], in_clause_limit=1,
+            rng=random.Random(5),
+        )
+        server = SecureJoinServer(client.params)
+        server.store(client.encrypt_table(left, "k"))
+        server.store(client.encrypt_table(right, "k"))
+        query = client.create_query(JoinQuery.build("L", "R", on=("k", "k")))
+        return server.execute_join(query, algorithm=algorithm).stats
+
+    def test_hash_comparisons_formula(self):
+        """comparisons == probes + matches, with probes == |right side|."""
+        left_rows = [1, 1, 2, 3, 7]
+        right_rows = [1, 2, 2, 5, 7, 7]
+        stats = self._run(left_rows, right_rows, "hash")
+        assert stats.probes == len(right_rows)
+        assert stats.matches == 2 + 1 + 1 + 2  # k=1 twice, k=2, k=7 twice...
+        assert stats.comparisons == stats.probes + stats.matches
+
+    def test_hash_comparisons_zero_matches_stays_linear(self):
+        """Disjoint keys: exactly one comparison per probe, none more."""
+        stats = self._run([1, 2, 3, 4], [5, 6, 7], "hash")
+        assert stats.matches == 0
+        assert stats.comparisons == stats.probes == 3
+
+    def test_hash_linear_nested_quadratic_growth(self):
+        """Doubling both sides doubles hash comparisons but quadruples
+        nested ones — the regression this class pins."""
+        small_hash = self._run([1, 2, 3, 4], [5, 6, 7, 8], "hash")
+        large_hash = self._run([1, 2, 3, 4] * 2, [5, 6, 7, 8] * 2, "hash")
+        assert large_hash.comparisons == 2 * small_hash.comparisons
+
+        small_nested = self._run([1, 2, 3, 4], [5, 6, 7, 8], "nested")
+        large_nested = self._run(
+            [1, 2, 3, 4] * 2, [5, 6, 7, 8] * 2, "nested"
+        )
+        assert small_nested.comparisons == 4 * 4
+        assert large_nested.comparisons == 8 * 8
+
+    def test_hash_never_worse_than_nested(self):
+        left_rows = [i % 3 for i in range(12)]
+        right_rows = [i % 3 for i in range(9)]
+        hash_stats = self._run(left_rows, right_rows, "hash")
+        nested_stats = self._run(left_rows, right_rows, "nested")
+        assert hash_stats.matches == nested_stats.matches
+        assert hash_stats.comparisons <= nested_stats.comparisons
+        assert nested_stats.comparisons == 12 * 9

@@ -206,3 +206,206 @@ class TestWireFormats:
         )
         with pytest.raises(SchemeError):
             decode_join_query(blob, BN254Backend())
+
+
+try:
+    from hypothesis import given, settings
+    from hypothesis import strategies as st
+
+    HAVE_HYPOTHESIS = True
+except ImportError:  # pragma: no cover - hypothesis is an optional dev dep
+    HAVE_HYPOTHESIS = False
+
+from repro.core.server import EncryptedJoinResult, ServerStats
+from repro.store import wire as wire_module
+from repro.store.codec import write_element_vector
+
+
+def _planner_record(chosen: str, rows: int, estimate: float) -> dict:
+    return {
+        "rows": rows,
+        "dimension": 5,
+        "workers": 2,
+        "pool_warm": bool(rows % 2),
+        "chosen": chosen,
+        "estimates": {
+            "serial": estimate * 3,
+            "batched": estimate,
+            "parallel": estimate * 1.5,
+        },
+    }
+
+
+class TestWireV2Stats:
+    """Round-trip properties for the v2 stats block (planner included)."""
+
+    @pytest.mark.skipif(not HAVE_HYPOTHESIS, reason="hypothesis not installed")
+    @settings(max_examples=25, deadline=None)
+    @given(
+        counts=st.lists(st.integers(0, 2**31 - 1), min_size=7, max_size=7),
+        engine=st.sampled_from(["serial", "batched", "parallel", "auto"]),
+        source=st.sampled_from(["default", "hint", "override"]),
+        selected=st.sampled_from(
+            ["serial", "batched", "parallel", "batched+parallel"]
+        ),
+        pool_generation=st.integers(0, 100),
+        worker_restarts=st.integers(0, 100),
+        planner_sides=st.lists(
+            st.tuples(
+                st.sampled_from(["serial", "batched", "parallel"]),
+                st.integers(0, 10**6),
+                st.floats(
+                    min_value=0.0, max_value=1e6,
+                    allow_nan=False, allow_infinity=False,
+                ),
+            ),
+            min_size=0, max_size=2,
+        ),
+        n_pairs=st.integers(0, 5),
+    )
+    def test_stats_round_trip_property(
+        self, counts, engine, source, selected, pool_generation,
+        worker_restarts, planner_sides, n_pairs,
+    ):
+        stats = ServerStats(
+            candidates_left=counts[0],
+            candidates_right=counts[1],
+            decryptions=counts[2],
+            probes=counts[3],
+            comparisons=counts[4],
+            matches=counts[5],
+            engine=engine,
+            batches=counts[6] % 1000,
+            max_batch_size=counts[6] % 64,
+            workers=1 + counts[6] % 8,
+            miller_loops=counts[2],
+            final_exponentiations=counts[3],
+            engine_source=source,
+            engine_selected=selected,
+            planner=(
+                [_planner_record(*side) for side in planner_sides] or None
+            ),
+            pool_generation=pool_generation,
+            worker_restarts=worker_restarts,
+        )
+        result = EncryptedJoinResult(
+            left_table="L",
+            right_table="R",
+            index_pairs=[(i, i + 1) for i in range(n_pairs)],
+            left_payloads=[b"l%d" % i for i in range(n_pairs)],
+            right_payloads=[b"r%d" % i for i in range(n_pairs)],
+            stats=stats,
+        )
+        decoded = decode_join_result(encode_join_result(result))
+        assert decoded.stats == stats
+        assert decoded.index_pairs == result.index_pairs
+        assert decoded.left_payloads == result.left_payloads
+        assert decoded.right_payloads == result.right_payloads
+
+    def test_unknown_future_stats_fields_ignored(self):
+        """A newer minor revision may add stats keys; we must not crash."""
+        result = EncryptedJoinResult(
+            left_table="L", right_table="R", index_pairs=[],
+            left_payloads=[], right_payloads=[], stats=ServerStats(),
+        )
+        blob = bytearray(encode_join_result(result))
+        # Re-encode with an extra stats key spliced into the header JSON.
+        import json
+        import struct
+
+        magic_version = bytes(blob[:9])
+        header_length = struct.unpack(">I", bytes(blob[9:13]))[0]
+        header = json.loads(bytes(blob[13:13 + header_length]))
+        header["stats"]["from_the_future"] = 42
+        body = bytes(blob[13 + header_length:])
+        new_header = json.dumps(header, sort_keys=True).encode("utf-8")
+        patched = (
+            magic_version
+            + struct.pack(">I", len(new_header)) + new_header + body
+        )
+        decoded = decode_join_result(patched)
+        assert decoded.stats == ServerStats()
+
+
+class TestWireV1BackwardCompat:
+    """Version-1 payloads (pre-engine-fields) must still decode."""
+
+    def _v1_query_bytes(self, client, encrypted_query) -> bytes:
+        backend = client.scheme.backend
+        writer = Writer()
+        body = Writer()
+        for token in (encrypted_query.left_token, encrypted_query.right_token):
+            write_element_vector(
+                body,
+                [backend.encode_g1(e) for e in token.elements],
+                backend.g1_element_size,
+            )
+        header = {
+            "query_id": encrypted_query.query_id,
+            "left_table": encrypted_query.left_table,
+            "right_table": encrypted_query.right_table,
+            "backend": backend.name,
+            "g1_element_size": backend.g1_element_size,
+            "left_prefilter_columns": None,
+            "right_prefilter_columns": None,
+            # v1 had no "engine_hint" key.
+        }
+        write_header(writer, b"RPROJQRY", 1, header)
+        writer.raw(body.getvalue())
+        return writer.getvalue()
+
+    def test_v1_query_decodes_and_executes(self):
+        client, enc_left, enc_right = _fixture(seed=13)
+        server = SecureJoinServer(client.params)
+        server.store(enc_left)
+        server.store(enc_right)
+        query = JoinQuery.build("L", "R", on=("k", "k"))
+        encrypted_query = client.create_query(query)
+        v1_blob = self._v1_query_bytes(client, encrypted_query)
+
+        decoded = decode_join_query(v1_blob, client.scheme.backend)
+        assert decoded.engine_hint is None
+        assert decoded.left_token == encrypted_query.left_token
+        result = server.execute_join(decoded)
+        assert sorted(result.index_pairs) == [(0, 0), (2, 0)]
+
+    def test_v1_result_decodes_with_default_engine_stats(self):
+        writer = Writer()
+        header = {
+            "left_table": "L",
+            "right_table": "R",
+            "n_pairs": 1,
+            # The v1 stats block: no engine fields at all.
+            "stats": {
+                "candidates_left": 3,
+                "candidates_right": 2,
+                "decryptions": 5,
+                "probes": 2,
+                "comparisons": 3,
+                "matches": 1,
+            },
+        }
+        write_header(writer, b"RPROJRES", 1, header)
+        writer.u32(0).u32(0)
+        writer.blob(b"left-payload")
+        writer.blob(b"right-payload")
+
+        decoded = decode_join_result(writer.getvalue())
+        assert decoded.index_pairs == [(0, 0)]
+        assert decoded.stats.decryptions == 5
+        # Engine fields take their dataclass defaults.
+        assert decoded.stats.engine == "batched"
+        assert decoded.stats.engine_source == "default"
+        assert decoded.stats.planner is None
+        assert decoded.stats.pool_generation == 0
+
+    def test_version_zero_and_future_versions_rejected(self):
+        for bad_version in (0, wire_module._VERSION + 1):
+            writer = Writer()
+            write_header(
+                writer, b"RPROJRES", bad_version,
+                {"left_table": "L", "right_table": "R", "n_pairs": 0,
+                 "stats": {}},
+            )
+            with pytest.raises(SchemeError):
+                decode_join_result(writer.getvalue())
