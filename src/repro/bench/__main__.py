@@ -88,8 +88,8 @@ def main() -> None:
     )
     _print_result(
         result,
-        ["scale_factor", "engine", "seconds", "final_exponentiations",
-         "batches", "workers", "engine_selected"],
+        ["scale_factor", "engine", "seconds", "time_to_first_match",
+         "final_exponentiations", "batches", "workers", "engine_selected"],
     )
 
 

@@ -19,6 +19,7 @@ all four reported Figure 3 corner points to < 1% relative error.
 from __future__ import annotations
 
 import math
+import threading
 import time
 from dataclasses import dataclass, replace
 
@@ -127,7 +128,7 @@ def implied_paper_unit_cost() -> float:
 
 @dataclass(frozen=True)
 class EngineCostModel:
-    """Per-operation timings the engine planner prices a side with.
+    """Per-operation timings the planner prices the join pipeline with.
 
     The planner (``engine="auto"``) estimates, per candidate side,
 
@@ -144,6 +145,13 @@ class EngineCostModel:
     engine must beat ``batched`` by at least this factor before it is
     chosen, so estimate noise can never make ``auto`` slower than the
     static default.
+
+    The matcher stage (SJ.Match) is priced too, so the planner covers
+    the full decrypt→match pipeline: ``hash_build`` / ``hash_probe``
+    are the per-item bucket insert and probe of the hash matcher,
+    ``nested_compare`` is one nested-loop equality, and ``pair_emit``
+    is the per-output-pair cost common to both
+    (:func:`estimate_matcher_costs` / :func:`choose_matcher`).
     """
 
     backend: str
@@ -155,6 +163,10 @@ class EngineCostModel:
     chunk_overhead: float
     pool_spawn: float
     switch_margin: float = 1.25
+    hash_build: float = 2.5e-7
+    hash_probe: float = 3.0e-7
+    nested_compare: float = 8.0e-8
+    pair_emit: float = 2.0e-7
 
 
 #: Defaults measured on the fast (exponent-group) backend: pairing work
@@ -234,26 +246,17 @@ def estimate_engine_costs(
     return {"serial": serial, "batched": batched, "parallel": parallel}
 
 
-def choose_engine(
-    model: EngineCostModel,
-    rows: int,
-    dimension: int,
-    workers: int,
-    batch_size: int,
-    parallel_batch_size: int | None = None,
-    pool_warm: bool = False,
+def select_engine(
+    estimates: dict[str, float],
+    switch_margin: float,
     allowed: tuple[str, ...] = ("serial", "batched", "parallel"),
-) -> tuple[str, dict[str, float]]:
-    """The planner decision: ``(chosen_engine, per-engine estimates)``.
+) -> str:
+    """The decision rule alone, applied to precomputed estimates.
 
     ``batched`` (the static default) wins unless another allowed engine
     is estimated at least ``switch_margin`` times cheaper — the
     guarantee behind "auto is never slower than the default".
     """
-    estimates = estimate_engine_costs(
-        model, rows, dimension, workers, batch_size,
-        parallel_batch_size, pool_warm,
-    )
     candidates = {
         name: cost for name, cost in estimates.items() if name in allowed
     }
@@ -270,12 +273,186 @@ def choose_engine(
         # a challenger must be strictly better, by the full margin.
         if best_name != "batched" and (
             best_cost >= baseline
-            or best_cost * model.switch_margin > baseline
+            or best_cost * switch_margin > baseline
         ):
-            return "batched", estimates
-        return best_name, estimates
-    best_name = min(candidates, key=candidates.get)
-    return best_name, estimates
+            return "batched"
+        return best_name
+    return min(candidates, key=candidates.get)
+
+
+def choose_engine(
+    model: EngineCostModel,
+    rows: int,
+    dimension: int,
+    workers: int,
+    batch_size: int,
+    parallel_batch_size: int | None = None,
+    pool_warm: bool = False,
+    allowed: tuple[str, ...] = ("serial", "batched", "parallel"),
+    corrections: dict[str, float] | None = None,
+) -> tuple[str, dict[str, float]]:
+    """The planner decision: ``(chosen_engine, per-engine estimates)``.
+
+    ``corrections`` (per-engine multiplicative factors, typically from
+    an :class:`OnlineCalibrator`) scale the model estimates with what
+    observed runs say about this hardware; the returned estimates are
+    the corrected ones the decision was actually made on.
+    """
+    estimates = estimate_engine_costs(
+        model, rows, dimension, workers, batch_size,
+        parallel_batch_size, pool_warm,
+    )
+    if corrections:
+        estimates = {
+            name: cost * float(corrections.get(name, 1.0))
+            for name, cost in estimates.items()
+        }
+    return select_engine(estimates, model.switch_margin, allowed), estimates
+
+
+class OnlineCalibrator:
+    """Online correction of planner estimates from observed runtimes.
+
+    The planner records, per decrypted side, its estimates and the
+    side's actual seconds.  This class folds those residuals into a
+    per-engine multiplicative correction — an exponential moving
+    average of ``actual / predicted`` — which :func:`choose_engine`
+    applies to future estimates.  Corrections stay at ``1.0`` until an
+    engine has ``min_samples`` observations (one noisy query must not
+    swing the planner), and are clamped so a pathological measurement
+    can never push the model off by more than ``clamp``.
+
+    Thread-safe: one calibrator may serve concurrently admitted
+    queries.
+    """
+
+    def __init__(
+        self,
+        alpha: float = 0.35,
+        min_samples: int = 2,
+        clamp: tuple[float, float] = (0.05, 20.0),
+    ):
+        if not 0.0 < alpha <= 1.0:
+            raise BenchmarkError("alpha must be in (0, 1]")
+        if min_samples < 1:
+            raise BenchmarkError("min_samples must be at least 1")
+        self.alpha = alpha
+        self.min_samples = min_samples
+        self.clamp = clamp
+        self._ratios: dict[str, float] = {}
+        self._counts: dict[str, int] = {}
+        self._lock = threading.Lock()
+
+    def observe(
+        self, engine: str, predicted_seconds: float, actual_seconds: float
+    ) -> None:
+        """Fold one (prediction, observation) pair into the correction."""
+        if predicted_seconds <= 0.0 or actual_seconds <= 0.0:
+            return
+        ratio = actual_seconds / predicted_seconds
+        low, high = self.clamp
+        ratio = min(max(ratio, low), high)
+        with self._lock:
+            previous = self._ratios.get(engine)
+            if previous is None:
+                self._ratios[engine] = ratio
+            else:
+                self._ratios[engine] = (
+                    (1.0 - self.alpha) * previous + self.alpha * ratio
+                )
+            self._counts[engine] = self._counts.get(engine, 0) + 1
+
+    def observations(self, engine: str) -> int:
+        with self._lock:
+            return self._counts.get(engine, 0)
+
+    def correction(self, engine: str) -> float:
+        """The multiplicative factor for one engine (1.0 = trust model)."""
+        with self._lock:
+            if self._counts.get(engine, 0) < self.min_samples:
+                return 1.0
+            return self._ratios[engine]
+
+    def corrections(self) -> dict[str, float]:
+        """All warmed-up corrections (engines below min_samples omitted)."""
+        with self._lock:
+            return {
+                engine: self._ratios[engine]
+                for engine, count in self._counts.items()
+                if count >= self.min_samples
+            }
+
+
+def calibrate_from_stats(
+    planner_records, calibrator: OnlineCalibrator | None = None
+) -> OnlineCalibrator:
+    """Rebuild an online calibrator from recorded planner decisions.
+
+    ``planner_records`` is any iterable of the per-side planner dicts
+    that :class:`~repro.core.server.ServerStats` accumulates (each
+    carries ``chosen``, ``estimates`` and ``actual_seconds``), e.g.
+    drained from a stats log after a restart.  Records without an
+    observed runtime are skipped.
+    """
+    if calibrator is None:
+        calibrator = OnlineCalibrator()
+    for record in planner_records:
+        if not isinstance(record, dict):
+            continue
+        chosen = record.get("chosen")
+        actual = record.get("actual_seconds")
+        estimates = record.get("estimates") or {}
+        if not chosen or not actual or chosen not in estimates:
+            continue
+        predicted = estimates[chosen]
+        corrections = record.get("corrections") or {}
+        # Undo the correction active when the record was made, so the
+        # calibrator re-learns from raw model predictions.
+        predicted /= float(corrections.get(chosen, 1.0)) or 1.0
+        calibrator.observe(chosen, predicted, actual)
+    return calibrator
+
+
+# -- matcher-stage (SJ.Match) pricing ------------------------------------
+
+
+def estimate_matcher_costs(
+    model: EngineCostModel,
+    build_rows: int,
+    probe_rows: int,
+    expected_matches: int = 0,
+) -> dict[str, float]:
+    """Predicted seconds per matcher for one (left, right) pairing."""
+    if build_rows < 0 or probe_rows < 0 or expected_matches < 0:
+        raise BenchmarkError("matcher row counts must be non-negative")
+    emit = expected_matches * model.pair_emit
+    hash_cost = (
+        build_rows * model.hash_build
+        + probe_rows * model.hash_probe
+        + emit
+    )
+    nested_cost = build_rows * probe_rows * model.nested_compare + emit
+    return {"hash": hash_cost, "nested": nested_cost}
+
+
+def choose_matcher(
+    model: EngineCostModel,
+    build_rows: int,
+    probe_rows: int,
+    expected_matches: int = 0,
+) -> tuple[str, dict[str, float]]:
+    """The matcher decision: ``(chosen_matcher, per-matcher estimates)``.
+
+    Nested only wins on tiny sides, where its zero setup cost beats the
+    hash matcher's bucket maintenance; ties go to hash (the paper's
+    algorithm and the asymptotically safe choice).
+    """
+    estimates = estimate_matcher_costs(
+        model, build_rows, probe_rows, expected_matches
+    )
+    if estimates["nested"] < estimates["hash"]:
+        return "nested", estimates
+    return "hash", estimates
 
 
 def calibrate_engine_cost_model(

@@ -235,7 +235,11 @@ def engine_ablation(
     are visible.  The parallel engine runs on the workload server's
     persistent pool, so its first record pays the one-time fork and the
     rest measure the warm path; ``auto`` records what the planner chose
-    per query (``engine_selected``).  Use
+    per query (``engine_selected``).  Since the streaming-pipeline PR
+    each record also carries the pipeline stage timings —
+    ``time_to_first_match`` (how long until the matcher emitted its
+    first pair, the streaming win over full-side materialization),
+    ``decrypt_seconds`` and ``match_seconds``.  Use
     :func:`repro.bench.harness.speedup_series` with
     ``baseline_group="serial"`` to summarize.
     """
@@ -271,6 +275,10 @@ def engine_ablation(
                     "workers": stats.workers,
                     "engine_selected": stats.engine_selected,
                     "pool_generation": stats.pool_generation,
+                    "time_to_first_match": stats.time_to_first_match,
+                    "decrypt_seconds": stats.decrypt_seconds,
+                    "match_seconds": stats.match_seconds,
+                    "concurrent_sides": stats.concurrent_sides,
                 },
             ))
         # The workload server is cached across drivers; don't leave its

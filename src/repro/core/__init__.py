@@ -15,10 +15,13 @@ from repro.core.engine import (
     AutoEngine,
     BatchedEngine,
     ExecutionEngine,
+    HandleChunk,
+    HandleStream,
     ParallelEngine,
     SerialEngine,
     get_engine,
 )
+from repro.core.pipeline import PipelineResult, PipelineTimings, run_pipeline
 from repro.core.service import ExecutionService
 from repro.core.polynomials import ZqPolynomial
 from repro.core.scheme import (
@@ -28,7 +31,12 @@ from repro.core.scheme import (
     SJRowCiphertext,
     SJToken,
 )
-from repro.core.server import EncryptedJoinResult, SecureJoinServer, ServerStats
+from repro.core.server import (
+    EncryptedJoinResult,
+    MatchBatch,
+    SecureJoinServer,
+    ServerStats,
+)
 
 __all__ = [
     "AutoEngine",
@@ -37,7 +45,12 @@ __all__ = [
     "EncryptedJoinResult",
     "ExecutionEngine",
     "ExecutionService",
+    "HandleChunk",
+    "HandleStream",
+    "MatchBatch",
     "ParallelEngine",
+    "PipelineResult",
+    "PipelineTimings",
     "SecureJoinClient",
     "SecureJoinParams",
     "SecureJoinScheme",
@@ -49,4 +62,5 @@ __all__ = [
     "SJToken",
     "ZqPolynomial",
     "get_engine",
+    "run_pipeline",
 ]

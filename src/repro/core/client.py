@@ -323,20 +323,72 @@ class SecureJoinClient:
         )
 
     # -- result phase -----------------------------------------------------
+    def _joined_schema(self, left: EncryptedTable, right: EncryptedTable):
+        prefix_left, prefix_right = joined_prefixes(
+            left.name, right.name,
+            set(left.schema.names()), set(right.schema.names()),
+        )
+        return left.schema.concat(
+            right.schema, prefix_self=prefix_left, prefix_other=prefix_right
+        )
+
+    def decrypt_match_batch(
+        self, left_table: str, right_table: str, batch
+    ) -> list[tuple]:
+        """Decrypt one streamed :class:`~repro.core.server.MatchBatch`.
+
+        The incremental counterpart of :meth:`decrypt_result`: the
+        server's :meth:`~repro.core.server.SecureJoinServer.stream_join`
+        yields match batches while pairing is still running, and this
+        turns each into plaintext joined rows immediately — the client
+        sees first results before the join finishes.
+        """
+        left = self._table(left_table)
+        right = self._table(right_table)
+        left_cipher = self._payload_cipher(left.name)
+        right_cipher = self._payload_cipher(right.name)
+        return [
+            _decode_row(left_cipher.decrypt(left_payload))
+            + _decode_row(right_cipher.decrypt(right_payload))
+            for left_payload, right_payload in zip(
+                batch.left_payloads, batch.right_payloads
+            )
+        ]
+
+    def stream_decrypt(self, left_table: str, right_table: str, batches):
+        """Decrypt an iterable of streamed match batches lazily.
+
+        Yields ``(index_pairs, rows)`` per batch; wrap around
+        ``server.stream_join(...)`` for an end-to-end streaming join
+        whose first rows arrive while the server is still decrypting.
+        The wrapped generator's return value (for ``stream_join``, the
+        final :class:`~repro.core.server.EncryptedJoinResult` with its
+        stats) is passed through as this generator's return value.
+        """
+        iterator = iter(batches)
+        try:
+            while True:
+                try:
+                    batch = next(iterator)
+                except StopIteration as stop:
+                    return stop.value
+                yield list(batch.index_pairs), self.decrypt_match_batch(
+                    left_table, right_table, batch
+                )
+        finally:
+            # Abandoning this wrapper must deterministically close the
+            # wrapped stream (server-side: releases pool admissions).
+            close = getattr(iterator, "close", None)
+            if close is not None:
+                close()
+
     def decrypt_result(self, result) -> DecryptedJoinResult:
         """Decrypt an :class:`~repro.core.server.EncryptedJoinResult`."""
         left = self._table(result.left_table)
         right = self._table(result.right_table)
         left_cipher = self._payload_cipher(left.name)
         right_cipher = self._payload_cipher(right.name)
-        prefix_left, prefix_right = joined_prefixes(
-            left.name, right.name,
-            set(left.schema.names()), set(right.schema.names()),
-        )
-        schema = left.schema.concat(
-            right.schema, prefix_self=prefix_left, prefix_other=prefix_right
-        )
-        table = Table("join", schema)
+        table = Table("join", self._joined_schema(left, right))
         for left_payload, right_payload in zip(
             result.left_payloads, result.right_payloads
         ):

@@ -1,8 +1,8 @@
 """Execution engines: how the server turns ciphertexts into handles.
 
 SJ.Dec over a candidate side is the server's hot path — one product of
-pairings per row.  The three engines here trade off how that work is
-issued against the bilinear backend:
+pairings per row.  The engines here trade off how that work is issued
+against the bilinear backend:
 
 - :class:`SerialEngine` — the naive baseline: one *full pairing per
   vector component* (d Miller loops and d final exponentiations per
@@ -12,14 +12,23 @@ issued against the bilinear backend:
   through :meth:`~repro.crypto.backend.BilinearBackend.pair_vectors_batch`,
   so every row costs d Miller loops but only *one* shared final
   exponentiation — the multi-pairing optimization applied to the join.
-- :class:`ParallelEngine` — fans the batches out across a *persistent*
+- :class:`ParallelEngine` — fans the chunks out across a *persistent*
   worker pool (:class:`~repro.core.service.ExecutionService`): workers
   are forked lazily, survive across queries, cache the backend and
   decoded tokens, and read ciphertext chunks out of shared memory.
 - :class:`AutoEngine` — the cost-model planner: estimates each
   engine's runtime per side from the candidate count, the scheme
   dimension and per-operation timings
-  (:mod:`repro.bench.costmodel`) and delegates to the cheapest engine.
+  (:mod:`repro.bench.costmodel`), corrects the estimates with online
+  observations of its own past queries, and delegates to the cheapest
+  engine.
+
+Since the streaming-pipeline refactor the primary interface is
+:meth:`ExecutionEngine.decrypt_stream`: a :class:`HandleStream` of
+:class:`HandleChunk` batches emitted *as they are decrypted* (pooled
+engines emit them in completion order), so the matcher can start
+pairing while SJ.Dec is still running.  :meth:`decrypt_handles` is the
+materializing wrapper — it drains the stream and reassembles row order.
 
 All engines produce byte-identical handles: the final exponentiation is
 a group homomorphism, so the per-pair product equals the shared-exponent
@@ -30,9 +39,10 @@ that the server merges into :class:`~repro.core.server.ServerStats`.
 
 from __future__ import annotations
 
+import time
 from abc import ABC, abstractmethod
 from collections.abc import Sequence
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 
 from repro.core.service import (
     ExecutionService,
@@ -54,9 +64,10 @@ class EngineReport:
     ``selected`` is the engine that actually executed the side — it
     differs from ``engine`` only for the planner (``engine`` stays
     ``"auto"``, ``selected`` records its choice).  ``planner`` carries
-    the planner's inputs and per-engine cost estimates for that side;
-    ``pool_generation`` / ``worker_restarts`` surface the persistent
-    pool's lifecycle when the side ran through it.
+    the planner's inputs, cost estimates and observed runtime for that
+    side; ``pool_generation`` / ``worker_restarts`` /
+    ``concurrent_sides`` surface the persistent pool's lifecycle and
+    admission state when the side ran through it.
     """
 
     engine: str
@@ -69,6 +80,57 @@ class EngineReport:
     planner: dict | None = None
     pool_generation: int = 0
     worker_restarts: int = 0
+    concurrent_sides: int = 0
+
+
+@dataclass
+class HandleChunk:
+    """One decrypted chunk: handles for rows ``start .. start+len-1``
+    of the side's candidate order."""
+
+    start: int
+    handles: list[bytes] = field(default_factory=list)
+
+
+class HandleStream:
+    """An iterator of :class:`HandleChunk` with a deferred report.
+
+    Wraps the engine's generator; ``report`` becomes available once the
+    stream is exhausted (the generator returns it).  ``close()`` aborts
+    the stream and runs the engine's cleanup — pipelines must close the
+    streams they abandon so pooled sides release their contexts.
+    """
+
+    def __init__(self, generator, on_close=None):
+        self._generator = generator
+        self._on_close = on_close
+        self._cleaned = False
+        self.report: EngineReport | None = None
+
+    def __iter__(self) -> "HandleStream":
+        return self
+
+    def __next__(self) -> HandleChunk:
+        try:
+            return next(self._generator)
+        except StopIteration as stop:
+            if self.report is None:
+                self.report = stop.value
+            self._cleanup()
+            raise StopIteration from None
+        except BaseException:
+            self._cleanup()
+            raise
+
+    def close(self) -> None:
+        self._generator.close()
+        self._cleanup()
+
+    def _cleanup(self) -> None:
+        if not self._cleaned:
+            self._cleaned = True
+            if self._on_close is not None:
+                self._on_close()
 
 
 class ExecutionEngine(ABC):
@@ -77,13 +139,33 @@ class ExecutionEngine(ABC):
     name: str
 
     @abstractmethod
+    def decrypt_stream(
+        self,
+        backend: BilinearBackend,
+        token_elements: Sequence,
+        ciphertext_vectors: Sequence[Sequence],
+    ) -> HandleStream:
+        """A stream of decrypted chunks for the side, in completion order."""
+
     def decrypt_handles(
         self,
         backend: BilinearBackend,
         token_elements: Sequence,
         ciphertext_vectors: Sequence[Sequence],
     ) -> tuple[list[bytes], EngineReport]:
-        """Handles (canonical bytes) for each ciphertext vector, in order."""
+        """Handles (canonical bytes) for each ciphertext vector, in order.
+
+        The materializing wrapper around :meth:`decrypt_stream`: drains
+        the stream and reassembles row order from the chunk offsets.
+        """
+        stream = self.decrypt_stream(backend, token_elements, ciphertext_vectors)
+        chunks: dict[int, list[bytes]] = {}
+        for chunk in stream:
+            chunks[chunk.start] = chunk.handles
+        handles = [
+            handle for start in sorted(chunks) for handle in chunks[start]
+        ]
+        return handles, stream.report
 
 
 def _chunked(items: Sequence, size: int) -> list[tuple[int, Sequence]]:
@@ -98,29 +180,42 @@ class SerialEngine(ExecutionEngine):
     exponentiation; the GT partial products are combined with the group
     operation.  On the fast backend the arithmetic (and therefore the
     handle bytes) is identical to the batched path — only the modeled
-    operation counts differ.
+    operation counts differ.  Streams one chunk per row.
     """
 
     name = "serial"
 
-    def decrypt_handles(self, backend, token_elements, ciphertext_vectors):
-        snapshot = backend.ops.snapshot()
-        handles = []
-        for ciphertext in ciphertext_vectors:
-            accumulator = backend.gt_identity()
-            for g1, g2 in zip(token_elements, ciphertext):
-                accumulator = backend.gt_mul(accumulator, backend.pair(g1, g2))
-            handles.append(accumulator.to_bytes())
-        delta = backend.ops.since(snapshot)
-        report = EngineReport(
-            engine=self.name,
-            batches=len(ciphertext_vectors),
-            max_batch_size=1 if ciphertext_vectors else 0,
-            workers=1,
-            miller_loops=delta.miller_loops,
-            final_exponentiations=delta.final_exponentiations,
-        )
-        return handles, report
+    def decrypt_stream(self, backend, token_elements, ciphertext_vectors):
+        def run():
+            miller_loops = 0
+            final_exponentiations = 0
+            for offset, ciphertext in enumerate(ciphertext_vectors):
+                # Per-chunk op accounting: interleaved streams share the
+                # backend's process-wide counters, so a start-to-end
+                # snapshot would absorb the other side's work.  This is
+                # exact for one thread; concurrent inline queries on one
+                # backend can still misattribute ops across threads
+                # (stats only — pooled sides count in their workers).
+                snapshot = backend.ops.snapshot()
+                accumulator = backend.gt_identity()
+                for g1, g2 in zip(token_elements, ciphertext):
+                    accumulator = backend.gt_mul(
+                        accumulator, backend.pair(g1, g2)
+                    )
+                delta = backend.ops.since(snapshot)
+                miller_loops += delta.miller_loops
+                final_exponentiations += delta.final_exponentiations
+                yield HandleChunk(offset, [accumulator.to_bytes()])
+            return EngineReport(
+                engine=self.name,
+                batches=len(ciphertext_vectors),
+                max_batch_size=1 if ciphertext_vectors else 0,
+                workers=1,
+                miller_loops=miller_loops,
+                final_exponentiations=final_exponentiations,
+            )
+
+        return HandleStream(run())
 
 
 class BatchedEngine(ExecutionEngine):
@@ -133,34 +228,40 @@ class BatchedEngine(ExecutionEngine):
             raise QueryError("batch size must be at least 1")
         self.batch_size = batch_size
 
-    def decrypt_handles(self, backend, token_elements, ciphertext_vectors):
-        snapshot = backend.ops.snapshot()
-        chunks = _chunked(ciphertext_vectors, self.batch_size)
-        handles = []
-        for _, chunk in chunks:
-            gts = backend.pair_vectors_batch(token_elements, chunk)
-            handles.extend(gt.to_bytes() for gt in gts)
-        delta = backend.ops.since(snapshot)
-        report = EngineReport(
-            engine=self.name,
-            batches=len(chunks),
-            max_batch_size=max((len(c) for _, c in chunks), default=0),
-            workers=1,
-            miller_loops=delta.miller_loops,
-            final_exponentiations=delta.final_exponentiations,
-        )
-        return handles, report
+    def decrypt_stream(self, backend, token_elements, ciphertext_vectors):
+        def run():
+            chunks = _chunked(ciphertext_vectors, self.batch_size)
+            miller_loops = 0
+            final_exponentiations = 0
+            for start, chunk in chunks:
+                snapshot = backend.ops.snapshot()
+                gts = backend.pair_vectors_batch(token_elements, chunk)
+                delta = backend.ops.since(snapshot)
+                miller_loops += delta.miller_loops
+                final_exponentiations += delta.final_exponentiations
+                yield HandleChunk(start, [gt.to_bytes() for gt in gts])
+            return EngineReport(
+                engine=self.name,
+                batches=len(chunks),
+                max_batch_size=max((len(c) for _, c in chunks), default=0),
+                workers=1,
+                miller_loops=miller_loops,
+                final_exponentiations=final_exponentiations,
+            )
+
+        return HandleStream(run())
 
 
 class ParallelEngine(ExecutionEngine):
     """Batched decryption fanned out over a *persistent* worker pool.
 
     Sides with at most one chunk's worth of rows run inline (even a
-    warm pool costs IPC); larger sides go through an
+    warm pool costs IPC); larger sides are **admitted** to an
     :class:`~repro.core.service.ExecutionService` — lazily started the
-    first time it is needed and reused for every subsequent query.  A
-    server binds its own service via :meth:`bind_service`; standalone
-    engines fall back to the process-wide default service.
+    first time it is needed and shared by every concurrently admitted
+    side — and their chunks stream back in completion order.  A server
+    binds its own service via :meth:`bind_service`; standalone engines
+    fall back to the process-wide default service.
     """
 
     name = "parallel"
@@ -214,32 +315,60 @@ class ParallelEngine(ExecutionEngine):
             self._service = get_default_service()
         return self._service
 
-    def decrypt_handles(self, backend, token_elements, ciphertext_vectors):
+    def decrypt_stream(self, backend, token_elements, ciphertext_vectors):
         if self.workers == 1 or len(ciphertext_vectors) <= self.batch_size:
-            handles, report = self._inline.decrypt_handles(
+            inline = self._inline.decrypt_stream(
                 backend, token_elements, ciphertext_vectors
             )
-            report.engine = self.name
-            return handles, report
 
-        handles, side = self.service.run_side(
+            def run_inline():
+                for chunk in inline:
+                    yield chunk
+                report = inline.report
+                report.engine = self.name
+                return report
+
+            return HandleStream(run_inline(), on_close=inline.close)
+
+        service = self.service
+        side = service.admit_side(
             backend,
             token_elements,
             ciphertext_vectors,
             self.batch_size,
             max_workers=self.workers,
         )
-        report = EngineReport(
-            engine=self.name,
-            batches=side.chunks,
-            max_batch_size=side.max_chunk,
-            workers=side.workers_used,
-            miller_loops=side.miller_loops,
-            final_exponentiations=side.final_exponentiations,
-            pool_generation=side.pool_generation,
-            worker_restarts=side.worker_restarts,
+
+        def run_pooled():
+            stream = service.stream_chunks(side)
+            side_report = None
+            try:
+                while True:
+                    try:
+                        start, handles = next(stream)
+                    except StopIteration as stop:
+                        side_report = stop.value
+                        break
+                    yield HandleChunk(start, handles)
+            finally:
+                service.release_side(side)
+            return EngineReport(
+                engine=self.name,
+                batches=side_report.chunks,
+                max_batch_size=side_report.max_chunk,
+                workers=side_report.workers_used,
+                miller_loops=side_report.miller_loops,
+                final_exponentiations=side_report.final_exponentiations,
+                pool_generation=side_report.pool_generation,
+                worker_restarts=side_report.worker_restarts,
+                concurrent_sides=side_report.concurrent_sides,
+            )
+
+        # on_close covers the abandoned-before-started case (the
+        # generator's finally only runs once the generator has run).
+        return HandleStream(
+            run_pooled(), on_close=lambda: service.release_side(side)
         )
-        return handles, report
 
 
 #: Engines the planner may pick from, in "prefer the cheaper estimate,
@@ -254,11 +383,17 @@ class AutoEngine(ExecutionEngine):
     candidate engine from the candidate count, the scheme dimension and
     a per-operation cost model (:mod:`repro.bench.costmodel` — default
     models per backend, or a calibrated/custom one), then delegates to
-    the winner.  Estimates, inputs and the choice are recorded in the
-    report so ``ServerStats`` (and wire v2) expose why a query ran the
-    way it did.  Selection is conservative: ``parallel`` must beat
-    ``batched`` by the model's margin before it is chosen, so ``auto``
-    never trades a sure thing for pool overhead.
+    the winner.  Estimates, inputs, the choice and the side's *observed*
+    runtime are recorded in the report so ``ServerStats`` (and the wire
+    format) expose why a query ran the way it did.
+
+    Selection is conservative: ``parallel`` must beat ``batched`` by
+    the model's margin before it is chosen, so ``auto`` never trades a
+    sure thing for pool overhead.  With ``calibrate_online`` (the
+    default) the planner also learns from itself: each side's observed
+    seconds update a per-engine multiplicative correction
+    (:class:`~repro.bench.costmodel.OnlineCalibrator`), so a model
+    that's off on this hardware converges after a handful of queries.
     """
 
     name = "auto"
@@ -270,6 +405,8 @@ class AutoEngine(ExecutionEngine):
         workers: int | None = None,
         batch_size: int = DEFAULT_BATCH_SIZE,
         service: ExecutionService | None = None,
+        calibrate_online: bool = True,
+        calibrator=None,
     ):
         unknown = [c for c in candidates if c not in PLANNER_CANDIDATES]
         if unknown:
@@ -282,6 +419,11 @@ class AutoEngine(ExecutionEngine):
         self.candidates = tuple(candidates)
         self.cost_model = cost_model
         self.batch_size = batch_size
+        if calibrator is None and calibrate_online:
+            from repro.bench.costmodel import OnlineCalibrator
+
+            calibrator = OnlineCalibrator()
+        self.calibrator = calibrator
         self._engines: dict[str, ExecutionEngine] = {
             "serial": SerialEngine(),
             "batched": BatchedEngine(batch_size),
@@ -302,7 +444,7 @@ class AutoEngine(ExecutionEngine):
             return self.cost_model
         return default_engine_cost_model(backend.name)
 
-    def decrypt_handles(self, backend, token_elements, ciphertext_vectors):
+    def decrypt_stream(self, backend, token_elements, ciphertext_vectors):
         from repro.bench.costmodel import choose_engine
 
         parallel: ParallelEngine = self._engines["parallel"]
@@ -310,6 +452,9 @@ class AutoEngine(ExecutionEngine):
         # Price the pool the side would *actually* get: the engine's
         # worker cap further capped by the bound service's size.
         workers = parallel.effective_workers()
+        corrections = (
+            self.calibrator.corrections() if self.calibrator else None
+        )
         choice, estimates = choose_engine(
             self._model_for(backend),
             rows=len(ciphertext_vectors),
@@ -319,21 +464,65 @@ class AutoEngine(ExecutionEngine):
             parallel_batch_size=parallel.batch_size,
             pool_warm=pool_warm,
             allowed=self.candidates,
+            corrections=corrections,
         )
-        handles, report = self._engines[choice].decrypt_handles(
+        inner = self._engines[choice].decrypt_stream(
             backend, token_elements, ciphertext_vectors
         )
-        report.engine = self.name
-        report.selected = choice
-        report.planner = {
-            "rows": len(ciphertext_vectors),
-            "dimension": len(token_elements),
-            "workers": workers,
-            "pool_warm": pool_warm,
-            "chosen": choice,
-            "estimates": {name: float(sec) for name, sec in estimates.items()},
-        }
-        return handles, report
+
+        def run():
+            # Accrue only the time this stream spends producing its own
+            # chunks (resume-to-yield).  The pipeline interleaves both
+            # sides' streams, so wall-clock from open to exhaustion
+            # would charge each side with the other side's work too and
+            # bias the calibrator toward ~2x corrections.
+            elapsed = 0.0
+            while True:
+                resumed = time.perf_counter()
+                try:
+                    chunk = next(inner)
+                except StopIteration:
+                    elapsed += time.perf_counter() - resumed
+                    break
+                elapsed += time.perf_counter() - resumed
+                yield chunk
+            report = inner.report
+            report.engine = self.name
+            report.selected = choice
+            report.planner = {
+                "rows": len(ciphertext_vectors),
+                "dimension": len(token_elements),
+                "workers": workers,
+                "pool_warm": pool_warm,
+                "chosen": choice,
+                "estimates": {
+                    name: float(sec) for name, sec in estimates.items()
+                },
+                "actual_seconds": elapsed,
+            }
+            if corrections:
+                report.planner["corrections"] = dict(corrections)
+            # Feed the *uncorrected* model prediction back, so the
+            # correction converges on actual/predicted instead of
+            # chasing its own output.  Two kinds of sides are not
+            # attributable and must not be observed: (a) the parallel
+            # engine's inline fallback (pool_generation stays 0 — the
+            # model priced a pooled run, reality was single-threaded),
+            # and (b) pooled sides that interleaved with another
+            # admitted side (concurrent_sides > 1 — the shared poller
+            # charges the co-execution wall to whichever side holds
+            # the poll, so per-resume accrual splits it arbitrarily).
+            unattributable = choice == "parallel" and (
+                report.pool_generation == 0 or report.concurrent_sides > 1
+            )
+            if self.calibrator is not None and not unattributable:
+                raw = estimates[choice] / (
+                    corrections.get(choice, 1.0) if corrections else 1.0
+                )
+                self.calibrator.observe(choice, raw, elapsed)
+            return report
+
+        return HandleStream(run(), on_close=inner.close)
 
 
 _ENGINE_FACTORIES = {

@@ -1,0 +1,135 @@
+"""The staged streaming join pipeline: SJ.Dec chunk streams → SJ.Match.
+
+This is the orchestration layer between the execution engines
+(:mod:`repro.core.engine`, which emit decrypted handle chunks as they
+complete) and the incremental matchers (:mod:`repro.db.matcher`, which
+pair partial sides).  The pipeline:
+
+1. opens both sides' :class:`~repro.core.engine.HandleStream`\\ s up
+   front — pool-backed sides are thereby *admitted together*, so the
+   execution service interleaves their chunk scheduling;
+2. pulls chunks from the two streams alternately, translating chunk
+   offsets back to candidate row indices and feeding the matcher — for
+   inline engines the alternation itself interleaves the two sides'
+   pairing work, for pooled engines the shared poller makes progress on
+   both sides whichever stream is being waited on;
+3. emits newly completed match pairs the moment they exist — first
+   results appear while most of SJ.Dec is still running — and records
+   the stage timings (time to first match, decrypt wait, match time);
+4. returns the canonical right-major pairing plus both engine reports.
+
+The canonical output guarantee: however chunks interleave, the final
+pairing equals the fully materialized decrypt-then-match pass
+byte-for-byte (the matcher sorts into right-major order at the end).
+"""
+
+from __future__ import annotations
+
+import time
+from collections.abc import Callable, Sequence
+from dataclasses import dataclass, field
+
+from repro.core.engine import EngineReport, HandleStream
+from repro.db.matcher import IncrementalMatcher
+
+LEFT = "left"
+RIGHT = "right"
+
+
+@dataclass
+class PipelineTimings:
+    """Wall-clock stage accounting for one streamed join.
+
+    ``decrypt_seconds`` is the time spent waiting on the decrypt
+    streams, ``match_seconds`` the time inside the matcher; they
+    overlap the same wall-clock interval (that's the point of the
+    pipeline).  ``time_to_first_match`` is measured from pipeline start
+    and stays 0.0 for empty joins.
+    """
+
+    time_to_first_match: float = 0.0
+    decrypt_seconds: float = 0.0
+    match_seconds: float = 0.0
+    total_seconds: float = 0.0
+
+
+@dataclass
+class PipelineResult:
+    """What one pipeline run produced."""
+
+    pairs: list[tuple[int, int]] = field(default_factory=list)
+    left_report: EngineReport | None = None
+    right_report: EngineReport | None = None
+    timings: PipelineTimings = field(default_factory=PipelineTimings)
+
+
+def run_pipeline(
+    left_stream: HandleStream,
+    right_stream: HandleStream,
+    left_candidates: Sequence[int],
+    right_candidates: Sequence[int],
+    matcher: IncrementalMatcher,
+    on_handles: Callable[[str, list[tuple[int, bytes]]], None] | None = None,
+):
+    """Drive two handle streams into ``matcher``; a generator.
+
+    Yields lists of newly matched ``(left_index, right_index)`` pairs
+    in discovery order as decrypted chunks arrive, and returns a
+    :class:`PipelineResult` (canonical pairs, engine reports, timings)
+    as the generator's value.  ``on_handles(side, items)`` — with
+    ``items`` being ``(row_index, handle_bytes)`` — is invoked per
+    chunk; the server uses it to record the adversary observation.
+
+    Both streams are closed on every exit path, so pooled sides always
+    release their admission state even when the consumer abandons the
+    generator mid-join.
+    """
+    started = time.perf_counter()
+    timings = PipelineTimings()
+    first_match_at: float | None = None
+    feeds = {LEFT: matcher.add_left, RIGHT: matcher.add_right}
+    candidates = {LEFT: left_candidates, RIGHT: right_candidates}
+    active: list[tuple[str, HandleStream]] = [
+        (LEFT, left_stream), (RIGHT, right_stream),
+    ]
+    try:
+        turn = 0
+        while active:
+            side, stream = active[turn % len(active)]
+            waited = time.perf_counter()
+            try:
+                chunk = next(stream)
+            except StopIteration:
+                timings.decrypt_seconds += time.perf_counter() - waited
+                active.remove((side, stream))
+                continue
+            timings.decrypt_seconds += time.perf_counter() - waited
+            rows = candidates[side]
+            items = [
+                (rows[chunk.start + offset], handle)
+                for offset, handle in enumerate(chunk.handles)
+            ]
+            if on_handles is not None:
+                on_handles(side, items)
+            matched_at = time.perf_counter()
+            new_pairs = feeds[side](items)
+            timings.match_seconds += time.perf_counter() - matched_at
+            if new_pairs:
+                if first_match_at is None:
+                    first_match_at = time.perf_counter()
+                    timings.time_to_first_match = first_match_at - started
+                yield new_pairs
+            turn += 1
+    finally:
+        left_stream.close()
+        right_stream.close()
+    finish_at = time.perf_counter()
+    pairs = matcher.finish()
+    timings.match_seconds += time.perf_counter() - finish_at
+    timings.total_seconds = time.perf_counter() - started
+    return PipelineResult(
+        pairs=pairs,
+        left_report=left_stream.report,
+        right_report=right_stream.report,
+        timings=timings,
+    )

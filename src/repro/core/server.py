@@ -1,10 +1,19 @@
-"""The server side: storage, SJ.Dec, and the hash-join matcher.
+"""The server side: storage, SJ.Dec, and the streaming join pipeline.
 
 The server is the semi-honest adversary of the paper's model: it stores
 encrypted tables, applies tokens to produce per-row handles (SJ.Dec) and
 joins rows whose handles match (SJ.Match).  Everything it observes while
 doing so is recorded in :attr:`SecureJoinServer.observations`, which is
 exactly the adversary view the leakage analyzer consumes.
+
+Since the pipeline refactor the two phases overlap: SJ.Dec emits
+decrypted chunks through the execution engines' streams
+(:mod:`repro.core.engine`) and the incremental matchers
+(:mod:`repro.db.matcher`) pair them as they arrive, so
+:meth:`SecureJoinServer.stream_join` surfaces the first matched rows
+while most of the pairing work is still in flight.
+:meth:`SecureJoinServer.execute_join` is the materializing wrapper and
+returns exactly what the old decrypt-then-match pass did.
 """
 
 from __future__ import annotations
@@ -12,11 +21,22 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 
 from repro.core.client import EncryptedJoinQuery, EncryptedTable
-from repro.core.engine import EngineReport, ExecutionEngine, get_engine
+from repro.core.engine import (
+    EngineReport,
+    ExecutionEngine,
+    HandleStream,
+    get_engine,
+)
+from repro.core.pipeline import run_pipeline
 from repro.core.scheme import SecureJoinParams, SecureJoinScheme, SJToken
 from repro.core.service import ExecutionService
 from repro.crypto.backend import BilinearBackend
+from repro.db.matcher import IncrementalMatcher, get_matcher
 from repro.errors import QueryError, SchemeError
+
+#: Matcher algorithms ``execute_join`` accepts; ``"auto"`` prices hash
+#: vs nested with the cost model (see :mod:`repro.bench.costmodel`).
+MATCH_ALGORITHMS = ("hash", "nested", "auto")
 
 
 @dataclass
@@ -38,10 +58,20 @@ class ServerStats:
     ``engine_selected`` is what actually executed — it differs from
     ``engine`` only under the ``"auto"`` planner, whose per-side inputs
     and cost estimates land in ``planner`` (one dict per decrypted
-    side).  ``pool_generation`` / ``worker_restarts`` expose the
-    persistent pool's lifecycle: the generation only moves when the pool
-    is actually (re)created, so equal generations across queries prove
+    side, plus a ``stage: "match"`` record when the matcher was priced
+    too).  ``matcher`` names the SJ.Match algorithm that ran.
+    ``pool_generation`` / ``worker_restarts`` expose the persistent
+    pool's lifecycle: the generation only moves when the pool is
+    actually (re)created, so equal generations across queries prove
     worker reuse.
+
+    Pipeline fields: ``time_to_first_match`` is the wall-clock from
+    execution start to the first emitted pair (0.0 when the join is
+    empty); ``decrypt_seconds`` / ``match_seconds`` split the pipeline
+    wall-clock by stage (they overlap — that is the pipelining);
+    ``concurrent_sides`` is the peak number of sides co-admitted on the
+    worker pool while this query ran (>= 2 proves interleaving, 0 means
+    the query never used the pool).
     """
 
     candidates_left: int = 0
@@ -61,6 +91,11 @@ class ServerStats:
     planner: list | None = None
     pool_generation: int = 0
     worker_restarts: int = 0
+    matcher: str = "hash"
+    time_to_first_match: float = 0.0
+    decrypt_seconds: float = 0.0
+    match_seconds: float = 0.0
+    concurrent_sides: int = 0
 
     def merge_report(self, report: EngineReport) -> None:
         """Fold one side's engine report into the per-query totals."""
@@ -81,6 +116,9 @@ class ServerStats:
             self.planner.append(dict(report.planner))
         self.pool_generation = max(self.pool_generation, report.pool_generation)
         self.worker_restarts = max(self.worker_restarts, report.worker_restarts)
+        self.concurrent_sides = max(
+            self.concurrent_sides, report.concurrent_sides
+        )
 
 
 @dataclass
@@ -93,6 +131,21 @@ class EncryptedJoinResult:
     left_payloads: list[bytes]
     right_payloads: list[bytes]
     stats: ServerStats
+
+
+@dataclass
+class MatchBatch:
+    """One increment of a streamed join: pairs matched by one chunk.
+
+    Yielded by :meth:`SecureJoinServer.stream_join` in discovery order
+    (NOT the canonical order of the final result) together with the
+    matched rows' payload blobs, so a client can decrypt joined rows
+    while the server is still pairing.
+    """
+
+    index_pairs: list[tuple[int, int]]
+    left_payloads: list[bytes]
+    right_payloads: list[bytes]
 
 
 @dataclass
@@ -124,7 +177,8 @@ class SecureJoinServer:
         # lifetime; every pool-using engine it resolves is bound to it.
         # Construction is lazy — no process is forked until a query
         # actually fans out — and ``close()`` (or using the server as a
-        # context manager) tears it down.
+        # context manager) tears it down.  Concurrent queries (and the
+        # two sides of one query) are co-admitted and interleave on it.
         self.execution_service = ExecutionService(workers=workers)
         # Default execution engine; per-query overrides and client hints
         # (see execute_join) take precedence.  ``hint_engines`` is the
@@ -265,16 +319,13 @@ class SecureJoinServer:
                 return []
         return sorted(survivors)
 
-    def _decrypt_side(
+    def _side_ciphertexts(
         self,
         table: EncryptedTable,
         token: SJToken,
         candidates: list[int],
-        observation: QueryObservation,
-        stats: ServerStats,
-        engine: ExecutionEngine,
-    ) -> list[tuple[int, bytes]]:
-        """SJ.Dec over the candidate rows; returns (row_index, handle bytes)."""
+    ) -> list:
+        """The candidate rows' ciphertext vectors, validated for SJ.Dec."""
         dimension = self.scheme.params.dimension
         if len(token) != dimension:
             raise SchemeError(
@@ -289,37 +340,110 @@ class SecureJoinServer:
                     f"dimension {dimension}"
                 )
             ciphertexts.append(ciphertext.elements)
-        keys, report = engine.decrypt_handles(
-            self.scheme.backend, token.elements, ciphertexts
-        )
-        stats.decryptions += len(candidates)
-        stats.merge_report(report)
-        handles = list(zip(candidates, keys))
-        for index, key in handles:
-            observation.handles[(table.name, index)] = key
-        return handles
+        return ciphertexts
 
-    def execute_join(
+    def _select_matcher(
+        self,
+        algorithm: str,
+        stats: ServerStats,
+        build_rows: int,
+        probe_rows: int,
+        active_engine: ExecutionEngine | None = None,
+    ) -> IncrementalMatcher:
+        """Resolve the SJ.Match algorithm; ``"auto"`` prices the stage.
+
+        The pricing satellite of the planner: hash vs nested estimated
+        with the same cost model the engine planner uses — including a
+        calibrated/custom model configured on an ``auto`` engine —
+        recorded as a ``stage: "match"`` entry in ``stats.planner`` so
+        the full pipeline decision is auditable.
+        """
+        if algorithm == "auto":
+            from repro.bench.costmodel import (
+                choose_matcher,
+                default_engine_cost_model,
+            )
+
+            model = getattr(active_engine, "cost_model", None)
+            if model is None:
+                model = default_engine_cost_model(self.scheme.backend.name)
+            chosen, estimates = choose_matcher(
+                model, build_rows=build_rows, probe_rows=probe_rows
+            )
+            if stats.planner is None:
+                stats.planner = []
+            stats.planner.append({
+                "stage": "match",
+                "build_rows": build_rows,
+                "probe_rows": probe_rows,
+                "chosen": chosen,
+                "estimates": {
+                    name: float(sec) for name, sec in estimates.items()
+                },
+            })
+        else:
+            chosen = algorithm
+        stats.matcher = chosen
+        return get_matcher(chosen)
+
+    def stream_join(
         self,
         query: EncryptedJoinQuery,
         algorithm: str = "hash",
         engine: ExecutionEngine | str | None = None,
-    ) -> EncryptedJoinResult:
-        """Run SJ.Dec + SJ.Match and return the joined encrypted rows.
+    ):
+        """Run the join as a streaming pipeline; a generator.
+
+        Yields :class:`MatchBatch` increments (pairs in discovery
+        order, with payloads) as soon as decrypted chunks complete the
+        pairings, and returns the final :class:`EncryptedJoinResult` —
+        canonical right-major order, byte-identical to the materialized
+        pass — as the generator's value (``StopIteration.value``).
 
         ``algorithm`` selects the matcher: ``"hash"`` (the paper's
-        expected-O(n) hash join) or ``"nested"`` (the O(n^2) nested loop
-        that Hahn et al.'s scheme is limited to — kept for ablations).
+        expected-O(n) hash join), ``"nested"`` (the O(n^2) loop kept
+        for ablations) or ``"auto"`` (cost-model priced).
 
         ``engine`` selects the SJ.Dec execution engine for this query
         (``"serial"``, ``"batched"``, ``"parallel"``, ``"auto"`` or an
         :class:`~repro.core.engine.ExecutionEngine` instance); when
         omitted, the query's client hint applies if the server's
         ``hint_engines`` allowlist permits it, then the server default.
-        Pool-using engines run on the server's persistent
-        ``execution_service`` either way.
+        Pool-using engines admit their sides to the server's persistent
+        ``execution_service``, where concurrent queries interleave.
         """
-        if algorithm not in ("hash", "nested"):
+        left = self.table(query.left_table)
+        right = self.table(query.right_table)
+        events = self._pipeline_events(query, algorithm, engine)
+        try:
+            while True:
+                try:
+                    new_pairs = next(events)
+                except StopIteration as stop:
+                    return stop.value
+                yield MatchBatch(
+                    index_pairs=list(new_pairs),
+                    left_payloads=[left.payloads[i] for i, _ in new_pairs],
+                    right_payloads=[right.payloads[j] for _, j in new_pairs],
+                )
+        finally:
+            # Deterministic on abandonment too (not just refcount GC):
+            # closing the inner drive releases pool admissions and
+            # records the adversary observation.
+            events.close()
+
+    def _pipeline_events(
+        self,
+        query: EncryptedJoinQuery,
+        algorithm: str,
+        engine: ExecutionEngine | str | None,
+    ):
+        """The pipeline drive shared by :meth:`stream_join` (which wraps
+        the emitted pair lists in payload-carrying batches) and
+        :meth:`execute_join` (which discards them — no point building
+        per-batch payload lists nobody reads).  Yields raw new-pair
+        lists; returns the final :class:`EncryptedJoinResult`."""
+        if algorithm not in MATCH_ALGORITHMS:
             raise QueryError(f"unknown join algorithm {algorithm!r}")
         if engine is not None:
             active_engine = self._resolve_engine(engine)
@@ -346,22 +470,75 @@ class SecureJoinServer:
         )
         stats.candidates_left = len(left_candidates)
         stats.candidates_right = len(right_candidates)
-
-        left_handles = self._decrypt_side(
-            left, query.left_token, left_candidates, observation, stats,
+        matcher = self._select_matcher(
+            algorithm, stats, len(left_candidates), len(right_candidates),
             active_engine,
         )
-        right_handles = self._decrypt_side(
-            right, query.right_token, right_candidates, observation, stats,
-            active_engine,
-        )
-        self.observations.append(observation)
 
-        if algorithm == "hash":
-            pairs = self._hash_match(left_handles, right_handles, stats)
-        else:
-            pairs = self._nested_match(left_handles, right_handles, stats)
+        backend = self.scheme.backend
+        left_stream: HandleStream | None = None
+        right_stream: HandleStream | None = None
+        try:
+            # Opening both streams before pulling either is what admits
+            # both sides to the pool together: the service interleaves
+            # their chunk scheduling from the first window fill.
+            left_stream = active_engine.decrypt_stream(
+                backend,
+                query.left_token.elements,
+                self._side_ciphertexts(left, query.left_token, left_candidates),
+            )
+            right_stream = active_engine.decrypt_stream(
+                backend,
+                query.right_token.elements,
+                self._side_ciphertexts(
+                    right, query.right_token, right_candidates
+                ),
+            )
+        except BaseException:
+            if left_stream is not None:
+                left_stream.close()
+            if right_stream is not None:
+                right_stream.close()
+            raise
+        stats.decryptions += len(left_candidates) + len(right_candidates)
+
+        sides = {"left": left.name, "right": right.name}
+
+        def record_handles(side: str, items: list) -> None:
+            table_name = sides[side]
+            for row_index, handle in items:
+                observation.handles[(table_name, row_index)] = handle
+
+        pipeline = run_pipeline(
+            left_stream,
+            right_stream,
+            left_candidates,
+            right_candidates,
+            matcher,
+            on_handles=record_handles,
+        )
+        try:
+            # ``yield from`` forwards the consumer's close()/throw() to
+            # the pipeline and hands back its return value.
+            outcome = yield from pipeline
+        finally:
+            # Deterministic cleanup when the consumer abandons the
+            # generator: closing the pipeline closes both handle
+            # streams, releasing any pool admissions.  The adversary
+            # view is recorded even then — the server *did* compute
+            # those handles, and the leakage analyzer must see them.
+            pipeline.close()
+            self.observations.append(observation)
+
+        stats.merge_report(outcome.left_report)
+        stats.merge_report(outcome.right_report)
+        pairs = outcome.pairs
         stats.matches = len(pairs)
+        stats.probes = matcher.stats.probes
+        stats.comparisons = matcher.stats.comparisons
+        stats.time_to_first_match = outcome.timings.time_to_first_match
+        stats.decrypt_seconds = outcome.timings.decrypt_seconds
+        stats.match_seconds = outcome.timings.match_seconds
         return EncryptedJoinResult(
             left_table=left.name,
             right_table=right.name,
@@ -371,39 +548,22 @@ class SecureJoinServer:
             stats=stats,
         )
 
-    @staticmethod
-    def _hash_match(
-        left_handles: list[tuple[int, bytes]],
-        right_handles: list[tuple[int, bytes]],
-        stats: ServerStats,
-    ) -> list[tuple[int, int]]:
-        buckets: dict[bytes, list[int]] = {}
-        for index, handle in left_handles:
-            buckets.setdefault(handle, []).append(index)
-        pairs = []
-        for right_index, handle in right_handles:
-            stats.probes += 1
-            # One hash-key comparison per probe, plus one equality
-            # confirmation per bucket entry: O(n + m + output) total,
-            # versus the nested matcher's O(n * m).
-            stats.comparisons += 1
-            for left_index in buckets.get(handle, ()):
-                stats.comparisons += 1
-                pairs.append((left_index, right_index))
-        return pairs
+    def execute_join(
+        self,
+        query: EncryptedJoinQuery,
+        algorithm: str = "hash",
+        engine: ExecutionEngine | str | None = None,
+    ) -> EncryptedJoinResult:
+        """Run SJ.Dec + SJ.Match and return the joined encrypted rows.
 
-    @staticmethod
-    def _nested_match(
-        left_handles: list[tuple[int, bytes]],
-        right_handles: list[tuple[int, bytes]],
-        stats: ServerStats,
-    ) -> list[tuple[int, int]]:
-        pairs = []
-        for left_index, left_handle in left_handles:
-            for right_index, right_handle in right_handles:
-                stats.comparisons += 1
-                if left_handle == right_handle:
-                    pairs.append((left_index, right_index))
-        # Keep output order consistent with the hash matcher (right-major).
-        pairs.sort(key=lambda p: (p[1], p[0]))
-        return pairs
+        The materializing wrapper around the streaming pipeline:
+        internally the join still runs staged (chunks are matched as
+        they decrypt, and ``stats`` carries the stage timings), but
+        only the final, canonically ordered result is returned.
+        """
+        events = self._pipeline_events(query, algorithm, engine)
+        while True:
+            try:
+                next(events)
+            except StopIteration as stop:
+                return stop.value

@@ -1,36 +1,45 @@
-"""A persistent parallel execution service for SJ.Dec.
+"""A persistent parallel execution service with multi-query admission.
 
-PR 1's :class:`~repro.core.engine.ParallelEngine` forked a
-``multiprocessing.Pool`` *per query* and pickled every ciphertext chunk
-into it — correct, but pool-overhead-bound: on the Figure 3 workload the
-fork + pickle tax exceeded the pairing work it parallelized.  This
-module replaces that with a long-lived service:
+PR 2's service owned a long-lived worker pool but admitted **one side
+of one query at a time**: ``run_side`` monopolized the pool until the
+side was fully decrypted.  This module turns it into an admission
+scheduler feeding a streaming pipeline:
 
-- **Lazy, persistent workers.**  Nothing is spawned at construction;
-  the first large-enough side forks the workers, and they stay alive
-  across queries (``pool_generation`` in ``ServerStats`` exposes this —
-  it only increments when the pool is actually (re)created).
-- **Per-worker caches that survive queries.**  The bilinear backend is
-  shipped once per worker lifetime (as a spawn argument), and decoded
-  query tokens are cached per worker keyed by token digest, so
-  re-running a query ships and decodes nothing but chunk descriptors.
-- **Shared-memory ciphertext transport.**  A side's ciphertext vectors
-  are encoded once into a ``multiprocessing.shared_memory`` segment;
-  chunk messages carry only ``(start, count)`` offsets into it.  Where
-  POSIX shared memory is unavailable the service falls back to sending
-  each chunk's encoded bytes as a single contiguous ``bytes`` object
-  (one buffer per chunk, never per-element pickling).
-- **Crash resilience.**  Each worker is reached over its own duplex
-  pipe (no shared queue locks a dying worker could poison).  A worker
-  that disappears mid-side is respawned, its outstanding chunks are
-  redistributed, and ``worker_restarts`` records the event.
-- **Clean lifecycle.**  ``close()`` is idempotent, the service is a
-  context manager, and workers are daemonic so an unclosed service can
-  never outlive the interpreter.
+- **Chunk streams, not materialized sides.**  :meth:`admit_side`
+  registers a side and :meth:`stream_chunks` yields decrypted chunks
+  *as workers complete them* (out of order, with their row offsets), so
+  the matcher can start pairing while SJ.Dec is still running.
+- **Multi-query admission.**  Any number of sides — the two sides of
+  one join, or sides of concurrent queries from different threads — may
+  be admitted at once.  Chunk dispatch round-robins across admitted
+  sides at every worker-window refill, so concurrent queries interleave
+  fairly on the shared warm pool instead of serializing.
+- **Per-side contexts.**  Each side gets its own context id, token
+  install, and shared-memory segment; workers hold many contexts at
+  once (tokens still cached by digest), and a ``release`` message drops
+  a context the moment its side is done.  Crash respawn re-installs
+  every *active* side on the replacement worker, so one query's crash
+  recovery never disturbs another's state.
+- **Lazy, persistent workers** (unchanged): nothing is spawned at
+  construction, the pool survives across queries (``pool_generation``
+  only moves when the pool is actually (re)created), the backend ships
+  once per worker lifetime, and ``close()`` is idempotent.
+- **Shared-memory ciphertext transport** (unchanged): one segment per
+  side, chunk messages carry ``(start, count)`` offsets; where POSIX
+  shared memory is unavailable each chunk ships as one contiguous
+  ``bytes`` buffer.
+
+Thread model: consumers drive progress cooperatively.  Whichever
+consumer thread needs results next becomes the *poller* (guarded by
+``_polling``), waits on the worker pipes once, distributes everything
+that arrived to the owning sides' queues, refills worker windows
+round-robin, and wakes the other consumers.  All pipe sends happen
+under the service lock, so concurrent admissions never interleave
+messages on one pipe.
 
 The service is *owned* by :class:`~repro.core.server.SecureJoinServer`
-(one service per server, bound to the engines the server resolves);
-engine instances used standalone lazily create a private service.
+(one service per server); engine instances used standalone lazily
+create a process-wide default service.
 """
 
 from __future__ import annotations
@@ -39,9 +48,10 @@ import hashlib
 import itertools
 import multiprocessing
 import os
+import threading
 import traceback
 from collections import deque
-from collections.abc import Sequence
+from collections.abc import Iterator, Sequence
 from dataclasses import dataclass
 from multiprocessing.connection import Connection, wait
 
@@ -55,11 +65,26 @@ except ImportError:  # pragma: no cover - always present on CPython >= 3.8
 
 #: How many chunks may sit in one worker's pipe before the scheduler
 #: waits for a result (keeps workers busy without queueing a whole side
-#: into one pipe, which would defeat work stealing).
+#: into one pipe, which would defeat work stealing and fairness).
 _PREFETCH_PER_WORKER = 2
 
 #: Decoded tokens cached per worker (FIFO-evicted).
 _TOKEN_CACHE_SIZE = 32
+
+#: How long one poll on the worker pipes blocks before re-checking
+#: liveness and side state (seconds).
+_POLL_TIMEOUT = 0.2
+
+#: Forking a worker while any thread is inside shared-memory
+#: bookkeeping is unsafe: ``SharedMemory`` create/unlink talk to the
+#: process-wide resource tracker under a tracker-internal lock, and a
+#: child forked at that moment inherits the lock *held* — its first
+#: segment attach then deadlocks forever (the worker sits "alive" and
+#: never serves a chunk).  Every fork and every tracker-touching
+#: segment operation in this module serializes on this mutex; it is
+#: process-global because several services (server-owned + the default
+#: singleton) may fork and admit concurrently in one process.
+_FORK_SAFETY_MUTEX = threading.Lock()
 
 
 def default_worker_count() -> int:
@@ -69,7 +94,7 @@ def default_worker_count() -> int:
 
 @dataclass
 class SideReport:
-    """What one ``run_side`` call did, for engine/stat accounting."""
+    """What one admitted side did, for engine/stat accounting."""
 
     chunks: int = 0
     max_chunk: int = 0
@@ -79,6 +104,9 @@ class SideReport:
     pool_generation: int = 0
     worker_restarts: int = 0
     shared_memory: bool = False
+    #: Peak number of sides admitted concurrently while this side ran
+    #: (>= 2 means this side actually interleaved with another).
+    concurrent_sides: int = 1
 
 
 # -- worker side ----------------------------------------------------------
@@ -128,14 +156,17 @@ def _service_worker(conn: Connection, backend: BilinearBackend) -> None:
     """Worker main loop: install contexts, decrypt chunks, report results.
 
     Messages arrive on one FIFO pipe, so a ``ctx`` install is always
-    processed before the chunks that reference it.  The worker keeps the
-    backend for its whole lifetime and caches decoded tokens by digest,
-    so repeated queries cost nothing but the chunk descriptors.
+    processed before the chunks that reference it.  The worker holds
+    *many* contexts at once — one per admitted side — each with its own
+    shared-memory segment; ``release`` drops a context when its side
+    finishes.  The backend lives for the worker's whole lifetime and
+    decoded tokens are cached by digest, so repeated queries cost
+    nothing but the chunk descriptors.
     """
     backend.ops.reset()
     token_cache: dict[bytes, tuple] = {}
-    current_ctx = None  # (ctx_id, token_elements, dimension, shm, blob)
-    segment = None
+    # ctx_id -> (token_elements, dimension, shared-memory segment | None)
+    contexts: dict[int, tuple] = {}
     try:
         while True:
             message = conn.recv()
@@ -152,27 +183,32 @@ def _service_worker(conn: Connection, backend: BilinearBackend) -> None:
                     if len(token_cache) >= _TOKEN_CACHE_SIZE:
                         token_cache.pop(next(iter(token_cache)))
                     token_cache[digest] = token
-                if segment is not None:
-                    segment.close()
-                    segment = None
+                segment = None
                 if shm_name is not None:
                     # A vanished segment means the install is stale (the
-                    # side it belonged to is over); exiting lets the
-                    # service's liveness handling respawn us cleanly.
+                    # side it belonged to was already released); skip it —
+                    # no chunk for this context will need serving.
                     try:
                         segment = _attach_shared_memory(shm_name)
                     except (FileNotFoundError, OSError):
-                        return
-                current_ctx = (ctx_id, token, dimension)
+                        continue
+                contexts[ctx_id] = (token, dimension, segment)
+                continue
+            if kind == "release":
+                _, ctx_id = message
+                released = contexts.pop(ctx_id, None)
+                if released is not None and released[2] is not None:
+                    released[2].close()
                 continue
             if kind == "chunk":
                 _, ctx_id, start, count, payload = message
                 try:
-                    if current_ctx is None or current_ctx[0] != ctx_id:
+                    context = contexts.get(ctx_id)
+                    if context is None:
                         raise QueryError(
                             f"chunk for unknown context {ctx_id}"
                         )
-                    _, token, dimension = current_ctx
+                    token, dimension, segment = context
                     if payload is not None:
                         rows = _decode_rows(
                             backend, payload, 0, count, dimension
@@ -196,8 +232,9 @@ def _service_worker(conn: Connection, backend: BilinearBackend) -> None:
     except (EOFError, KeyboardInterrupt, BrokenPipeError):
         pass
     finally:
-        if segment is not None:
-            segment.close()
+        for context in contexts.values():
+            if context[2] is not None:
+                context[2].close()
         conn.close()
 
 
@@ -211,22 +248,65 @@ class _WorkerHandle:
         self.index = index
         self.process = process
         self.conn = conn
-        # start offset -> (start, count) for crash redistribution.
-        self.outstanding: dict[int, tuple] = {}
+        # (ctx_id, start) -> (ctx_id, start, count) for crash requeue.
+        self.outstanding: dict[tuple[int, int], tuple] = {}
 
     def alive(self) -> bool:
         return self.process.is_alive()
 
 
+class _SideState:
+    """One admitted side: its transport, chunk queues and progress."""
+
+    def __init__(
+        self,
+        ctx_id: int,
+        install: tuple,
+        segment,
+        encoded: bytes,
+        stride: int,
+        pending: deque,
+        max_workers: int,
+        allowed_workers: frozenset[int],
+        rescue_budget: int,
+    ):
+        self.ctx_id = ctx_id
+        self.install = install
+        self.segment = segment
+        self.encoded = encoded
+        self.stride = stride
+        self.pending = pending
+        self.n_chunks = len(pending)
+        self.max_workers = max_workers
+        self.allowed_workers = allowed_workers
+        self.rescue_budget = rescue_budget
+        #: Chunks completed by workers, awaiting the consumer.
+        self.completed: deque[tuple[int, list[bytes]]] = deque()
+        self.seen_starts: set[int] = set()
+        self.done_chunks = 0
+        #: worker index -> number of this side's chunks it is holding.
+        self.holding: dict[int, int] = {}
+        self.workers_ever: set[int] = set()
+        self.error: str | None = None
+        self.released = False
+        self.report = SideReport()
+
+    @property
+    def finished(self) -> bool:
+        return self.done_chunks >= self.n_chunks
+
+
 class ExecutionService:
-    """A lazily-started, persistent pool of SJ.Dec workers.
+    """A lazily-started persistent pool with a multi-side admission queue.
 
     One instance serves many queries: construct it freely (construction
-    spawns nothing), call :meth:`run_side` per candidate side, and
+    spawns nothing), admit sides with :meth:`admit_side` +
+    :meth:`stream_chunks` (or the materializing :meth:`run_side`), and
     :meth:`close` when done — or use it as a context manager.  A closed
     service transparently restarts on next use (``generation`` then
     increments, which is how tests assert the pool was *not* recreated
-    between queries).
+    between queries).  Any number of sides may be in flight at once;
+    they interleave chunk scheduling fairly on the shared pool.
     """
 
     def __init__(
@@ -246,12 +326,21 @@ class ExecutionService:
         self.generation = 0
         #: Cumulative count of workers respawned after a crash.
         self.worker_restarts = 0
-        #: Sides executed through the pool (not counting inline fallbacks).
+        #: Sides admitted to the pool (not counting inline fallbacks).
         self.sides_executed = 0
+        #: High-water mark of concurrently admitted sides.
+        self.peak_concurrent_sides = 0
         self._workers: list[_WorkerHandle] = []
         self._backend: BilinearBackend | None = None
         self._ctx_counter = itertools.count(1)
         self._closed = False
+        self._lock = threading.RLock()
+        self._progress = threading.Condition(self._lock)
+        self._active: dict[int, _SideState] = {}
+        self._rr: deque[int] = deque()
+        self._polling = False
+        self._rescues_since_progress = 0
+        self._admit_offset = 0
 
     # -- lifecycle --------------------------------------------------------
     @property
@@ -263,9 +352,16 @@ class ExecutionService:
         """True after :meth:`close` until the next (lazy) restart."""
         return self._closed
 
+    @property
+    def active_sides(self) -> int:
+        """How many sides are currently admitted (diagnostics)."""
+        with self._lock:
+            return len(self._active)
+
     def worker_pids(self) -> list[int]:
         """PIDs of the live pool (for lifecycle tests and diagnostics)."""
-        return [w.process.pid for w in self._workers if w.alive()]
+        with self._lock:
+            return [w.process.pid for w in self._workers if w.alive()]
 
     def _spawn_worker(self, index: int) -> _WorkerHandle:
         parent_conn, child_conn = multiprocessing.Pipe(duplex=True)
@@ -275,7 +371,8 @@ class ExecutionService:
             daemon=True,
             name=f"repro-sjdec-{self.generation}-{index}",
         )
-        process.start()
+        with _FORK_SAFETY_MUTEX:
+            process.start()
         child_conn.close()
         return _WorkerHandle(index, process, parent_conn)
 
@@ -296,49 +393,74 @@ class ExecutionService:
 
         The backend is shipped once, as each worker's spawn argument;
         asking for a semantically different backend restarts the pool,
-        since the per-worker caches would be poisoned otherwise.
+        since the per-worker caches would be poisoned otherwise — but
+        never while other sides are still executing on the old one.
         """
-        if self._workers and (
-            self._backend_fingerprint(self._backend)
-            != self._backend_fingerprint(backend)
-        ):
-            self._stop_workers()
-        if not self._workers:
-            self._backend = backend
-            self.generation += 1
-            self._closed = False
-            if self.use_shared_memory:
-                # Start the resource tracker *before* forking so workers
-                # inherit it instead of each spawning (and exiting with)
-                # a tracker of their own.
-                try:  # pragma: no cover - tracker internals
-                    from multiprocessing import resource_tracker
+        with self._lock:
+            if self._workers and (
+                self._backend_fingerprint(self._backend)
+                != self._backend_fingerprint(backend)
+            ):
+                if self._active:
+                    raise QueryError(
+                        "cannot switch the pool to a different backend "
+                        f"while {len(self._active)} side(s) are active"
+                    )
+                self._stop_workers()
+            if not self._workers:
+                self._backend = backend
+                self.generation += 1
+                self._closed = False
+                if self.use_shared_memory:
+                    # Start the resource tracker *before* forking so
+                    # workers inherit it instead of each spawning (and
+                    # exiting with) a tracker of their own.
+                    try:  # pragma: no cover - tracker internals
+                        from multiprocessing import resource_tracker
 
-                    resource_tracker.ensure_running()
-                except Exception:
-                    pass
-            self._workers = [
-                self._spawn_worker(i) for i in range(self.worker_target)
-            ]
-        else:
-            self._respawn_dead_workers()
+                        resource_tracker.ensure_running()
+                    except Exception:
+                        pass
+                self._workers = [
+                    self._spawn_worker(i) for i in range(self.worker_target)
+                ]
+            else:
+                self._respawn_dead_workers()
 
     def _respawn_dead_workers(self) -> None:
-        """Replace workers that died between sides.  The replacement gets
-        no context — the next ``run_side`` installs a fresh one before
-        sending any chunk."""
+        """Replace workers that died while idle.  Replacements receive
+        the installs of every active side, so in-flight queries keep
+        working; their lost chunks are requeued by the poller."""
         for slot, worker in enumerate(self._workers):
             if not worker.alive():
+                self._requeue_outstanding(worker)
                 worker.conn.close()
-                self._workers[slot] = self._spawn_worker(worker.index)
+                replacement = self._spawn_worker(worker.index)
+                self._workers[slot] = replacement
                 self.worker_restarts += 1
+                self._install_active_sides(replacement)
+
+    def _install_active_sides(self, worker: _WorkerHandle) -> None:
+        for side in self._active.values():
+            if side.released:
+                continue
+            try:
+                worker.conn.send(side.install)
+            except OSError:  # pragma: no cover - instant respawn death
+                pass
 
     def close(self) -> None:
         """Stop the pool.  Idempotent; the service may be reused after."""
-        if self._closed and not self._workers:
-            return
-        self._stop_workers()
-        self._closed = True
+        with self._progress:
+            if self._closed and not self._workers:
+                return
+            self._stop_workers()
+            self._closed = True
+            # Consumers blocked on in-flight sides must fail, not hang.
+            for side in self._active.values():
+                if not side.finished and side.error is None:
+                    side.error = "execution service was closed mid-side"
+            self._progress.notify_all()
 
     def _stop_workers(self) -> None:
         for worker in self._workers:
@@ -364,7 +486,264 @@ class ExecutionService:
     def __exit__(self, *exc_info) -> None:
         self.close()
 
-    # -- execution --------------------------------------------------------
+    # -- admission --------------------------------------------------------
+    def admit_side(
+        self,
+        backend: BilinearBackend,
+        token_elements: Sequence,
+        ciphertext_vectors: Sequence[Sequence],
+        batch_size: int,
+        max_workers: int | None = None,
+    ) -> _SideState:
+        """Register one side with the scheduler and start dispatching.
+
+        Returns a side handle to pass to :meth:`stream_chunks` (and, on
+        abnormal exits, :meth:`release_side` — releasing is idempotent
+        and also happens automatically when the stream is drained).
+        ``max_workers`` caps how many pooled workers this side may use
+        concurrently (an engine configured narrower than the pool stays
+        narrower); other sides are free to use the rest.
+        """
+        if batch_size < 1:
+            raise QueryError("batch size must be at least 1")
+        # Transport preparation touches only local data; doing the
+        # per-element encode and the shared-memory copy outside the
+        # lock keeps a large admission from stalling the queries
+        # already running on the pool.
+        dimension = len(token_elements)
+        n_rows = len(ciphertext_vectors)
+        encoded = self._encode_rows(backend, ciphertext_vectors, dimension)
+        segment = self._create_segment(encoded)
+        token_bytes = [backend.encode_g1(e) for e in token_elements]
+        digest = hashlib.blake2b(
+            b"".join(token_bytes), digest_size=16
+        ).digest()
+        pending: deque[tuple[int, int]] = deque(
+            (start, min(batch_size, n_rows - start))
+            for start in range(0, n_rows, batch_size)
+        )
+        try:
+            with self._progress:
+                self.ensure_started(backend)
+                self.sides_executed += 1
+                # A fresh admission gets a fresh no-progress rescue
+                # breaker: the breaker exists to stop runaway respawn
+                # loops within one pumping episode, not to poison later
+                # queries after the environment recovered.
+                self._rescues_since_progress = 0
+                ctx_id = next(self._ctx_counter)
+                install = (
+                    "ctx", ctx_id, digest, token_bytes, dimension,
+                    segment.name if segment is not None else None,
+                )
+                limit = min(
+                    max_workers if max_workers is not None
+                    else self.worker_target,
+                    len(self._workers),
+                )
+                side = _SideState(
+                    ctx_id=ctx_id,
+                    install=install,
+                    segment=segment,
+                    # Once the rows live in the segment the flat copy is
+                    # dead weight; chunk messages only slice it on the
+                    # no-shared-memory fallback path.
+                    encoded=b"" if segment is not None else encoded,
+                    stride=dimension * backend.g2_element_size,
+                    pending=pending,
+                    max_workers=max(1, limit),
+                    allowed_workers=self._assign_workers(max(1, limit)),
+                    rescue_budget=3 * max(1, len(self._workers)) + 5,
+                )
+                side.report = SideReport(
+                    chunks=side.n_chunks,
+                    max_chunk=max((count for _, count in pending), default=0),
+                    pool_generation=self.generation,
+                    shared_memory=segment is not None,
+                )
+
+                if not self._install_everywhere(side):
+                    raise QueryError(
+                        "execution service has no reachable workers "
+                        "after a restart"
+                    )
+                self._active[ctx_id] = side
+                self._rr.append(ctx_id)
+                peak = len(self._active)
+                self.peak_concurrent_sides = max(
+                    self.peak_concurrent_sides, peak
+                )
+                for active in self._active.values():
+                    active.report.concurrent_sides = max(
+                        active.report.concurrent_sides, peak
+                    )
+                self._fill_windows_locked()
+                self._progress.notify_all()
+        except BaseException:
+            # The side never registered; free the segment created
+            # outside the lock (release_side will never see it).
+            if segment is not None:
+                with _FORK_SAFETY_MUTEX:
+                    segment.close()
+                    try:
+                        segment.unlink()
+                    except FileNotFoundError:  # pragma: no cover
+                        pass
+            raise
+        return side
+
+    def _assign_workers(self, limit: int) -> frozenset[int]:
+        """The worker indices this side may occupy.  Narrower-than-pool
+        sides get a rotating slice so concurrent narrow sides spread
+        over different workers instead of all camping on worker 0."""
+        indices = [worker.index for worker in self._workers]
+        if limit >= len(indices):
+            return frozenset(indices)
+        offset = self._admit_offset % len(indices)
+        self._admit_offset += limit
+        rotated = indices[offset:] + indices[:offset]
+        return frozenset(rotated[:limit])
+
+    def _install_everywhere(self, side: _SideState) -> bool:
+        """Install the side's context on every live worker.  Installing
+        beyond the side's allowed workers is deliberate: crash rescue
+        may respawn any slot, and installs are a few hundred bytes."""
+        for attempt in range(2):
+            sent = 0
+            for worker in self._workers:
+                if not worker.alive():
+                    continue
+                try:
+                    worker.conn.send(side.install)
+                    sent += 1
+                except OSError:
+                    continue
+            if sent:
+                return True
+            if attempt == 0:
+                # Every worker was dead or unreachable at once; replace
+                # the dead and retry once.
+                self._respawn_dead_workers()
+        return False
+
+    # -- streaming --------------------------------------------------------
+    def stream_chunks(
+        self, side: _SideState
+    ) -> Iterator[tuple[int, list[bytes]]]:
+        """Yield ``(start_offset, handles)`` chunks as workers finish.
+
+        Chunks arrive in completion order, not row order — callers that
+        need row order sort by the start offset (:meth:`run_side` does).
+        Returns the side's :class:`SideReport` as the generator's value
+        and releases the side's context on the way out.
+        """
+        try:
+            while True:
+                items, report = self._next_progress(side)
+                for item in items:
+                    yield item
+                if report is not None:
+                    return report
+        finally:
+            self.release_side(side)
+
+    def _next_progress(
+        self, side: _SideState
+    ) -> tuple[list[tuple[int, list[bytes]]], SideReport | None]:
+        """Block until ``side`` has new chunks, is finished, or failed.
+
+        Exactly one consumer thread polls the worker pipes at a time
+        (the ``_polling`` baton); everything it collects is routed to
+        the owning sides, so the other consumers find their chunks
+        ready the moment they re-check.
+        """
+        while True:
+            with self._progress:
+                if side.error is not None:
+                    raise QueryError(
+                        f"pooled SJ.Dec side failed:\n{side.error}"
+                    )
+                if side.completed:
+                    items = list(side.completed)
+                    side.completed.clear()
+                    return items, None
+                if side.finished:
+                    self._finalize_side_locked(side)
+                    return [], side.report
+                if not self._workers:
+                    raise QueryError(
+                        "execution service was closed while a side "
+                        "was executing"
+                    )
+                if self._polling:
+                    self._progress.wait(timeout=0.1)
+                    continue
+                self._polling = True
+                conns = [w.conn for w in self._workers if w.alive()]
+            ready = []
+            try:
+                try:
+                    ready = wait(conns, timeout=_POLL_TIMEOUT) if conns else []
+                except (OSError, ValueError):
+                    ready = []
+            finally:
+                with self._progress:
+                    self._polling = False
+                    try:
+                        if ready:
+                            self._process_ready_locked(ready)
+                        else:
+                            self._rescue_dead_locked()
+                        self._fill_windows_locked()
+                    finally:
+                        self._progress.notify_all()
+
+    def _finalize_side_locked(self, side: _SideState) -> None:
+        side.report.workers_used = len(side.workers_ever)
+        side.report.worker_restarts = self.worker_restarts
+
+    def release_side(self, side: _SideState) -> None:
+        """Retire a side: drop its context everywhere, free its segment.
+
+        Idempotent, and safe mid-flight (abandoned sides simply stop
+        being scheduled; results for released contexts are dropped).
+        """
+        with self._progress:
+            if side.released:
+                return
+            side.released = True
+            self._active.pop(side.ctx_id, None)
+            try:
+                self._rr.remove(side.ctx_id)
+            except ValueError:
+                pass
+            for worker in self._workers:
+                stale = [
+                    key for key in worker.outstanding
+                    if key[0] == side.ctx_id
+                ]
+                for key in stale:
+                    worker.outstanding.pop(key, None)
+                if worker.alive():
+                    try:
+                        worker.conn.send(("release", side.ctx_id))
+                    except (OSError, ValueError):
+                        pass
+            self._cleanup_segment(side)
+            side.report.worker_restarts = self.worker_restarts
+            self._progress.notify_all()
+
+    def _cleanup_segment(self, side: _SideState) -> None:
+        if side.segment is not None:
+            with _FORK_SAFETY_MUTEX:
+                side.segment.close()
+                try:
+                    side.segment.unlink()
+                except FileNotFoundError:  # pragma: no cover - double unlink
+                    pass
+            side.segment = None
+
+    # -- materializing wrapper -------------------------------------------
     def run_side(
         self,
         backend: BilinearBackend,
@@ -373,70 +752,29 @@ class ExecutionService:
         batch_size: int,
         max_workers: int | None = None,
     ) -> tuple[list[bytes], SideReport]:
-        """Decrypt one side's candidate rows through the pool.
+        """Decrypt one side through the pool, fully materialized.
 
-        Returns the handles in row order plus a :class:`SideReport`.
-        ``max_workers`` caps how many pooled workers this call may use
-        (an engine configured narrower than the pool stays narrower).
+        Returns the handles in row order plus a :class:`SideReport` —
+        the pre-streaming API, kept for callers that need the whole
+        side at once.
         """
-        if batch_size < 1:
-            raise QueryError("batch size must be at least 1")
-        self.ensure_started(backend)
-        self.sides_executed += 1
-
-        dimension = len(token_elements)
-        n_rows = len(ciphertext_vectors)
-        encoded = self._encode_rows(backend, ciphertext_vectors, dimension)
-        segment = self._create_segment(encoded)
-        ctx_id = next(self._ctx_counter)
-        token_bytes = [backend.encode_g1(e) for e in token_elements]
-        digest = hashlib.blake2b(
-            b"".join(token_bytes), digest_size=16
-        ).digest()
-        install = (
-            "ctx", ctx_id, digest, token_bytes, dimension,
-            segment.name if segment is not None else None,
+        side = self.admit_side(
+            backend, token_elements, ciphertext_vectors, batch_size,
+            max_workers=max_workers,
         )
-
-        element_size = backend.g2_element_size
-        stride = dimension * element_size
-        pending: deque[tuple[int, int]] = deque(
-            (start, min(batch_size, n_rows - start))
-            for start in range(0, n_rows, batch_size)
-        )
-        n_chunks = len(pending)
-        limit = min(
-            max_workers if max_workers is not None else self.worker_target,
-            len(self._workers),
-        )
-        report = SideReport(
-            chunks=n_chunks,
-            max_chunk=max((count for _, count in pending), default=0),
-            pool_generation=self.generation,
-            shared_memory=segment is not None,
-        )
-
+        stream = self.stream_chunks(side)
+        results: dict[int, list[bytes]] = {}
+        report: SideReport | None = None
         try:
-            active = self._broadcast_install(install, limit)
-            results: dict[int, list[bytes]] = {}
-            self._fill_windows(active, pending, ctx_id, encoded, stride)
-            report.workers_used = sum(
-                1 for w in active if w.outstanding
-            )
-            # Crash-rescue budget for this side: a worker that dies
-            # *deterministically* (bad spawn environment, unpicklable
-            # backend) must fail the query, not fork processes forever.
-            rescue_budget = [3 * len(active) + 5]
-            while len(results) < n_chunks:
-                self._collect(
-                    active, pending, results, report, ctx_id,
-                    encoded, stride, install, rescue_budget,
-                )
+            while True:
+                try:
+                    start, handles = next(stream)
+                except StopIteration as stop:
+                    report = stop.value
+                    break
+                results[start] = handles
         finally:
-            report.worker_restarts = self.worker_restarts
-            if segment is not None:
-                segment.close()
-                segment.unlink()
+            self.release_side(side)
         handles = [
             handle
             for start in sorted(results)
@@ -444,7 +782,7 @@ class ExecutionService:
         ]
         return handles, report
 
-    # -- scheduling internals --------------------------------------------
+    # -- scheduling internals (all require self._lock) --------------------
     def _encode_rows(self, backend, ciphertext_vectors, dimension) -> bytes:
         parts = []
         for row in ciphertext_vectors:
@@ -461,145 +799,176 @@ class ExecutionService:
         if not self.use_shared_memory or not encoded:
             return None
         try:
-            segment = _shared_memory.SharedMemory(
-                create=True, size=len(encoded)
-            )
+            with _FORK_SAFETY_MUTEX:
+                segment = _shared_memory.SharedMemory(
+                    create=True, size=len(encoded)
+                )
         except (OSError, ValueError):  # pragma: no cover - no /dev/shm
             self.use_shared_memory = False
             return None
         segment.buf[: len(encoded)] = encoded
         return segment
 
-    def _broadcast_install(self, install, limit: int) -> list[_WorkerHandle]:
-        """Install the side's context on the first ``limit`` live workers."""
-        active = []
-        for worker in self._workers:
-            # Entries left by an aborted side are stale by definition
-            # (sides run sequentially); a fresh window starts empty.
-            worker.outstanding.clear()
-        for attempt in range(2):
-            for worker in self._workers:
-                if len(active) == limit:
-                    break
-                if not worker.alive():
-                    continue
-                try:
-                    worker.conn.send(install)
-                    active.append(worker)
-                except OSError:
-                    continue
-            if active:
-                return active
-            if attempt == 0:
-                # Every worker was dead or unreachable at once; replace
-                # the dead (a live one with a broken pipe stays skipped)
-                # and retry.
-                self._respawn_dead_workers()
-        raise QueryError(
-            "execution service has no reachable workers after a restart"
-        )
-
-    def _chunk_message(self, ctx_id, start, count, encoded, stride):
-        if self.use_shared_memory:
+    def _chunk_message(self, side: _SideState, start: int, count: int):
+        if side.segment is not None:
             payload = None
         else:
             # Zero-copy-ish fallback: one contiguous bytes slice per
             # chunk (pickled as a single buffer, not element by element).
-            payload = encoded[start * stride:(start + count) * stride]
-        return ("chunk", ctx_id, start, count, payload)
+            payload = side.encoded[
+                start * side.stride:(start + count) * side.stride
+            ]
+        return ("chunk", side.ctx_id, start, count, payload)
 
-    def _fill_windows(self, active, pending, ctx_id, encoded, stride) -> None:
-        for _ in range(_PREFETCH_PER_WORKER):
-            for worker in active:
-                if not pending:
-                    return
-                if len(worker.outstanding) >= _PREFETCH_PER_WORKER:
-                    continue
-                start, count = pending.popleft()
-                try:
-                    worker.conn.send(
-                        self._chunk_message(
-                            ctx_id, start, count, encoded, stride
-                        )
-                    )
-                    worker.outstanding[start] = (start, count)
-                except OSError:
-                    pending.appendleft((start, count))
+    def _pick_side_locked(self, worker: _WorkerHandle) -> _SideState | None:
+        """The next side whose chunk this worker should run: round-robin
+        over admitted sides with pending work, honoring per-side worker
+        caps (a side may occupy a new worker only from its allowed set
+        and only below its cap)."""
+        for _ in range(len(self._rr)):
+            ctx_id = self._rr[0]
+            self._rr.rotate(-1)
+            side = self._active.get(ctx_id)
+            if side is None or side.released or not side.pending:
+                continue
+            if side.error is not None:
+                continue
+            if worker.index in side.holding:
+                return side
+            if (
+                worker.index in side.allowed_workers
+                and len(side.holding) < side.max_workers
+            ):
+                return side
+        return None
 
-    def _collect(
-        self, active, pending, results, report, ctx_id, encoded, stride,
-        install, rescue_budget,
-    ) -> None:
-        ready = wait([w.conn for w in active], timeout=0.25)
-        if not ready:
-            self._rescue_dead(active, pending, install, rescue_budget)
-            self._fill_windows(active, pending, ctx_id, encoded, stride)
+    def _fill_windows_locked(self) -> None:
+        if not self._active:
             return
+        for worker in self._workers:
+            if not worker.alive():
+                continue
+            while len(worker.outstanding) < _PREFETCH_PER_WORKER:
+                side = self._pick_side_locked(worker)
+                if side is None:
+                    break
+                start, count = side.pending.popleft()
+                try:
+                    worker.conn.send(self._chunk_message(side, start, count))
+                except (OSError, ValueError):
+                    side.pending.appendleft((start, count))
+                    break
+                worker.outstanding[(side.ctx_id, start)] = (
+                    side.ctx_id, start, count,
+                )
+                side.holding[worker.index] = (
+                    side.holding.get(worker.index, 0) + 1
+                )
+                side.workers_ever.add(worker.index)
+
+    def _release_holding(self, side: _SideState, worker_index: int) -> None:
+        count = side.holding.get(worker_index, 0) - 1
+        if count > 0:
+            side.holding[worker_index] = count
+        else:
+            side.holding.pop(worker_index, None)
+
+    def _process_ready_locked(self, ready) -> None:
         for conn in ready:
-            worker = next(w for w in active if w.conn is conn)
+            worker = next(
+                (w for w in self._workers if w.conn is conn), None
+            )
+            if worker is None:
+                continue
             try:
                 message = conn.recv()
             except (EOFError, OSError):
-                self._rescue_worker(
-                    worker, active, pending, install, rescue_budget
-                )
+                self._rescue_worker_locked(worker)
                 continue
             kind = message[0]
             if kind == "done":
-                _, msg_ctx, start, handles, millers, fexps = message
-                if msg_ctx != ctx_id:
-                    # Stale result from an aborted side; its outstanding
-                    # entry was already cleared at side start — popping
-                    # here could drop a live chunk with the same offset.
+                _, ctx_id, start, handles, millers, fexps = message
+                if worker.outstanding.pop((ctx_id, start), None) is not None:
+                    self._rescues_since_progress = 0
+                side = self._active.get(ctx_id)
+                if side is None or side.released:
                     continue
-                worker.outstanding.pop(start, None)
-                if start not in results:
-                    results[start] = handles
-                    report.miller_loops += millers
-                    report.final_exponentiations += fexps
+                self._release_holding(side, worker.index)
+                if start in side.seen_starts:
+                    # A rescue recomputed a chunk the original worker
+                    # had already delivered; keep the first result.
+                    continue
+                side.seen_starts.add(start)
+                side.done_chunks += 1
+                side.completed.append((start, handles))
+                side.report.miller_loops += millers
+                side.report.final_exponentiations += fexps
             elif kind == "error":
-                _, msg_ctx, start, trace = message
-                if msg_ctx != ctx_id:
+                _, ctx_id, start, trace = message
+                worker.outstanding.pop((ctx_id, start), None)
+                side = self._active.get(ctx_id)
+                if side is None or side.released:
                     continue
-                worker.outstanding.pop(start, None)
-                raise QueryError(f"pooled SJ.Dec worker failed:\n{trace}")
-        self._fill_windows(active, pending, ctx_id, encoded, stride)
+                self._release_holding(side, worker.index)
+                side.error = trace
 
-    def _rescue_dead(self, active, pending, install, rescue_budget) -> None:
-        for worker in list(active):
+    def _rescue_dead_locked(self) -> None:
+        for worker in list(self._workers):
             if not worker.alive():
-                self._rescue_worker(
-                    worker, active, pending, install, rescue_budget
-                )
+                self._rescue_worker_locked(worker)
 
-    def _rescue_worker(
-        self, worker, active, pending, install, rescue_budget
-    ) -> None:
-        """Replace a dead worker and re-queue the chunks it was holding."""
-        rescue_budget[0] -= 1
-        if rescue_budget[0] < 0:
-            raise QueryError(
-                "execution-service workers keep dying "
-                f"(restarted {self.worker_restarts} total); "
-                "refusing to respawn further for this query"
-            )
-        for start, count in list(worker.outstanding.values()):
-            pending.appendleft((start, count))
+    def _requeue_outstanding(self, worker: _WorkerHandle) -> set:
+        """Requeue a dead worker's chunks to their sides; returns the
+        sides affected."""
+        affected = set()
+        for ctx_id, start, count in list(worker.outstanding.values()):
+            side = self._active.get(ctx_id)
+            if side is None or side.released:
+                continue
+            self._release_holding(side, worker.index)
+            if start not in side.seen_starts:
+                side.pending.appendleft((start, count))
+            affected.add(side)
         worker.outstanding.clear()
+        return affected
+
+    def _rescue_worker_locked(self, worker: _WorkerHandle) -> None:
+        """Replace a dead worker, requeue its chunks, reinstall every
+        active side's context on the replacement."""
+        affected = self._requeue_outstanding(worker)
+        for side in affected:
+            side.rescue_budget -= 1
+            if side.rescue_budget < 0 and side.error is None:
+                side.error = (
+                    "execution-service workers keep dying "
+                    f"(restarted {self.worker_restarts} total); "
+                    "refusing to respawn further for this side"
+                )
+        # A worker dying with no chunks decrements no side budget; the
+        # progress-free rescue counter stops deterministic spawn deaths
+        # (bad environment, unpicklable backend) from forking forever.
+        self._rescues_since_progress += 1
+        if self._rescues_since_progress > 3 * self.worker_target + 5:
+            for side in self._active.values():
+                if side.error is None:
+                    side.error = (
+                        "execution-service workers keep dying before "
+                        "making progress; refusing to respawn further"
+                    )
+            # No replacement: leave the slot dead (the next admission's
+            # ensure_started respawns it) but release its pipe now.
+            worker.conn.close()
+            return
         worker.conn.close()
         slot = self._workers.index(worker)
-        position = active.index(worker)
         replacement = self._spawn_worker(worker.index)
-        try:
-            replacement.conn.send(install)
-        except OSError:  # pragma: no cover - instant respawn death
-            pass
         self._workers[slot] = replacement
-        active[position] = replacement
         self.worker_restarts += 1
+        self._install_active_sides(replacement)
 
 
 _DEFAULT_SERVICE: ExecutionService | None = None
+_DEFAULT_SERVICE_LOCK = threading.Lock()
 
 
 def get_default_service() -> ExecutionService:
@@ -611,9 +980,10 @@ def get_default_service() -> ExecutionService:
     a warm, persistent pool instead of one pool per engine instance.
     """
     global _DEFAULT_SERVICE
-    if _DEFAULT_SERVICE is None:
-        _DEFAULT_SERVICE = ExecutionService()
-    return _DEFAULT_SERVICE
+    with _DEFAULT_SERVICE_LOCK:
+        if _DEFAULT_SERVICE is None:
+            _DEFAULT_SERVICE = ExecutionService()
+        return _DEFAULT_SERVICE
 
 
 def peek_default_service() -> ExecutionService | None:
@@ -629,6 +999,7 @@ def peek_default_service() -> ExecutionService | None:
 def shutdown_default_service() -> None:
     """Close the process-wide service (tests and explicit teardowns)."""
     global _DEFAULT_SERVICE
-    if _DEFAULT_SERVICE is not None:
-        _DEFAULT_SERVICE.close()
-        _DEFAULT_SERVICE = None
+    with _DEFAULT_SERVICE_LOCK:
+        if _DEFAULT_SERVICE is not None:
+            _DEFAULT_SERVICE.close()
+            _DEFAULT_SERVICE = None

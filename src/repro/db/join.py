@@ -7,12 +7,17 @@ These serve two purposes in the reproduction:
 2. *Cost model baselines* — the paper contrasts its ``O(n)`` hash join
    with the ``O(n^2)`` nested-loop join forced by Hahn et al.'s scheme,
    so both algorithms are implemented and instrumented.
+
+The actual matching kernels live in :mod:`repro.db.matcher` — the same
+incremental matchers the encrypted server's streaming pipeline feeds
+chunk by chunk; here they are fed fully materialized sides.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
 
+from repro.db.matcher import HashMatcher, NestedMatcher
 from repro.db.predicate import Predicate, TruePredicate
 from repro.db.schema import Schema
 from repro.db.table import Row, Table
@@ -78,30 +83,34 @@ def hash_join(
     """
     left_predicate = left_predicate or TruePredicate()
     right_predicate = right_predicate or TruePredicate()
-    stats = JoinStats()
     left_key = left.schema.index_of(left_column)
     right_key = right.schema.index_of(right_column)
 
-    buckets: dict[object, list[tuple[int, Row]]] = {}
-    for i, row in enumerate(left):
-        if not left_predicate.evaluate(row, left.schema):
-            continue
-        buckets.setdefault(row[left_key], []).append((i, row))
+    left_rows = list(left)
+    right_rows = list(right)
+    # Build-then-probe: the left side is complete before the first
+    # probe, so the symmetric right-side bookkeeping is dead weight.
+    matcher = HashMatcher(symmetric=False)
+    matcher.add_left(
+        (i, row[left_key])
+        for i, row in enumerate(left_rows)
+        if left_predicate.evaluate(row, left.schema)
+    )
+    matcher.add_right(
+        (j, row[right_key])
+        for j, row in enumerate(right_rows)
+        if right_predicate.evaluate(row, right.schema)
+    )
+    pairs = matcher.finish()
 
     result = Table("join", _joined_schema(left, right))
-    pairs: list[tuple[int, int]] = []
-    for j, row in enumerate(right):
-        if not right_predicate.evaluate(row, right.schema):
-            continue
-        stats.probes += 1
-        # One hash-key comparison per probe plus one confirmation per
-        # bucket entry — mirrors the encrypted matcher's accounting.
-        stats.comparisons += 1
-        for i, left_row in buckets.get(row[right_key], ()):
-            stats.comparisons += 1
-            result.insert(left_row + row)
-            pairs.append((i, j))
-    stats.output_rows = len(pairs)
+    for i, j in pairs:
+        result.insert(left_rows[i] + right_rows[j])
+    stats = JoinStats(
+        probes=matcher.stats.probes,
+        comparisons=matcher.stats.comparisons,
+        output_rows=len(pairs),
+    )
     return JoinResult(result, pairs, stats)
 
 
@@ -121,24 +130,30 @@ def nested_loop_join(
     """
     left_predicate = left_predicate or TruePredicate()
     right_predicate = right_predicate or TruePredicate()
-    stats = JoinStats()
     left_key = left.schema.index_of(left_column)
     right_key = right.schema.index_of(right_column)
 
-    result = Table("join", _joined_schema(left, right))
-    pairs: list[tuple[int, int]] = []
-    selected_left = [
-        (i, row)
-        for i, row in enumerate(left)
+    left_rows = list(left)
+    right_rows = list(right)
+    matcher = NestedMatcher()
+    matcher.add_left(
+        (i, row[left_key])
+        for i, row in enumerate(left_rows)
         if left_predicate.evaluate(row, left.schema)
-    ]
-    for j, right_row in enumerate(right):
-        if not right_predicate.evaluate(right_row, right.schema):
-            continue
-        for i, left_row in selected_left:
-            stats.comparisons += 1
-            if left_row[left_key] == right_row[right_key]:
-                result.insert(left_row + right_row)
-                pairs.append((i, j))
-    stats.output_rows = len(pairs)
+    )
+    matcher.add_right(
+        (j, row[right_key])
+        for j, row in enumerate(right_rows)
+        if right_predicate.evaluate(row, right.schema)
+    )
+    pairs = matcher.finish()
+
+    result = Table("join", _joined_schema(left, right))
+    for i, j in pairs:
+        result.insert(left_rows[i] + right_rows[j])
+    stats = JoinStats(
+        probes=matcher.stats.probes,
+        comparisons=matcher.stats.comparisons,
+        output_rows=len(pairs),
+    )
     return JoinResult(result, pairs, stats)

@@ -1,0 +1,183 @@
+"""Incremental equi-match kernels: the shared SJ.Match / join layer.
+
+Both the plaintext joins (:mod:`repro.db.join`) and the encrypted
+server's SJ.Match (:mod:`repro.core.server`) used to carry their own
+materialized build-then-probe loops.  The streaming pipeline needs the
+matcher to accept *partial* sides — decrypted chunks arrive from the
+execution engines out of order and interleaved across sides — so the
+matching kernels live here, incremental by construction:
+
+- :class:`HashMatcher` — the paper's expected-O(n) hash join as a
+  *symmetric* hash join: both sides keep a bucket table, every arriving
+  item probes the other side's table, so matches are emitted as soon as
+  both partners have arrived, regardless of arrival order.
+- :class:`NestedMatcher` — the O(n·m) nested loop (the Hahn et al.
+  ablation baseline), incrementalized the same way: each arriving item
+  is compared against everything seen on the other side.
+
+Emission order depends on arrival order, but :meth:`finish` returns the
+complete pairing in the **canonical right-major order** — sorted by
+(right index, left index) — which is exactly what the materialized
+build-then-probe pass produced, so streamed and materialized runs are
+byte-identical at the end.
+
+Accounting matches the materialized pass too, by charging the canonical
+algorithm rather than the arrival schedule:
+
+- hash: one probe and one hash-key comparison per *right* item, plus
+  one equality confirmation per emitted pair — ``comparisons == probes
+  + matches``, O(n + m + output);
+- nested: exactly one comparison per (left, right) pair — ``|L| * |R|``
+  total, however the items arrive.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Hashable, Iterable
+from dataclasses import dataclass
+
+
+@dataclass
+class MatcherStats:
+    """Operation counts for one incremental match run."""
+
+    probes: int = 0
+    comparisons: int = 0
+    matches: int = 0
+
+
+class IncrementalMatcher:
+    """Base class: feed keyed items per side, collect pairs incrementally.
+
+    Items are ``(index, key)`` tuples; ``key`` is whatever equality the
+    join is over (handle bytes on the encrypted path, cell values on
+    the plaintext path).  ``add_left`` / ``add_right`` return the pairs
+    *newly completed* by that delivery, in discovery order;
+    :meth:`finish` returns every pair in canonical right-major order.
+    """
+
+    name = "abstract"
+
+    def __init__(self) -> None:
+        self.stats = MatcherStats()
+        self._pairs: list[tuple[int, int]] = []
+
+    # -- feeding ----------------------------------------------------------
+    def add_left(
+        self, items: Iterable[tuple[int, Hashable]]
+    ) -> list[tuple[int, int]]:
+        raise NotImplementedError
+
+    def add_right(
+        self, items: Iterable[tuple[int, Hashable]]
+    ) -> list[tuple[int, int]]:
+        raise NotImplementedError
+
+    # -- results ----------------------------------------------------------
+    def _emit(self, left_index: int, right_index: int, emitted: list) -> None:
+        pair = (left_index, right_index)
+        self._pairs.append(pair)
+        emitted.append(pair)
+        self.stats.matches += 1
+
+    def finish(self) -> list[tuple[int, int]]:
+        """All pairs, sorted into the canonical right-major order."""
+        self._pairs.sort(key=lambda pair: (pair[1], pair[0]))
+        return list(self._pairs)
+
+
+class HashMatcher(IncrementalMatcher):
+    """Symmetric incremental hash join (the paper's expected-O(n) match).
+
+    ``probes`` counts right-side items (the canonical probe side);
+    ``comparisons`` is one hash-key comparison per probe plus one
+    equality confirmation per emitted pair, independent of which side's
+    arrival completed the pair.
+
+    With ``symmetric=False`` the matcher degrades to the classic
+    build-then-probe kernel: no right-side bucket table is maintained,
+    so every left item must arrive before the right items that should
+    pair with it.  The materialized callers (:mod:`repro.db.join`) use
+    this to skip bookkeeping the streaming case needs and they never
+    probe.
+    """
+
+    name = "hash"
+
+    def __init__(self, symmetric: bool = True) -> None:
+        super().__init__()
+        self._left: dict[Hashable, list[int]] = {}
+        self._right: dict[Hashable, list[int]] | None = (
+            {} if symmetric else None
+        )
+
+    def add_left(self, items):
+        emitted: list[tuple[int, int]] = []
+        for left_index, key in items:
+            self._left.setdefault(key, []).append(left_index)
+            if self._right is not None:
+                for right_index in self._right.get(key, ()):
+                    self.stats.comparisons += 1
+                    self._emit(left_index, right_index, emitted)
+        return emitted
+
+    def add_right(self, items):
+        emitted: list[tuple[int, int]] = []
+        for right_index, key in items:
+            self.stats.probes += 1
+            self.stats.comparisons += 1
+            if self._right is not None:
+                self._right.setdefault(key, []).append(right_index)
+            for left_index in self._left.get(key, ()):
+                self.stats.comparisons += 1
+                self._emit(left_index, right_index, emitted)
+        return emitted
+
+
+class NestedMatcher(IncrementalMatcher):
+    """Incremental nested loop: every cross pair compared exactly once.
+
+    Kept for the Hahn et al. ablation — its comparison count is the
+    quadratic blow-up the Section 6.5 comparison relies on.
+    """
+
+    name = "nested"
+
+    def __init__(self) -> None:
+        super().__init__()
+        self._left: list[tuple[int, Hashable]] = []
+        self._right: list[tuple[int, Hashable]] = []
+
+    def add_left(self, items):
+        emitted: list[tuple[int, int]] = []
+        for left_index, key in items:
+            self._left.append((left_index, key))
+            for right_index, right_key in self._right:
+                self.stats.comparisons += 1
+                if key == right_key:
+                    self._emit(left_index, right_index, emitted)
+        return emitted
+
+    def add_right(self, items):
+        emitted: list[tuple[int, int]] = []
+        for right_index, key in items:
+            self._right.append((right_index, key))
+            for left_index, left_key in self._left:
+                self.stats.comparisons += 1
+                if key == left_key:
+                    self._emit(left_index, right_index, emitted)
+        return emitted
+
+
+MATCHER_NAMES = (HashMatcher.name, NestedMatcher.name)
+
+
+def get_matcher(algorithm: str) -> IncrementalMatcher:
+    """A fresh matcher instance for ``"hash"`` or ``"nested"``."""
+    if algorithm == HashMatcher.name:
+        return HashMatcher()
+    if algorithm == NestedMatcher.name:
+        return NestedMatcher()
+    raise ValueError(
+        f"unknown match algorithm {algorithm!r}; use one of {MATCHER_NAMES}"
+    )

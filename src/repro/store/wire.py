@@ -36,11 +36,15 @@ _RESULT_MAGIC = b"RPROJRES"
 # execution-engine fields (engine, batches, workers, pairing op counts)
 # plus — since the planner PR — ``engine_source`` / ``engine_selected``,
 # the per-side ``planner`` records and the persistent-pool lifecycle
-# counters.  All stats additions are optional JSON header keys, so the
-# version stays 2 and version-1 payloads (pre-engine) still decode:
-# missing stats fields take their dataclass defaults, unknown ones from
-# newer minor revisions are ignored.
-_VERSION = 2
+# counters.
+# Version 3 (the streaming-pipeline PR): result stats additionally
+# carry the matcher choice (``matcher``), the pipeline stage timings
+# (``time_to_first_match`` / ``decrypt_seconds`` / ``match_seconds``)
+# and the admission counter ``concurrent_sides``.  All stats additions
+# are optional JSON header keys, so version-1 and version-2 payloads
+# still decode: missing stats fields take their dataclass defaults,
+# unknown ones from newer minor revisions are ignored.
+_VERSION = 3
 _MIN_VERSION = 1
 _TAG_SIZE = 32
 
@@ -151,6 +155,11 @@ def encode_join_result(result: EncryptedJoinResult) -> bytes:
             "planner": result.stats.planner,
             "pool_generation": result.stats.pool_generation,
             "worker_restarts": result.stats.worker_restarts,
+            "matcher": result.stats.matcher,
+            "time_to_first_match": result.stats.time_to_first_match,
+            "decrypt_seconds": result.stats.decrypt_seconds,
+            "match_seconds": result.stats.match_seconds,
+            "concurrent_sides": result.stats.concurrent_sides,
         },
     }
     write_header(writer, _RESULT_MAGIC, _VERSION, header)

@@ -4,8 +4,11 @@ The contract under test: :class:`~repro.core.service.ExecutionService`
 is lazy (no process before the first pooled side), persistent (many
 queries reuse one pool — ``pool_generation`` never moves), crash
 resilient (a SIGKILLed worker is respawned and its chunks recomputed),
-and clean (idempotent ``close``, context-manager support, and flat
-process/FD counts across dozens of queries).
+clean (idempotent ``close``, context-manager support, and flat
+process/FD counts across dozens of queries), and — since the streaming
+pipeline PR — a fair multi-query admission scheduler: concurrent
+queries (and both sides of one query) interleave chunk scheduling on
+one warm pool with isolated per-side contexts.
 """
 
 from __future__ import annotations
@@ -231,6 +234,157 @@ class TestCrashResilience:
                 server.observations[-2].handles
                 == server.observations[-1].handles
             )
+
+
+class TestConcurrentAdmission:
+    """Multi-query admission: interleaving, isolation, crash recovery."""
+
+    def test_concurrent_queries_interleave_on_one_pool(self):
+        """N threads, one server, one warm pool: every query correct,
+        no per-query pool respawn, sides demonstrably co-admitted."""
+        client, server = _fixture(rows=120)
+        engine = ParallelEngine(workers=2, batch_size=4)
+        query = JoinQuery.build("L", "R", on=("k", "k"))
+        with server:
+            reference = server.execute_join(
+                client.create_query(query), engine=BatchedEngine(4)
+            )
+            encrypted = [client.create_query(query) for _ in range(12)]
+            results = [None] * len(encrypted)
+            errors = []
+
+            def run(slot):
+                try:
+                    results[slot] = server.execute_join(
+                        encrypted[slot], engine=engine
+                    )
+                except Exception as exc:  # pragma: no cover - must not happen
+                    errors.append(exc)
+
+            threads = [
+                threading.Thread(target=run, args=(slot,))
+                for slot in range(len(encrypted))
+            ]
+            for thread in threads:
+                thread.start()
+            for thread in threads:
+                thread.join()
+
+            assert errors == []
+            for result in results:
+                assert result is not None
+                assert result.index_pairs == reference.index_pairs
+                assert result.left_payloads == reference.left_payloads
+                assert result.stats.pool_generation == 1
+            service = server.execution_service
+            assert service.generation == 1
+            assert service.worker_restarts == 0
+            # The whole point: sides of different queries overlapped.
+            assert service.peak_concurrent_sides >= 2
+            assert max(r.stats.concurrent_sides for r in results) >= 2
+
+    def test_concurrent_queries_with_mid_query_crash(self):
+        """A worker SIGKILLed while several queries are in flight: every
+        query still completes correctly on the same pool generation."""
+        client, server = _fixture(rows=160)
+        engine = ParallelEngine(workers=2, batch_size=2)
+        query = JoinQuery.build("L", "R", on=("k", "k"))
+        with server:
+            shared = client.create_query(query)
+            reference = server.execute_join(shared, engine=BatchedEngine(4))
+            service = server.execution_service
+            results = []
+            errors = []
+            lock = threading.Lock()
+
+            def run():
+                try:
+                    result = server.execute_join(shared, engine=engine)
+                    with lock:
+                        results.append(result)
+                except Exception as exc:  # pragma: no cover
+                    with lock:
+                        errors.append(exc)
+
+            def killer():
+                deadline = time.time() + 2.0
+                while time.time() < deadline:
+                    pids = service.worker_pids()
+                    if pids:
+                        try:
+                            os.kill(pids[0], signal.SIGKILL)
+                        except ProcessLookupError:  # pragma: no cover
+                            pass
+                        return
+                    time.sleep(0.005)
+
+            threads = [threading.Thread(target=run) for _ in range(3)]
+            threads.append(threading.Thread(target=killer))
+            for thread in threads:
+                thread.start()
+            for thread in threads:
+                thread.join()
+
+            assert errors == []
+            assert len(results) == 3
+            for result in results:
+                assert result.index_pairs == reference.index_pairs
+            # Respawn, not pool re-creation.
+            assert service.generation == 1
+            assert all(r.stats.pool_generation == 1 for r in results)
+
+    def test_no_leaks_across_concurrent_batches(self):
+        """Repeated waves of concurrent queries leave no extra
+        processes, FDs, or admitted sides behind."""
+        client, server = _fixture(rows=60)
+        engine = ParallelEngine(workers=2, batch_size=4)
+        query = JoinQuery.build("L", "R", on=("k", "k"))
+        with server:
+            # Warm up: spawn the pool, then measure.
+            server.execute_join(client.create_query(query), engine=engine)
+            children_before = _alive_children()
+            fds_before = _open_fds()
+            for _ in range(5):
+                threads = [
+                    threading.Thread(
+                        target=server.execute_join,
+                        args=(client.create_query(query),),
+                        kwargs={"engine": engine},
+                    )
+                    for _ in range(4)
+                ]
+                for thread in threads:
+                    thread.start()
+                for thread in threads:
+                    thread.join()
+            assert _alive_children() == children_before
+            assert _open_fds() == fds_before
+            assert server.execution_service.active_sides == 0
+            assert server.execution_service.generation == 1
+
+    def test_backend_switch_refused_while_sides_active(self):
+        """Per-query isolation: an admitted side pins the pool backend."""
+        client, server = _fixture(rows=80)
+        engine = ParallelEngine(workers=2, batch_size=4)
+        query = client.create_query(JoinQuery.build("L", "R", on=("k", "k")))
+        with server:
+            stream = server.stream_join(query, engine=engine)
+            # Start the join (admits sides) but do not finish it.
+            try:
+                next(stream)
+            except StopIteration:  # pragma: no cover - tiny join
+                pytest.skip("join finished in one pull")
+            service = server.execution_service
+            assert service.active_sides > 0
+
+            class _OtherBackend:
+                name = "other"
+                order = 97
+
+            with pytest.raises(QueryError):
+                service.ensure_started(_OtherBackend())
+            stream.close()
+            assert service.active_sides == 0
 
 
 class TestLifecycle:
