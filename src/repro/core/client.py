@@ -60,6 +60,14 @@ class EncryptedJoinQuery:
     (``"serial"``, ``"batched"``, ``"parallel"`` or ``"auto"`` — the
     server-side cost-model planner); the server may override it, so it
     carries no security weight.
+
+    ``priority`` and ``deadline`` are the query's scheduling QoS
+    (wire v4): higher-priority queries get dispatch preference when
+    concurrent queries share the server's worker pool, and ``deadline``
+    is a *relative* time budget in seconds — the server stamps it
+    against its own clock at admission and cancels the query (releasing
+    its pool admissions) once the budget is exhausted.  Both are
+    advisory scheduling inputs, not security boundaries.
     """
 
     query_id: int
@@ -70,6 +78,8 @@ class EncryptedJoinQuery:
     left_prefilter: dict[str, frozenset[bytes]] | None = None
     right_prefilter: dict[str, frozenset[bytes]] | None = None
     engine_hint: str | None = None
+    priority: int = 0
+    deadline: float | None = None
 
 
 @dataclass
@@ -268,7 +278,11 @@ class SecureJoinClient:
         return tokens or None
 
     def create_query(
-        self, query: JoinQuery, engine: str | None = None
+        self,
+        query: JoinQuery,
+        engine: str | None = None,
+        priority: int = 0,
+        deadline: float | None = None,
     ) -> EncryptedJoinQuery:
         """SJ.TokenGen for both tables under one fresh query key.
 
@@ -276,11 +290,25 @@ class SecureJoinClient:
         one of ``"serial"``, ``"batched"``, ``"parallel"`` or ``"auto"``
         (validated here so typos fail on the client side; the server
         honors it only if its ``hint_engines`` allowlist permits).
+
+        ``priority`` (higher runs sooner under contention) and
+        ``deadline`` (a relative time budget in seconds; the server
+        cancels the query when it is exhausted) are the query's
+        scheduling QoS — validated here so malformed values fail on the
+        client side instead of as a server-side decode error.
         """
         if engine is not None and engine not in ENGINE_NAMES:
             raise QueryError(
                 f"unknown execution engine {engine!r}; "
                 f"use one of {ENGINE_NAMES}"
+            )
+        if isinstance(priority, bool) or not isinstance(priority, int):
+            raise QueryError("priority must be an integer")
+        if deadline is not None and (
+            not isinstance(deadline, (int, float)) or deadline <= 0
+        ):
+            raise QueryError(
+                "deadline must be a positive number of seconds (or None)"
             )
         left = self._table(query.left_table)
         right = self._table(query.right_table)
@@ -320,6 +348,8 @@ class SecureJoinClient:
             left_prefilter=self._prefilter_tokens(left, query.left_selection),
             right_prefilter=self._prefilter_tokens(right, query.right_selection),
             engine_hint=engine,
+            priority=priority,
+            deadline=float(deadline) if deadline is not None else None,
         )
 
     # -- result phase -----------------------------------------------------

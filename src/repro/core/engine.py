@@ -46,12 +46,13 @@ from dataclasses import dataclass, field
 
 from repro.core.service import (
     ExecutionService,
+    QueryQoS,
     default_worker_count,
     get_default_service,
     peek_default_service,
 )
 from repro.crypto.backend import BilinearBackend
-from repro.errors import QueryError
+from repro.errors import DeadlineError, QueryError
 
 #: Rows per chunk when a batching engine is built without an explicit size.
 DEFAULT_BATCH_SIZE = 64
@@ -144,21 +145,32 @@ class ExecutionEngine(ABC):
         backend: BilinearBackend,
         token_elements: Sequence,
         ciphertext_vectors: Sequence[Sequence],
+        qos: QueryQoS | None = None,
     ) -> HandleStream:
-        """A stream of decrypted chunks for the side, in completion order."""
+        """A stream of decrypted chunks for the side, in completion order.
+
+        ``qos`` carries the owning query's priority and absolute
+        deadline: pooled engines thread it into the admission scheduler
+        (dispatch preference / mid-flight cancellation), inline engines
+        check the deadline between chunks and raise
+        :class:`~repro.errors.DeadlineError` once it lapses.
+        """
 
     def decrypt_handles(
         self,
         backend: BilinearBackend,
         token_elements: Sequence,
         ciphertext_vectors: Sequence[Sequence],
+        qos: QueryQoS | None = None,
     ) -> tuple[list[bytes], EngineReport]:
         """Handles (canonical bytes) for each ciphertext vector, in order.
 
         The materializing wrapper around :meth:`decrypt_stream`: drains
         the stream and reassembles row order from the chunk offsets.
         """
-        stream = self.decrypt_stream(backend, token_elements, ciphertext_vectors)
+        stream = self.decrypt_stream(
+            backend, token_elements, ciphertext_vectors, qos=qos
+        )
         chunks: dict[int, list[bytes]] = {}
         for chunk in stream:
             chunks[chunk.start] = chunk.handles
@@ -185,11 +197,18 @@ class SerialEngine(ExecutionEngine):
 
     name = "serial"
 
-    def decrypt_stream(self, backend, token_elements, ciphertext_vectors):
+    def decrypt_stream(
+        self, backend, token_elements, ciphertext_vectors, qos=None
+    ):
         def run():
             miller_loops = 0
             final_exponentiations = 0
             for offset, ciphertext in enumerate(ciphertext_vectors):
+                if qos is not None and qos.expired():
+                    raise DeadlineError(
+                        "query exceeded its deadline; serial side "
+                        f"cancelled at row {offset}"
+                    )
                 # Per-chunk op accounting: interleaved streams share the
                 # backend's process-wide counters, so a start-to-end
                 # snapshot would absorb the other side's work.  This is
@@ -228,12 +247,19 @@ class BatchedEngine(ExecutionEngine):
             raise QueryError("batch size must be at least 1")
         self.batch_size = batch_size
 
-    def decrypt_stream(self, backend, token_elements, ciphertext_vectors):
+    def decrypt_stream(
+        self, backend, token_elements, ciphertext_vectors, qos=None
+    ):
         def run():
             chunks = _chunked(ciphertext_vectors, self.batch_size)
             miller_loops = 0
             final_exponentiations = 0
             for start, chunk in chunks:
+                if qos is not None and qos.expired():
+                    raise DeadlineError(
+                        "query exceeded its deadline; batched side "
+                        f"cancelled at row {start}"
+                    )
                 snapshot = backend.ops.snapshot()
                 gts = backend.pair_vectors_batch(token_elements, chunk)
                 delta = backend.ops.since(snapshot)
@@ -315,10 +341,12 @@ class ParallelEngine(ExecutionEngine):
             self._service = get_default_service()
         return self._service
 
-    def decrypt_stream(self, backend, token_elements, ciphertext_vectors):
+    def decrypt_stream(
+        self, backend, token_elements, ciphertext_vectors, qos=None
+    ):
         if self.workers == 1 or len(ciphertext_vectors) <= self.batch_size:
             inline = self._inline.decrypt_stream(
-                backend, token_elements, ciphertext_vectors
+                backend, token_elements, ciphertext_vectors, qos=qos
             )
 
             def run_inline():
@@ -337,6 +365,7 @@ class ParallelEngine(ExecutionEngine):
             ciphertext_vectors,
             self.batch_size,
             max_workers=self.workers,
+            qos=qos,
         )
 
         def run_pooled():
@@ -444,7 +473,9 @@ class AutoEngine(ExecutionEngine):
             return self.cost_model
         return default_engine_cost_model(backend.name)
 
-    def decrypt_stream(self, backend, token_elements, ciphertext_vectors):
+    def decrypt_stream(
+        self, backend, token_elements, ciphertext_vectors, qos=None
+    ):
         from repro.bench.costmodel import choose_engine
 
         parallel: ParallelEngine = self._engines["parallel"]
@@ -467,7 +498,7 @@ class AutoEngine(ExecutionEngine):
             corrections=corrections,
         )
         inner = self._engines[choice].decrypt_stream(
-            backend, token_elements, ciphertext_vectors
+            backend, token_elements, ciphertext_vectors, qos=qos
         )
 
         def run():

@@ -18,6 +18,7 @@ returns exactly what the old decrypt-then-match pass did.
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass, field
 
 from repro.core.client import EncryptedJoinQuery, EncryptedTable
@@ -29,10 +30,10 @@ from repro.core.engine import (
 )
 from repro.core.pipeline import run_pipeline
 from repro.core.scheme import SecureJoinParams, SecureJoinScheme, SJToken
-from repro.core.service import ExecutionService
+from repro.core.service import ExecutionService, QueryQoS
 from repro.crypto.backend import BilinearBackend
 from repro.db.matcher import IncrementalMatcher, get_matcher
-from repro.errors import QueryError, SchemeError
+from repro.errors import DeadlineError, QueryError, SchemeError
 
 #: Matcher algorithms ``execute_join`` accepts; ``"auto"`` prices hash
 #: vs nested with the cost model (see :mod:`repro.bench.costmodel`).
@@ -461,6 +462,25 @@ class SecureJoinServer:
         right = self.table(query.right_table)
         stats = ServerStats(engine_source=engine_source)
         observation = QueryObservation(query.query_id)
+        # The query's scheduling QoS (wire v4): the relative deadline is
+        # stamped against the server's clock here, at admission.
+        # Pooled engines thread it into the admission scheduler
+        # (priority-preferring dispatch, mid-flight cancellation);
+        # inline engines check it between chunks; the drive loop below
+        # checks it between pipeline events so the match stage cannot
+        # overrun either.
+        priority = getattr(query, "priority", 0) or 0
+        relative_deadline = getattr(query, "deadline", None)
+        qos: QueryQoS | None = None
+        if priority or relative_deadline is not None:
+            qos = QueryQoS(
+                priority=priority,
+                deadline=(
+                    time.monotonic() + relative_deadline
+                    if relative_deadline is not None
+                    else None
+                ),
+            )
 
         left_candidates = self._live(
             left.name, self._candidates(left, query.left_prefilter)
@@ -486,6 +506,7 @@ class SecureJoinServer:
                 backend,
                 query.left_token.elements,
                 self._side_ciphertexts(left, query.left_token, left_candidates),
+                qos=qos,
             )
             right_stream = active_engine.decrypt_stream(
                 backend,
@@ -493,6 +514,7 @@ class SecureJoinServer:
                 self._side_ciphertexts(
                     right, query.right_token, right_candidates
                 ),
+                qos=qos,
             )
         except BaseException:
             if left_stream is not None:
@@ -518,9 +540,22 @@ class SecureJoinServer:
             on_handles=record_handles,
         )
         try:
-            # ``yield from`` forwards the consumer's close()/throw() to
-            # the pipeline and hands back its return value.
-            outcome = yield from pipeline
+            # Driven manually (not ``yield from``) so the deadline is
+            # re-checked between pipeline events: the decrypt engines
+            # enforce it between chunks, but a long match stage must
+            # not overrun it either.
+            while True:
+                try:
+                    new_pairs = next(pipeline)
+                except StopIteration as stop:
+                    outcome = stop.value
+                    break
+                if qos is not None and qos.expired():
+                    raise DeadlineError(
+                        f"query {query.query_id} exceeded its deadline "
+                        f"of {relative_deadline}s; cancelled mid-join"
+                    )
+                yield new_pairs
         finally:
             # Deterministic cleanup when the consumer abandons the
             # generator: closing the pipeline closes both handle

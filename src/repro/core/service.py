@@ -49,6 +49,7 @@ import itertools
 import multiprocessing
 import os
 import threading
+import time
 import traceback
 from collections import deque
 from collections.abc import Iterator, Sequence
@@ -56,7 +57,7 @@ from dataclasses import dataclass
 from multiprocessing.connection import Connection, wait
 
 from repro.crypto.backend import BilinearBackend
-from repro.errors import QueryError
+from repro.errors import DeadlineError, QueryError
 
 try:  # pragma: no cover - exercised indirectly via the transport choice
     from multiprocessing import shared_memory as _shared_memory
@@ -90,6 +91,28 @@ _FORK_SAFETY_MUTEX = threading.Lock()
 def default_worker_count() -> int:
     """The service's default pool size (matches the PR 1 parallel engine)."""
     return max(2, os.cpu_count() or 1)
+
+
+@dataclass(frozen=True)
+class QueryQoS:
+    """Per-query scheduling inputs, threaded from the wire (v4) header.
+
+    ``priority``: sides of higher-priority queries get dispatch
+    preference at every worker-window refill; equal priorities
+    round-robin as before.  ``deadline`` is *absolute* in
+    ``time.monotonic()`` terms — the admitting layer stamps the query's
+    relative wire budget against the local clock; once past it the side
+    is cancelled (pending chunks dropped, context released) and its
+    consumer receives a :class:`~repro.errors.DeadlineError`.
+    """
+
+    priority: int = 0
+    deadline: float | None = None
+
+    def expired(self, now: float | None = None) -> bool:
+        if self.deadline is None:
+            return False
+        return (now if now is not None else time.monotonic()) > self.deadline
 
 
 @dataclass
@@ -269,6 +292,7 @@ class _SideState:
         max_workers: int,
         allowed_workers: frozenset[int],
         rescue_budget: int,
+        qos: QueryQoS,
     ):
         self.ctx_id = ctx_id
         self.install = install
@@ -276,6 +300,10 @@ class _SideState:
         self.encoded = encoded
         self.stride = stride
         self.pending = pending
+        self.qos = qos
+        #: Set when the side's deadline lapsed; consumers raise
+        #: :class:`DeadlineError` instead of a generic failure.
+        self.expired = False
         self.n_chunks = len(pending)
         self.max_workers = max_workers
         self.allowed_workers = allowed_workers
@@ -494,6 +522,7 @@ class ExecutionService:
         ciphertext_vectors: Sequence[Sequence],
         batch_size: int,
         max_workers: int | None = None,
+        qos: QueryQoS | None = None,
     ) -> _SideState:
         """Register one side with the scheduler and start dispatching.
 
@@ -502,10 +531,14 @@ class ExecutionService:
         and also happens automatically when the stream is drained).
         ``max_workers`` caps how many pooled workers this side may use
         concurrently (an engine configured narrower than the pool stays
-        narrower); other sides are free to use the rest.
+        narrower); other sides are free to use the rest.  ``qos``
+        attaches the owning query's priority and absolute deadline (see
+        :class:`QueryQoS`).
         """
         if batch_size < 1:
             raise QueryError("batch size must be at least 1")
+        if qos is None:
+            qos = QueryQoS()
         # Transport preparation touches only local data; doing the
         # per-element encode and the shared-memory copy outside the
         # lock keeps a large admission from stalling the queries
@@ -554,6 +587,7 @@ class ExecutionService:
                     max_workers=max(1, limit),
                     allowed_workers=self._assign_workers(max(1, limit)),
                     rescue_budget=3 * max(1, len(self._workers)) + 5,
+                    qos=qos,
                 )
                 side.report = SideReport(
                     chunks=side.n_chunks,
@@ -659,6 +693,14 @@ class ExecutionService:
         """
         while True:
             with self._progress:
+                if side.expired or side.qos.expired():
+                    if not side.expired:
+                        side.expired = True
+                        side.pending.clear()
+                    raise DeadlineError(
+                        "query exceeded its deadline; side cancelled "
+                        f"after {side.done_chunks}/{side.n_chunks} chunks"
+                    )
                 if side.error is not None:
                     raise QueryError(
                         f"pooled SJ.Dec side failed:\n{side.error}"
@@ -821,30 +863,61 @@ class ExecutionService:
         return ("chunk", side.ctx_id, start, count, payload)
 
     def _pick_side_locked(self, worker: _WorkerHandle) -> _SideState | None:
-        """The next side whose chunk this worker should run: round-robin
-        over admitted sides with pending work, honoring per-side worker
-        caps (a side may occupy a new worker only from its allowed set
-        and only below its cap)."""
+        """The next side whose chunk this worker should run: the
+        highest-priority admitted side with pending work, round-robin
+        within equal priorities, honoring per-side worker caps (a side
+        may occupy a new worker only from its allowed set and only
+        below its cap).  The chosen side moves to the back of the
+        rotation so equal-priority sides keep interleaving fairly."""
+        best: _SideState | None = None
         for _ in range(len(self._rr)):
             ctx_id = self._rr[0]
             self._rr.rotate(-1)
             side = self._active.get(ctx_id)
             if side is None or side.released or not side.pending:
                 continue
-            if side.error is not None:
+            if side.error is not None or side.expired:
                 continue
-            if worker.index in side.holding:
-                return side
-            if (
+            eligible = worker.index in side.holding or (
                 worker.index in side.allowed_workers
                 and len(side.holding) < side.max_workers
-            ):
-                return side
-        return None
+            )
+            if not eligible:
+                continue
+            if best is None or side.qos.priority > best.qos.priority:
+                best = side
+        if best is not None:
+            # The full scan left the rotation where it started; demote
+            # the winner explicitly so its equal-priority peers get the
+            # next pick.
+            try:
+                self._rr.remove(best.ctx_id)
+            except ValueError:  # pragma: no cover - released concurrently
+                pass
+            else:
+                self._rr.append(best.ctx_id)
+        return best
+
+    def _cancel_expired_locked(self) -> None:
+        """Cancel sides whose deadline lapsed: drop their pending chunks
+        so no further work is dispatched, and wake their consumers (who
+        then raise :class:`DeadlineError` and release the side)."""
+        now = time.monotonic()
+        expired_any = False
+        for side in self._active.values():
+            if side.expired or side.error is not None:
+                continue
+            if side.qos.expired(now):
+                side.expired = True
+                side.pending.clear()
+                expired_any = True
+        if expired_any:
+            self._progress.notify_all()
 
     def _fill_windows_locked(self) -> None:
         if not self._active:
             return
+        self._cancel_expired_locked()
         for worker in self._workers:
             if not worker.alive():
                 continue

@@ -48,6 +48,17 @@ class QueryError(ReproError):
     """Malformed or unsupported queries (including SQL parse errors)."""
 
 
+class DeadlineError(QueryError):
+    """A query exceeded its deadline and was cancelled mid-execution."""
+
+
+class NetworkError(ReproError):
+    """Transport-layer failures in the network service (connection lost,
+    oversized message, malformed framing).  Distinct from
+    :class:`SchemeError`, which covers the wire *codec*: a payload that
+    arrived intact but does not decode."""
+
+
 class LeakageError(ReproError):
     """Errors from the leakage analyzer (inconsistent traces...)."""
 

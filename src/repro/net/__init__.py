@@ -1,0 +1,43 @@
+"""The network service layer: the wire format over real sockets.
+
+Everything below :mod:`repro.net` exists so the client and the
+untrusted server can run in *separate processes* exchanging nothing but
+byte strings — the paper's deployment model.  The module speaks the v4
+wire format of :mod:`repro.store.wire` over TCP with length-prefixed
+messages:
+
+- :class:`~repro.net.server.JoinServiceServer` — a thread-per-connection
+  endpoint that decodes join queries, runs
+  :meth:`~repro.core.server.SecureJoinServer.stream_join`, and emits the
+  chunked result stream (stream-header / match-batch / final frames) so
+  remote clients receive matches while SJ.Dec is still running;
+- :class:`~repro.net.client.RemoteJoinClient` — consumes the frame
+  stream with bounded buffering (client-side backpressure) and
+  reassembles the canonical result;
+- ``python -m repro.net`` — a standalone server process with graceful
+  SIGTERM drain.
+
+Exposure policy (after the FateForger encrypted-deployment notes): only
+the query/result API is externally consumable.  A remote peer can send
+join queries (with the advisory ``engine_hint`` gated by the operator's
+``hint_engines`` allowlist, and per-query ``priority`` / ``deadline``
+QoS) and receive result frames — nothing else.  Pool controls, engine
+overrides, store mutation and service internals are never reachable
+from the socket.
+"""
+
+from repro.net.client import RemoteJoinClient
+from repro.net.protocol import (
+    MAX_MESSAGE_SIZE,
+    recv_message,
+    send_message,
+)
+from repro.net.server import JoinServiceServer
+
+__all__ = [
+    "JoinServiceServer",
+    "MAX_MESSAGE_SIZE",
+    "RemoteJoinClient",
+    "recv_message",
+    "send_message",
+]

@@ -1,0 +1,152 @@
+"""Standalone join service process: ``python -m repro.net``.
+
+Builds a :class:`~repro.core.server.SecureJoinServer` from public
+parameters, loads encrypted tables from disk, and serves the v4 frame
+stream until SIGTERM/SIGINT, then drains gracefully: stop accepting,
+finish in-flight query streams, close the worker pool, exit 0.
+
+Example::
+
+    python -m repro.net \\
+        --params '{"num_attributes": 2, "in_clause_limit": 4}' \\
+        --table customers.rprot --table orders.rprot \\
+        --port 0 --port-file /tmp/join-service.port
+
+With ``--port 0`` the OS picks a free port; ``--port-file`` publishes
+the actual ``host:port`` for clients (written atomically, so a watcher
+never reads a partial line).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import signal
+import sys
+import threading
+
+from repro.core.scheme import SecureJoinParams
+from repro.core.server import SecureJoinServer
+from repro.net.server import JoinServiceServer
+from repro.store.tables import load_encrypted_table
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.net",
+        description="Serve encrypted secure joins over TCP.",
+    )
+    parser.add_argument(
+        "--params",
+        required=True,
+        help="SecureJoinParams as JSON, e.g. "
+        '\'{"num_attributes": 2, "in_clause_limit": 4}\'',
+    )
+    parser.add_argument(
+        "--table",
+        action="append",
+        default=[],
+        metavar="PATH",
+        help="encrypted table file to load and store (repeatable)",
+    )
+    parser.add_argument("--host", default="127.0.0.1")
+    parser.add_argument(
+        "--port", type=int, default=0, help="0 = OS-assigned (default)"
+    )
+    parser.add_argument(
+        "--port-file",
+        default=None,
+        help="write the bound host:port here once listening",
+    )
+    parser.add_argument(
+        "--engine",
+        default=None,
+        help="default execution engine (serial/batched/parallel/auto)",
+    )
+    parser.add_argument(
+        "--hint-engines",
+        default="serial,batched",
+        help="comma-separated allowlist of client engine hints "
+        "(default: serial,batched — pool engines need operator opt-in)",
+    )
+    parser.add_argument(
+        "--workers", type=int, default=None, help="worker pool size"
+    )
+    parser.add_argument(
+        "--algorithm", default="hash", help="join matcher (hash/sort)"
+    )
+    parser.add_argument(
+        "--drain-timeout",
+        type=float,
+        default=30.0,
+        help="seconds to let in-flight streams finish on shutdown",
+    )
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = _build_parser().parse_args(argv)
+    try:
+        params_dict = json.loads(args.params)
+    except ValueError as error:
+        print(f"bad --params JSON: {error}", file=sys.stderr)
+        return 2
+    if not isinstance(params_dict, dict):
+        print("bad --params JSON: expected an object", file=sys.stderr)
+        return 2
+    try:
+        params = SecureJoinParams(**params_dict)
+    except TypeError as error:
+        print(f"bad --params fields: {error}", file=sys.stderr)
+        return 2
+    hint_engines = tuple(
+        name.strip()
+        for name in args.hint_engines.split(",")
+        if name.strip()
+    )
+    join_server = SecureJoinServer(
+        params,
+        engine=args.engine,
+        hint_engines=hint_engines,
+        workers=args.workers,
+    )
+    for path in args.table:
+        join_server.store(
+            load_encrypted_table(path, join_server.scheme.backend)
+        )
+    service = JoinServiceServer(
+        join_server,
+        host=args.host,
+        port=args.port,
+        algorithm=args.algorithm,
+        drain_timeout=args.drain_timeout,
+    )
+    host, port = service.start()
+    if args.port_file:
+        temp_path = f"{args.port_file}.tmp"
+        with open(temp_path, "w", encoding="utf-8") as handle:
+            handle.write(f"{host}:{port}\n")
+        os.replace(temp_path, args.port_file)
+    print(f"repro.net serving on {host}:{port}", file=sys.stderr, flush=True)
+
+    stop = threading.Event()
+
+    def handle_signal(signum, frame):  # noqa: ARG001 - signal signature
+        stop.set()
+
+    signal.signal(signal.SIGTERM, handle_signal)
+    signal.signal(signal.SIGINT, handle_signal)
+    stop.wait()
+    print("repro.net draining...", file=sys.stderr, flush=True)
+    service.shutdown(drain=True)
+    print(
+        f"repro.net stopped after {service.queries_served} queries",
+        file=sys.stderr,
+        flush=True,
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,87 @@
+"""Length-prefixed message framing over a stream socket.
+
+One message = a big-endian u32 length followed by that many payload
+bytes.  The payload is always a complete :mod:`repro.store.wire`
+encoding (a query, a result, or one stream frame), so the codec layer
+never sees a partial read.
+
+The length prefix is wire-supplied and therefore untrusted: it is
+checked against the receiver's limit *before* any allocation, so a
+hostile peer cannot make the process reserve gigabytes with four bytes.
+Transport failures raise :class:`~repro.errors.NetworkError`; codec
+failures (a complete message that does not decode) stay
+:class:`~repro.errors.SchemeError` territory.
+"""
+
+from __future__ import annotations
+
+import socket
+import struct
+
+from repro.errors import NetworkError
+
+#: Default per-message size limit (both directions).  Large enough for
+#: any realistic query or result chunk, small enough that a hostile
+#: length prefix cannot commit the receiver to an absurd allocation.
+MAX_MESSAGE_SIZE = 64 * 1024 * 1024
+
+_LENGTH = struct.Struct(">I")
+_RECV_CHUNK = 1 << 16
+
+
+def send_message(sock: socket.socket, payload: bytes) -> None:
+    """Send one length-prefixed message."""
+    if len(payload) > 0xFFFFFFFF:
+        raise NetworkError(
+            f"message of {len(payload)} bytes exceeds the u32 length prefix"
+        )
+    try:
+        sock.sendall(_LENGTH.pack(len(payload)) + payload)
+    except OSError as error:
+        raise NetworkError(f"send failed: {error}") from error
+
+
+def _recv_exact(sock: socket.socket, n: int) -> bytes | None:
+    """Read exactly ``n`` bytes; ``None`` on clean EOF before any byte."""
+    chunks: list[bytes] = []
+    received = 0
+    while received < n:
+        try:
+            chunk = sock.recv(min(n - received, _RECV_CHUNK))
+        except OSError as error:
+            raise NetworkError(f"receive failed: {error}") from error
+        if not chunk:
+            if received == 0:
+                return None
+            raise NetworkError(
+                f"connection closed mid-message ({received}/{n} bytes)"
+            )
+        chunks.append(chunk)
+        received += len(chunk)
+    return b"".join(chunks)
+
+
+def recv_message(
+    sock: socket.socket, max_size: int = MAX_MESSAGE_SIZE
+) -> bytes | None:
+    """Receive one length-prefixed message.
+
+    Returns ``None`` on a clean EOF at a message boundary (the peer
+    closed between messages); raises :class:`NetworkError` on EOF
+    mid-message or a length prefix beyond ``max_size``.
+    """
+    head = _recv_exact(sock, _LENGTH.size)
+    if head is None:
+        return None
+    (length,) = _LENGTH.unpack(head)
+    if length > max_size:
+        raise NetworkError(
+            f"incoming message claims {length} bytes, over the "
+            f"{max_size}-byte limit"
+        )
+    if length == 0:
+        return b""
+    body = _recv_exact(sock, length)
+    if body is None:
+        raise NetworkError("connection closed mid-message (0 body bytes)")
+    return body

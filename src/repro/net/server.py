@@ -1,0 +1,287 @@
+"""The streamed join service: a TCP endpoint over the v4 wire format.
+
+:class:`JoinServiceServer` wraps a
+:class:`~repro.core.server.SecureJoinServer` behind a listening socket.
+One thread per connection; each connection serves any number of queries
+sequentially.  Per query the handler emits:
+
+1. one **stream-header frame** acknowledging the query,
+2. a **match-batch frame** per :class:`~repro.core.server.MatchBatch`
+   the streaming pipeline yields — pairs and payloads in discovery
+   order, sent while SJ.Dec is still running,
+3. one **final frame** with the canonical pair order and the
+   :class:`~repro.core.server.ServerStats` — or an **error frame** if
+   the query failed (bad payload, unknown table, deadline exceeded...).
+
+Exposure policy: the socket can reach exactly ``decode_join_query`` →
+``stream_join``.  Client engine hints pass through the same
+``hint_engines`` allowlist gate as in-process hints; priority/deadline
+QoS from the v4 query header feed the admission scheduler; pool
+controls, engine overrides, the observation log and store mutation are
+not reachable from the wire.
+
+Graceful drain (:meth:`JoinServiceServer.shutdown`): stop accepting new
+connections, let in-flight query streams finish, close idle
+connections, then close the underlying worker pool.  This is what the
+``python -m repro.net`` process does on SIGTERM.
+"""
+
+from __future__ import annotations
+
+import socket
+import threading
+import time
+
+from repro.core.server import SecureJoinServer
+from repro.errors import NetworkError, ReproError
+from repro.net.protocol import MAX_MESSAGE_SIZE, recv_message, send_message
+from repro.store.wire import (
+    decode_join_query,
+    encode_error_frame,
+    encode_final_frame,
+    encode_match_batch,
+    encode_stream_header,
+)
+
+
+class _Connection:
+    """One accepted client connection and its serving state."""
+
+    def __init__(self, sock: socket.socket, peer):
+        self.sock = sock
+        self.peer = peer
+        #: True while a query stream is in flight on this connection —
+        #: drain waits for busy connections and force-closes idle ones.
+        self.busy = False
+
+
+class JoinServiceServer:
+    """Thread-per-connection TCP server speaking the v4 frame stream."""
+
+    def __init__(
+        self,
+        join_server: SecureJoinServer,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        algorithm: str = "hash",
+        max_message_size: int = MAX_MESSAGE_SIZE,
+        backlog: int = 32,
+        drain_timeout: float = 30.0,
+    ):
+        self.join_server = join_server
+        self.algorithm = algorithm
+        self.max_message_size = max_message_size
+        self.drain_timeout = drain_timeout
+        self._host = host
+        self._port = port
+        self._backlog = backlog
+        self._listener: socket.socket | None = None
+        self._accept_thread: threading.Thread | None = None
+        self._lock = threading.Lock()
+        self._connections: set[_Connection] = set()
+        self._handlers: list[threading.Thread] = []
+        self._draining = threading.Event()
+        self._started = False
+        #: Completed query streams (diagnostics and tests).
+        self.queries_served = 0
+
+    # -- lifecycle --------------------------------------------------------
+    def start(self) -> tuple[str, int]:
+        """Bind, listen, and start accepting.  Returns ``(host, port)``."""
+        if self._started:
+            raise NetworkError("server already started")
+        listener = socket.create_server(
+            (self._host, self._port), backlog=self._backlog, reuse_port=False
+        )
+        self._listener = listener
+        self._started = True
+        self._accept_thread = threading.Thread(
+            target=self._accept_loop, name="repro-net-accept", daemon=True
+        )
+        self._accept_thread.start()
+        return self.address
+
+    @property
+    def address(self) -> tuple[str, int]:
+        """The bound ``(host, port)`` — with ``port=0``, the real port."""
+        if self._listener is None:
+            raise NetworkError("server is not started")
+        return self._listener.getsockname()[:2]
+
+    def __enter__(self) -> "JoinServiceServer":
+        self.start()
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.shutdown()
+
+    @property
+    def active_connections(self) -> int:
+        with self._lock:
+            return len(self._connections)
+
+    # -- accept / serve ---------------------------------------------------
+    def _accept_loop(self) -> None:
+        while True:
+            try:
+                sock, peer = self._listener.accept()
+            except OSError:
+                # Listener closed: shutdown in progress.
+                return
+            try:
+                # Frames are small and latency-sensitive: without this,
+                # Nagle + delayed ACK can stall each one ~40ms.
+                sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+            except OSError:  # pragma: no cover - non-TCP test doubles
+                pass
+            with self._lock:
+                if self._draining.is_set():
+                    sock.close()
+                    continue
+                connection = _Connection(sock, peer)
+                self._connections.add(connection)
+                handler = threading.Thread(
+                    target=self._serve_connection,
+                    args=(connection,),
+                    name=f"repro-net-conn-{peer}",
+                    daemon=True,
+                )
+                self._handlers.append(handler)
+            handler.start()
+
+    def _serve_connection(self, connection: _Connection) -> None:
+        sock = connection.sock
+        try:
+            while not self._draining.is_set():
+                try:
+                    request = recv_message(sock, self.max_message_size)
+                except NetworkError:
+                    # Oversized or truncated request: the stream framing
+                    # is no longer trustworthy — drop the connection.
+                    return
+                if request is None:
+                    return
+                with self._lock:
+                    if self._draining.is_set():
+                        return
+                    connection.busy = True
+                try:
+                    self._serve_query(sock, request)
+                except NetworkError:
+                    # The client vanished mid-stream (or drain cut the
+                    # socket); admissions were released by the finally
+                    # inside _serve_query.
+                    return
+                finally:
+                    with self._lock:
+                        connection.busy = False
+                        self.queries_served += 1
+        finally:
+            with self._lock:
+                self._connections.discard(connection)
+            try:
+                sock.close()
+            except OSError:  # pragma: no cover - already closed
+                pass
+
+    def _serve_query(self, sock: socket.socket, request: bytes) -> None:
+        """Decode one query, stream its result frames.
+
+        Library failures (codec, scheme, deadline) are reported in-band
+        as an error frame; transport failures propagate and drop the
+        connection.
+        """
+        backend = self.join_server.scheme.backend
+        try:
+            query = decode_join_query(request, backend)
+        except ReproError as error:
+            send_message(
+                sock, encode_error_frame(type(error).__name__, str(error))
+            )
+            return
+        stream = self.join_server.stream_join(
+            query, algorithm=self.algorithm
+        )
+        try:
+            send_message(
+                sock,
+                encode_stream_header(
+                    query.query_id, query.left_table, query.right_table
+                ),
+            )
+            try:
+                while True:
+                    try:
+                        batch = next(stream)
+                    except StopIteration as stop:
+                        result = stop.value
+                        break
+                    send_message(sock, encode_match_batch(batch))
+            except ReproError as error:
+                # stream_join failed mid-flight (unknown table, bad
+                # token dimension, deadline exceeded...): terminate the
+                # response in-band so the client sees *why*.
+                send_message(
+                    sock,
+                    encode_error_frame(type(error).__name__, str(error)),
+                )
+                return
+            send_message(sock, encode_final_frame(result))
+        finally:
+            # Covers the transport-failure exits too: abandoning the
+            # generator releases the query's pool admissions.
+            stream.close()
+
+    # -- graceful drain ---------------------------------------------------
+    def shutdown(self, drain: bool = True, timeout: float | None = None) -> None:
+        """Stop the service.  Idempotent.
+
+        With ``drain`` (the default): stop accepting new connections,
+        let in-flight query streams run to completion (bounded by
+        ``timeout`` / ``drain_timeout``), close idle connections, then
+        close the underlying execution pool.  Without ``drain``:
+        everything is closed immediately.
+        """
+        self._draining.set()
+        if self._listener is not None:
+            try:
+                self._listener.close()
+            except OSError:  # pragma: no cover - already closed
+                pass
+        budget = timeout if timeout is not None else self.drain_timeout
+        deadline = time.monotonic() + max(0.0, budget)
+        # Idle connections are blocked in recv waiting for a query that
+        # must now never come; unblock them.  Busy connections keep
+        # their sockets — their in-flight stream finishes first (drain)
+        # or is cut (not drain).
+        with self._lock:
+            for connection in list(self._connections):
+                if not drain or not connection.busy:
+                    _force_close(connection.sock)
+        if drain:
+            while time.monotonic() < deadline:
+                with self._lock:
+                    if not any(c.busy for c in self._connections):
+                        break
+                time.sleep(0.02)
+            # Past the budget (or done): cut whatever is left.
+            with self._lock:
+                for connection in list(self._connections):
+                    _force_close(connection.sock)
+        for handler in self._handlers:
+            handler.join(timeout=max(0.1, deadline - time.monotonic()))
+        if self._accept_thread is not None:
+            self._accept_thread.join(timeout=2.0)
+        # Streams done (or cut): now the pool can go.
+        self.join_server.close()
+
+
+def _force_close(sock: socket.socket) -> None:
+    try:
+        sock.shutdown(socket.SHUT_RDWR)
+    except OSError:
+        pass
+    try:
+        sock.close()
+    except OSError:  # pragma: no cover - already closed
+        pass

@@ -39,6 +39,11 @@ class Reader:
     def blob(self) -> bytes:
         return self.take(self.u32())
 
+    @property
+    def remaining(self) -> int:
+        """Bytes left to read — the budget size claims are checked against."""
+        return len(self._data) - self._pos
+
     def at_end(self) -> bool:
         return self._pos == len(self._data)
 
@@ -103,9 +108,15 @@ def read_header(
             f"versions {min_version}..{version}"
         )
     try:
-        return json.loads(reader.blob().decode("utf-8"))
+        header = json.loads(reader.blob().decode("utf-8"))
     except (UnicodeDecodeError, json.JSONDecodeError) as error:
         raise SchemeError(f"corrupt header: {error}") from error
+    if not isinstance(header, dict):
+        raise SchemeError(
+            f"corrupt header: expected a JSON object, got "
+            f"{type(header).__name__}"
+        )
+    return header
 
 
 def write_element_vector(writer: Writer, elements: list[bytes], size: int) -> None:
@@ -121,5 +132,20 @@ def write_element_vector(writer: Writer, elements: list[bytes], size: int) -> No
 
 
 def read_element_vector(reader: Reader, size: int) -> list[bytes]:
+    """Inverse of :func:`write_element_vector` (validating).
+
+    The count is wire-supplied (up to 2^32−1), so it is checked against
+    the reader's remaining bytes *before* any element is read: a
+    corrupted or hostile count must fail fast, not build a huge list
+    element by element until the first truncated read aborts it.
+    """
+    if size < 1:
+        raise SchemeError(f"element size must be positive, got {size}")
     count = reader.u32()
+    if count * size > reader.remaining:
+        raise SchemeError(
+            f"bad element-vector count {count}: {count} elements of "
+            f"{size} bytes need {count * size} bytes, but only "
+            f"{reader.remaining} remain"
+        )
     return [reader.take(size) for _ in range(count)]

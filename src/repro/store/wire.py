@@ -1,24 +1,39 @@
 """Wire formats for the query-phase messages.
 
-Two message types cross the client/server boundary at query time:
+Message types crossing the client/server boundary at query time:
 
-- the **join query** (client -> server): table names, the two SJ tokens
-  and optional pre-filter tag sets;
+- the **join query** (client -> server): table names, the two SJ tokens,
+  optional pre-filter tag sets, and — since version 4 — the query's
+  scheduling QoS (``priority`` and a relative ``deadline``);
 - the **join result** (server -> client): matched index pairs and the
-  corresponding opaque payload blobs.
+  corresponding opaque payload blobs, fully materialized;
+- the **result stream frames** (server -> client, version 4): a
+  stream-header frame, repeated match-batch frames carrying pairs and
+  payloads in discovery order, and a final frame carrying the canonical
+  pair order plus :class:`~repro.core.server.ServerStats` — so a remote
+  client receives matched rows while SJ.Dec is still running.
 
 Together with :mod:`repro.store.tables` this lets the two parties run in
 separate processes (or machines) with nothing but byte strings between
-them — the deployment model of the paper's system.
+them — the deployment model of the paper's system.  :mod:`repro.net`
+carries these bytes over TCP.
+
+Every decoder here treats its input as hostile: counts, sizes and header
+fields are validated against the payload actually present *before* any
+allocation or body read, and every failure — truncation, corruption,
+type confusion — raises :class:`~repro.errors.SchemeError`.  Nothing
+else may escape: the network service feeds these decoders bytes from
+arbitrary remote peers.
 """
 
 from __future__ import annotations
 
 import dataclasses
+import math
 
 from repro.core.client import EncryptedJoinQuery
 from repro.core.scheme import SJToken
-from repro.core.server import EncryptedJoinResult, ServerStats
+from repro.core.server import EncryptedJoinResult, MatchBatch, ServerStats
 from repro.crypto.backend import BilinearBackend
 from repro.errors import SchemeError
 from repro.store.codec import (
@@ -32,6 +47,7 @@ from repro.store.codec import (
 
 _QUERY_MAGIC = b"RPROJQRY"
 _RESULT_MAGIC = b"RPROJRES"
+_FRAME_MAGIC = b"RPROJFRM"
 # Version 2: queries carry ``engine_hint``; result stats carry the
 # execution-engine fields (engine, batches, workers, pairing op counts)
 # plus — since the planner PR — ``engine_source`` / ``engine_selected``,
@@ -40,15 +56,126 @@ _RESULT_MAGIC = b"RPROJRES"
 # Version 3 (the streaming-pipeline PR): result stats additionally
 # carry the matcher choice (``matcher``), the pipeline stage timings
 # (``time_to_first_match`` / ``decrypt_seconds`` / ``match_seconds``)
-# and the admission counter ``concurrent_sides``.  All stats additions
-# are optional JSON header keys, so version-1 and version-2 payloads
-# still decode: missing stats fields take their dataclass defaults,
-# unknown ones from newer minor revisions are ignored.
-_VERSION = 3
+# and the admission counter ``concurrent_sides``.
+# Version 4 (the network-service PR): queries carry the optional QoS
+# fields ``priority`` and ``deadline``, and the chunked result stream
+# (stream-header / match-batch / final / error frames, magic
+# ``RPROJFRM``) exists at all.  All header additions are optional JSON
+# keys, so version-1..3 payloads still decode: missing fields take
+# their defaults, unknown ones from newer minor revisions are ignored.
+_VERSION = 4
 _MIN_VERSION = 1
+# Frames did not exist before v4, so their compatibility window starts
+# there.
+_FRAME_MIN_VERSION = 4
 _TAG_SIZE = 32
 
+#: Priority magnitude cap: wire-supplied priorities are clamped into a
+#: sane range so a hostile header cannot smuggle unbounded integers
+#: into the scheduler's comparisons.
+MAX_PRIORITY_MAGNITUDE = 2**16
+
 _STATS_FIELDS = {field.name for field in dataclasses.fields(ServerStats)}
+
+#: Frame kind tags (the ``kind`` header field of ``RPROJFRM`` payloads).
+FRAME_STREAM_HEADER = "stream_header"
+FRAME_MATCH_BATCH = "match_batch"
+FRAME_FINAL = "final"
+FRAME_ERROR = "error"
+
+
+# -- header field validation ----------------------------------------------
+
+
+def _require(header: dict, key: str):
+    try:
+        return header[key]
+    except KeyError:
+        raise SchemeError(
+            f"header is missing required field {key!r}"
+        ) from None
+
+
+def _as_str(value, key: str) -> str:
+    if not isinstance(value, str):
+        raise SchemeError(
+            f"header field {key!r} must be a string, got "
+            f"{type(value).__name__}"
+        )
+    return value
+
+
+def _as_int(value, key: str, minimum: int | None = None) -> int:
+    if isinstance(value, bool) or not isinstance(value, int):
+        raise SchemeError(
+            f"header field {key!r} must be an integer, got "
+            f"{type(value).__name__}"
+        )
+    if minimum is not None and value < minimum:
+        raise SchemeError(
+            f"header field {key!r} must be >= {minimum}, got {value}"
+        )
+    return value
+
+
+def _as_dict(value, key: str) -> dict:
+    if not isinstance(value, dict):
+        raise SchemeError(
+            f"header field {key!r} must be an object, got "
+            f"{type(value).__name__}"
+        )
+    return value
+
+
+def _opt_str_list(value, key: str) -> list[str] | None:
+    if value is None:
+        return None
+    if not isinstance(value, list) or not all(
+        isinstance(item, str) for item in value
+    ):
+        raise SchemeError(
+            f"header field {key!r} must be null or a list of strings"
+        )
+    return value
+
+
+def _qos_fields(header: dict) -> tuple[int, float | None]:
+    """Validate the v4 ``priority`` / ``deadline`` header fields.
+
+    Absent fields (v1..v3 payloads, or default-QoS v4 queries) take the
+    neutral defaults.  ``deadline`` is *relative*: a per-query time
+    budget in seconds, stamped against the receiving server's clock at
+    admission — clients and servers need not agree on wall-clock time.
+    """
+    priority = header.get("priority", 0)
+    if priority is not None:
+        priority = _as_int(priority, "priority")
+        if abs(priority) > MAX_PRIORITY_MAGNITUDE:
+            raise SchemeError(
+                f"priority {priority} outside "
+                f"[-{MAX_PRIORITY_MAGNITUDE}, {MAX_PRIORITY_MAGNITUDE}]"
+            )
+    else:
+        priority = 0
+    deadline = header.get("deadline")
+    if deadline is not None:
+        if isinstance(deadline, bool) or not isinstance(
+            deadline, (int, float)
+        ):
+            raise SchemeError(
+                "header field 'deadline' must be null or a number of "
+                f"seconds, got {type(deadline).__name__}"
+            )
+        deadline = float(deadline)
+        if not math.isfinite(deadline) or deadline <= 0.0:
+            raise SchemeError(
+                f"deadline must be a positive finite number of seconds, "
+                f"got {deadline}"
+            )
+    return priority, deadline
+
+
+# -- join query ------------------------------------------------------------
 
 
 def _write_prefilter(
@@ -85,6 +212,8 @@ def encode_join_query(
         "left_prefilter_columns": left_columns,
         "right_prefilter_columns": right_columns,
         "engine_hint": query.engine_hint,
+        "priority": query.priority,
+        "deadline": query.deadline,
     }
     write_header(writer, _QUERY_MAGIC, _VERSION, header)
     writer.raw(body.getvalue())
@@ -97,11 +226,33 @@ def decode_join_query(
     """Inverse of :func:`encode_join_query` (validating)."""
     reader = Reader(data)
     header = read_header(reader, _QUERY_MAGIC, _VERSION, _MIN_VERSION)
-    if header["backend"] != backend.name:
+    header_backend = _as_str(_require(header, "backend"), "backend")
+    if header_backend != backend.name:
         raise SchemeError(
-            f"query was built for backend {header['backend']!r}, "
+            f"query was built for backend {header_backend!r}, "
             f"cannot decode with {backend.name!r}"
         )
+    # The encoder wrote the element size its backend produced; a
+    # mismatch means the two ends run differently parameterized
+    # backends, and reading the token vectors with the local size would
+    # fail with a misleading truncated-blob/trailing-bytes error deep in
+    # the body (or worse, mis-slice into garbage elements).
+    declared_size = _as_int(
+        _require(header, "g1_element_size"), "g1_element_size", minimum=1
+    )
+    if declared_size != backend.g1_element_size:
+        raise SchemeError(
+            f"query tokens carry {declared_size}-byte G1 elements, but "
+            f"backend {backend.name!r} uses "
+            f"{backend.g1_element_size}-byte elements (mismatched backend "
+            "parameterization)"
+        )
+    engine_hint = header.get("engine_hint")
+    if engine_hint is not None and not isinstance(engine_hint, str):
+        raise SchemeError(
+            "header field 'engine_hint' must be null or a string"
+        )
+    priority, deadline = _qos_fields(header)
     tokens = []
     for _ in range(2):
         raw = read_element_vector(reader, backend.g1_element_size)
@@ -115,19 +266,88 @@ def decode_join_query(
             for column in columns
         }
 
-    left_prefilter = read_prefilter(header["left_prefilter_columns"])
-    right_prefilter = read_prefilter(header["right_prefilter_columns"])
+    left_prefilter = read_prefilter(
+        _opt_str_list(
+            header.get("left_prefilter_columns"), "left_prefilter_columns"
+        )
+    )
+    right_prefilter = read_prefilter(
+        _opt_str_list(
+            header.get("right_prefilter_columns"), "right_prefilter_columns"
+        )
+    )
     reader.expect_end()
     return EncryptedJoinQuery(
-        query_id=header["query_id"],
-        left_table=header["left_table"],
-        right_table=header["right_table"],
+        query_id=_as_int(_require(header, "query_id"), "query_id"),
+        left_table=_as_str(_require(header, "left_table"), "left_table"),
+        right_table=_as_str(_require(header, "right_table"), "right_table"),
         left_token=tokens[0],
         right_token=tokens[1],
         left_prefilter=left_prefilter,
         right_prefilter=right_prefilter,
-        engine_hint=header.get("engine_hint"),
+        engine_hint=engine_hint,
+        priority=priority,
+        deadline=deadline,
     )
+
+
+# -- join result (materialized) -------------------------------------------
+
+
+def _stats_dict(stats: ServerStats) -> dict:
+    return {
+        "candidates_left": stats.candidates_left,
+        "candidates_right": stats.candidates_right,
+        "decryptions": stats.decryptions,
+        "probes": stats.probes,
+        "comparisons": stats.comparisons,
+        "matches": stats.matches,
+        "engine": stats.engine,
+        "batches": stats.batches,
+        "max_batch_size": stats.max_batch_size,
+        "workers": stats.workers,
+        "miller_loops": stats.miller_loops,
+        "final_exponentiations": stats.final_exponentiations,
+        "engine_source": stats.engine_source,
+        "engine_selected": stats.engine_selected,
+        "planner": stats.planner,
+        "pool_generation": stats.pool_generation,
+        "worker_restarts": stats.worker_restarts,
+        "matcher": stats.matcher,
+        "time_to_first_match": stats.time_to_first_match,
+        "decrypt_seconds": stats.decrypt_seconds,
+        "match_seconds": stats.match_seconds,
+        "concurrent_sides": stats.concurrent_sides,
+    }
+
+
+def _decode_stats(header: dict) -> ServerStats:
+    # Tolerant stats decode: absent fields (older payloads) default,
+    # unknown fields (newer minor revisions) are dropped.
+    stats = _as_dict(_require(header, "stats"), "stats")
+    return ServerStats(**{
+        key: value
+        for key, value in stats.items()
+        if key in _STATS_FIELDS
+    })
+
+
+def _read_pairs(reader: Reader, header: dict) -> list[tuple[int, int]]:
+    """Read the ``n_pairs`` index pairs, validating the count up front.
+
+    The count is header-supplied and therefore untrusted: a negative
+    value must not silently yield an empty range, and an absurdly large
+    one must fail *before* spinning through per-element reads.  Each
+    pair is two u32s = 8 bytes, so ``remaining // 8`` bounds any count a
+    well-formed body could satisfy.
+    """
+    n_pairs = _as_int(_require(header, "n_pairs"), "n_pairs", minimum=0)
+    if n_pairs * 8 > reader.remaining:
+        raise SchemeError(
+            f"bad pair count {n_pairs}: {n_pairs} index pairs need "
+            f"{n_pairs * 8} bytes, but only {reader.remaining} remain"
+        )
+    return [(reader.u32(), reader.u32()) for _ in range(n_pairs)]
 
 
 def encode_join_result(result: EncryptedJoinResult) -> bytes:
@@ -137,30 +357,7 @@ def encode_join_result(result: EncryptedJoinResult) -> bytes:
         "left_table": result.left_table,
         "right_table": result.right_table,
         "n_pairs": len(result.index_pairs),
-        "stats": {
-            "candidates_left": result.stats.candidates_left,
-            "candidates_right": result.stats.candidates_right,
-            "decryptions": result.stats.decryptions,
-            "probes": result.stats.probes,
-            "comparisons": result.stats.comparisons,
-            "matches": result.stats.matches,
-            "engine": result.stats.engine,
-            "batches": result.stats.batches,
-            "max_batch_size": result.stats.max_batch_size,
-            "workers": result.stats.workers,
-            "miller_loops": result.stats.miller_loops,
-            "final_exponentiations": result.stats.final_exponentiations,
-            "engine_source": result.stats.engine_source,
-            "engine_selected": result.stats.engine_selected,
-            "planner": result.stats.planner,
-            "pool_generation": result.stats.pool_generation,
-            "worker_restarts": result.stats.worker_restarts,
-            "matcher": result.stats.matcher,
-            "time_to_first_match": result.stats.time_to_first_match,
-            "decrypt_seconds": result.stats.decrypt_seconds,
-            "match_seconds": result.stats.match_seconds,
-            "concurrent_sides": result.stats.concurrent_sides,
-        },
+        "stats": _stats_dict(result.stats),
     }
     write_header(writer, _RESULT_MAGIC, _VERSION, header)
     for left_index, right_index in result.index_pairs:
@@ -177,23 +374,224 @@ def decode_join_result(data: bytes) -> EncryptedJoinResult:
     """Inverse of :func:`encode_join_result` (validating)."""
     reader = Reader(data)
     header = read_header(reader, _RESULT_MAGIC, _VERSION, _MIN_VERSION)
-    n_pairs = header["n_pairs"]
-    pairs = [(reader.u32(), reader.u32()) for _ in range(n_pairs)]
-    left_payloads = [reader.blob() for _ in range(n_pairs)]
-    right_payloads = [reader.blob() for _ in range(n_pairs)]
+    pairs = _read_pairs(reader, header)
+    left_payloads = [reader.blob() for _ in range(len(pairs))]
+    right_payloads = [reader.blob() for _ in range(len(pairs))]
     reader.expect_end()
-    # Tolerant stats decode: absent fields (older payloads) default,
-    # unknown fields (newer minor revisions) are dropped.
-    stats = ServerStats(**{
-        key: value
-        for key, value in header["stats"].items()
-        if key in _STATS_FIELDS
-    })
     return EncryptedJoinResult(
-        left_table=header["left_table"],
-        right_table=header["right_table"],
+        left_table=_as_str(_require(header, "left_table"), "left_table"),
+        right_table=_as_str(_require(header, "right_table"), "right_table"),
         index_pairs=pairs,
         left_payloads=left_payloads,
         right_payloads=right_payloads,
-        stats=stats,
+        stats=_decode_stats(header),
     )
+
+
+# -- result stream frames (v4) --------------------------------------------
+
+
+@dataclasses.dataclass(frozen=True)
+class StreamHeaderFrame:
+    """Opens one result stream: identifies the query being answered."""
+
+    query_id: int
+    left_table: str
+    right_table: str
+
+
+@dataclasses.dataclass
+class MatchBatchFrame:
+    """One streamed increment: pairs (discovery order) plus payloads."""
+
+    batch: MatchBatch
+
+
+@dataclasses.dataclass
+class FinalFrame:
+    """Closes a stream: canonical pair order plus the server stats.
+
+    Payload blobs already travelled in the match-batch frames;
+    :class:`StreamReassembler` stitches them back into the canonical
+    order this frame dictates.
+    """
+
+    left_table: str
+    right_table: str
+    index_pairs: list[tuple[int, int]]
+    stats: ServerStats
+
+
+@dataclasses.dataclass(frozen=True)
+class ErrorFrame:
+    """A server-side failure, reported in-stream instead of a final frame."""
+
+    error_type: str
+    message: str
+
+
+def encode_stream_header(
+    query_id: int, left_table: str, right_table: str
+) -> bytes:
+    writer = Writer()
+    write_header(writer, _FRAME_MAGIC, _VERSION, {
+        "kind": FRAME_STREAM_HEADER,
+        "query_id": query_id,
+        "left_table": left_table,
+        "right_table": right_table,
+    })
+    return writer.getvalue()
+
+
+def encode_match_batch(batch: MatchBatch) -> bytes:
+    writer = Writer()
+    write_header(writer, _FRAME_MAGIC, _VERSION, {
+        "kind": FRAME_MATCH_BATCH,
+        "n_pairs": len(batch.index_pairs),
+    })
+    for left_index, right_index in batch.index_pairs:
+        writer.u32(left_index)
+        writer.u32(right_index)
+    for payload in batch.left_payloads:
+        writer.blob(payload)
+    for payload in batch.right_payloads:
+        writer.blob(payload)
+    return writer.getvalue()
+
+
+def encode_final_frame(result: EncryptedJoinResult) -> bytes:
+    """The stream's closing frame: canonical pairs + stats, no payloads."""
+    writer = Writer()
+    write_header(writer, _FRAME_MAGIC, _VERSION, {
+        "kind": FRAME_FINAL,
+        "left_table": result.left_table,
+        "right_table": result.right_table,
+        "n_pairs": len(result.index_pairs),
+        "stats": _stats_dict(result.stats),
+    })
+    for left_index, right_index in result.index_pairs:
+        writer.u32(left_index)
+        writer.u32(right_index)
+    return writer.getvalue()
+
+
+def encode_error_frame(error_type: str, message: str) -> bytes:
+    writer = Writer()
+    write_header(writer, _FRAME_MAGIC, _VERSION, {
+        "kind": FRAME_ERROR,
+        "error_type": error_type,
+        "message": message,
+    })
+    return writer.getvalue()
+
+
+def decode_frame(
+    data: bytes,
+) -> StreamHeaderFrame | MatchBatchFrame | FinalFrame | ErrorFrame:
+    """Decode one result-stream frame (validating, v4+ only)."""
+    reader = Reader(data)
+    header = read_header(
+        reader, _FRAME_MAGIC, _VERSION, _FRAME_MIN_VERSION
+    )
+    kind = _as_str(_require(header, "kind"), "kind")
+    if kind == FRAME_STREAM_HEADER:
+        reader.expect_end()
+        return StreamHeaderFrame(
+            query_id=_as_int(_require(header, "query_id"), "query_id"),
+            left_table=_as_str(
+                _require(header, "left_table"), "left_table"
+            ),
+            right_table=_as_str(
+                _require(header, "right_table"), "right_table"
+            ),
+        )
+    if kind == FRAME_MATCH_BATCH:
+        pairs = _read_pairs(reader, header)
+        left_payloads = [reader.blob() for _ in range(len(pairs))]
+        right_payloads = [reader.blob() for _ in range(len(pairs))]
+        reader.expect_end()
+        return MatchBatchFrame(MatchBatch(
+            index_pairs=pairs,
+            left_payloads=left_payloads,
+            right_payloads=right_payloads,
+        ))
+    if kind == FRAME_FINAL:
+        pairs = _read_pairs(reader, header)
+        reader.expect_end()
+        return FinalFrame(
+            left_table=_as_str(
+                _require(header, "left_table"), "left_table"
+            ),
+            right_table=_as_str(
+                _require(header, "right_table"), "right_table"
+            ),
+            index_pairs=pairs,
+            stats=_decode_stats(header),
+        )
+    if kind == FRAME_ERROR:
+        reader.expect_end()
+        return ErrorFrame(
+            error_type=_as_str(
+                _require(header, "error_type"), "error_type"
+            ),
+            message=_as_str(_require(header, "message"), "message"),
+        )
+    raise SchemeError(f"unknown frame kind {kind!r}")
+
+
+class StreamReassembler:
+    """Rebuild the canonical :class:`EncryptedJoinResult` from a stream.
+
+    Match-batch frames deliver pairs and payloads in discovery order;
+    the final frame dictates the canonical pair order.  Feed each batch
+    to :meth:`add_batch` and close with :meth:`finish` — the result is
+    byte-identical (up to run-dependent stats) to what the in-process
+    ``execute_join`` would have returned.
+    """
+
+    def __init__(self):
+        self._payloads: dict[tuple[int, int], tuple[bytes, bytes]] = {}
+
+    def add_batch(self, batch: MatchBatch) -> None:
+        if not (
+            len(batch.index_pairs)
+            == len(batch.left_payloads)
+            == len(batch.right_payloads)
+        ):
+            raise SchemeError("match batch with mismatched payload counts")
+        for pair, left, right in zip(
+            batch.index_pairs, batch.left_payloads, batch.right_payloads
+        ):
+            key = (pair[0], pair[1])
+            if key in self._payloads:
+                raise SchemeError(
+                    f"stream delivered pair {key} more than once"
+                )
+            self._payloads[key] = (left, right)
+
+    def finish(self, final: FinalFrame) -> EncryptedJoinResult:
+        if len(final.index_pairs) != len(self._payloads):
+            raise SchemeError(
+                f"stream delivered {len(self._payloads)} pairs but the "
+                f"final frame claims {len(final.index_pairs)}"
+            )
+        left_payloads = []
+        right_payloads = []
+        for pair in final.index_pairs:
+            try:
+                left, right = self._payloads[pair]
+            except KeyError:
+                raise SchemeError(
+                    f"final frame names pair {pair} that no match batch "
+                    "delivered"
+                ) from None
+            left_payloads.append(left)
+            right_payloads.append(right)
+        return EncryptedJoinResult(
+            left_table=final.left_table,
+            right_table=final.right_table,
+            index_pairs=list(final.index_pairs),
+            left_payloads=left_payloads,
+            right_payloads=right_payloads,
+            stats=final.stats,
+        )

@@ -1,0 +1,567 @@
+"""Tests for the network service layer (:mod:`repro.net`).
+
+Covers the full remote-join path over real sockets: streamed
+match-batch delivery (multiple frames before the final frame,
+byte-identical reassembly against the in-process result), in-band
+error reporting, client-side backpressure, the hint-allowlist gate,
+QoS threading (priority-preferring dispatch, deadline cancellation)
+and graceful drain.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import random
+import socket
+import threading
+import time
+from collections import deque
+from types import SimpleNamespace
+
+import pytest
+
+from repro.core.client import SecureJoinClient
+from repro.core.engine import BatchedEngine
+from repro.core.server import SecureJoinServer, ServerStats
+from repro.core.service import ExecutionService, QueryQoS
+from repro.db.query import JoinQuery
+from repro.db.schema import Schema
+from repro.db.table import Table
+from repro.errors import (
+    DeadlineError,
+    NetworkError,
+    QueryError,
+    SchemeError,
+)
+from repro.net import (
+    JoinServiceServer,
+    RemoteJoinClient,
+    recv_message,
+    send_message,
+)
+from repro.store.wire import (
+    ErrorFrame,
+    FinalFrame,
+    MatchBatchFrame,
+    StreamHeaderFrame,
+    decode_frame,
+    encode_join_query,
+    encode_join_result,
+)
+
+
+def _fixture(n_rows=12, batch_size=3, seed=17, **server_kwargs):
+    """Client + server whose joins span multiple decryption chunks.
+
+    Every left key matches a right key, so with ``batch_size``-row
+    chunks the streaming pipeline emits several non-empty match batches
+    before the final frame.
+    """
+    keys = [i % 5 for i in range(n_rows)]
+    left = Table("L", Schema.of(("k", "int"), ("a", "str")),
+                 [(k, f"a{i}") for i, k in enumerate(keys)])
+    right = Table("R", Schema.of(("k", "int"), ("b", "str")),
+                  [(k, f"b{i}") for i, k in enumerate(keys)])
+    client = SecureJoinClient.for_tables(
+        [(left, "k"), (right, "k")],
+        in_clause_limit=1,
+        rng=random.Random(seed),
+    )
+    server_kwargs.setdefault("engine", BatchedEngine(batch_size=batch_size))
+    server = SecureJoinServer(client.params, **server_kwargs)
+    server.store(client.encrypt_table(left, "k"))
+    server.store(client.encrypt_table(right, "k"))
+    return client, server
+
+
+def _query(client, **kwargs):
+    return client.create_query(
+        JoinQuery.build("L", "R", on=("k", "k")), **kwargs
+    )
+
+
+def _drain(stream):
+    """Consume a stream generator; returns (batches, final result)."""
+    batches = []
+    while True:
+        try:
+            batches.append(next(stream))
+        except StopIteration as stop:
+            return batches, stop.value
+
+
+def _normalize(result):
+    """Strip the run-dependent stats for byte-identity comparison."""
+    return dataclasses.replace(result, stats=ServerStats())
+
+
+# -- end-to-end over a real socket -----------------------------------------
+
+
+class TestRemoteJoin:
+    def test_streamed_join_multiple_batches_byte_identical(self):
+        client, server = _fixture()
+        reference = server.execute_join(_query(client))
+        with JoinServiceServer(server) as service:
+            host, port = service.address
+            with RemoteJoinClient(host, port, client.scheme.backend) as rc:
+                batches, result = _drain(rc.stream_join(_query(client)))
+        # The join spans multiple chunks: several match-batch frames
+        # arrive before the final frame, and at least two carry pairs.
+        assert len(batches) >= 2
+        assert sum(1 for b in batches if b.index_pairs) >= 2
+        assert sum(len(b.index_pairs) for b in batches) == len(
+            reference.index_pairs
+        )
+        # Reassembly is byte-identical to the in-process result modulo
+        # the run-dependent stats block.
+        assert result.index_pairs == reference.index_pairs
+        assert result.left_payloads == reference.left_payloads
+        assert result.right_payloads == reference.right_payloads
+        assert encode_join_result(_normalize(result)) == encode_join_result(
+            _normalize(reference)
+        )
+        # The remote stats still describe a real execution.
+        assert result.stats.matches == len(reference.index_pairs)
+
+    def test_execute_join_remote(self):
+        client, server = _fixture(n_rows=6)
+        reference = server.execute_join(_query(client))
+        with JoinServiceServer(server) as service:
+            host, port = service.address
+            with RemoteJoinClient(host, port, client.scheme.backend) as rc:
+                result = rc.execute_join(_query(client))
+        assert result.index_pairs == reference.index_pairs
+        assert result.left_payloads == reference.left_payloads
+
+    def test_connection_serves_many_queries(self):
+        client, server = _fixture(n_rows=6)
+        with JoinServiceServer(server) as service:
+            host, port = service.address
+            with RemoteJoinClient(host, port, client.scheme.backend) as rc:
+                first = rc.execute_join(_query(client))
+                second = rc.execute_join(_query(client))
+            assert first.index_pairs == second.index_pairs
+            assert service.queries_served == 2
+
+    def test_concurrent_clients(self):
+        client, server = _fixture(n_rows=8)
+        reference = server.execute_join(_query(client))
+        results = {}
+        errors = []
+
+        def run(name, host, port):
+            try:
+                with RemoteJoinClient(
+                    host, port, client.scheme.backend
+                ) as rc:
+                    results[name] = rc.execute_join(_query(client))
+            except Exception as error:  # noqa: BLE001 - collected
+                errors.append((name, error))
+
+        with JoinServiceServer(server) as service:
+            host, port = service.address
+            threads = [
+                threading.Thread(target=run, args=(i, host, port))
+                for i in range(3)
+            ]
+            for thread in threads:
+                thread.start()
+            for thread in threads:
+                thread.join(timeout=60)
+        assert not errors
+        assert len(results) == 3
+        for result in results.values():
+            assert result.index_pairs == reference.index_pairs
+
+    def test_single_connection_rejects_overlapping_streams(self):
+        client, server = _fixture(n_rows=6)
+        with JoinServiceServer(server) as service:
+            host, port = service.address
+            with RemoteJoinClient(host, port, client.scheme.backend) as rc:
+                stream = rc.stream_join(_query(client))
+                next(stream)
+                with pytest.raises(NetworkError, match="in flight"):
+                    next(rc.stream_join(_query(client)))
+                _drain_started(stream)
+
+
+def _drain_started(stream):
+    while True:
+        try:
+            next(stream)
+        except StopIteration as stop:
+            return stop.value
+
+
+# -- in-band errors ---------------------------------------------------------
+
+
+class TestRemoteErrors:
+    def test_unknown_table_maps_to_query_error(self):
+        client, server = _fixture(n_rows=4)
+        query = _query(client)
+        object.__setattr__(query, "right_table", "NOPE")
+        with JoinServiceServer(server) as service:
+            host, port = service.address
+            with RemoteJoinClient(host, port, client.scheme.backend) as rc:
+                with pytest.raises(QueryError, match="server:"):
+                    rc.execute_join(query)
+                # An in-band error leaves the connection in sync: the
+                # next query on the same connection succeeds.
+                good = rc.execute_join(_query(client))
+                assert good.index_pairs
+
+    def test_undecodable_request_gets_error_frame(self):
+        client, server = _fixture(n_rows=4)
+        with JoinServiceServer(server) as service:
+            host, port = service.address
+            with socket.create_connection((host, port), timeout=10) as sock:
+                send_message(sock, b"RPROJQRY garbage that will not parse")
+                frame = decode_frame(recv_message(sock))
+                assert isinstance(frame, ErrorFrame)
+                assert frame.error_type == "SchemeError"
+                # Still in sync: a real query now streams normally.
+                send_message(sock, encode_join_query(
+                    _query(client), client.scheme.backend
+                ))
+                opening = decode_frame(recv_message(sock))
+                assert isinstance(opening, StreamHeaderFrame)
+                while True:
+                    frame = decode_frame(recv_message(sock))
+                    if isinstance(frame, FinalFrame):
+                        break
+                    assert isinstance(frame, MatchBatchFrame)
+
+    def test_scheme_error_type_survives_the_wire(self):
+        client, server = _fixture(n_rows=4)
+        with JoinServiceServer(server) as service:
+            host, port = service.address
+            with socket.create_connection((host, port), timeout=10) as sock:
+                send_message(sock, b"\x00" * 32)
+                frame = decode_frame(recv_message(sock))
+                assert isinstance(frame, ErrorFrame)
+                assert frame.error_type == "SchemeError"
+
+    def test_oversized_request_drops_connection(self):
+        client, server = _fixture(n_rows=4)
+        with JoinServiceServer(
+            server, max_message_size=1024
+        ) as service:
+            host, port = service.address
+            with socket.create_connection((host, port), timeout=10) as sock:
+                send_message(sock, b"\x00" * 4096)
+                # The server cannot trust the framing any more: it
+                # closes rather than answering (clean EOF, or a reset
+                # when our unread bytes were still in its buffer).
+                try:
+                    assert recv_message(sock) is None
+                except NetworkError:
+                    pass
+
+    def test_deadline_exceeded_maps_to_deadline_error(self):
+        client, server = _fixture(n_rows=12)
+        query = _query(client, deadline=1e-9)
+        with JoinServiceServer(server) as service:
+            host, port = service.address
+            with RemoteJoinClient(host, port, client.scheme.backend) as rc:
+                with pytest.raises(DeadlineError, match="deadline"):
+                    rc.execute_join(query)
+                # Cancellation is in-band: the connection still serves.
+                good = rc.execute_join(_query(client))
+                assert good.index_pairs
+
+
+# -- hint allowlist gate ----------------------------------------------------
+
+
+class TestHintGate:
+    def test_allowed_hint_is_honored(self):
+        client, server = _fixture(
+            n_rows=6, engine="serial", hint_engines=("serial", "batched")
+        )
+        with JoinServiceServer(server) as service:
+            host, port = service.address
+            with RemoteJoinClient(host, port, client.scheme.backend) as rc:
+                result = rc.execute_join(_query(client, engine="batched"))
+        assert result.stats.engine_source == "hint"
+        assert result.stats.engine == "batched"
+
+    def test_disallowed_hint_falls_back_to_default(self):
+        client, server = _fixture(
+            n_rows=6, engine="serial", hint_engines=("serial",)
+        )
+        with JoinServiceServer(server) as service:
+            host, port = service.address
+            with RemoteJoinClient(host, port, client.scheme.backend) as rc:
+                result = rc.execute_join(_query(client, engine="batched"))
+        # The hint is advisory and gated: not on the allowlist, so the
+        # server default runs and the stats say so.
+        assert result.stats.engine_source == "default"
+        assert result.stats.engine == "serial"
+
+
+# -- client-side backpressure -----------------------------------------------
+
+
+class TestBackpressure:
+    def test_slow_consumer_still_reassembles(self):
+        client, server = _fixture(n_rows=15, batch_size=2)
+        reference = server.execute_join(_query(client))
+        with JoinServiceServer(server) as service:
+            host, port = service.address
+            with RemoteJoinClient(
+                host, port, client.scheme.backend, max_buffered_batches=1
+            ) as rc:
+                stream = rc.stream_join(_query(client))
+                batches = []
+                while True:
+                    try:
+                        batches.append(next(stream))
+                    except StopIteration as stop:
+                        result = stop.value
+                        break
+                    time.sleep(0.01)  # fall behind the producer
+        assert len(batches) >= 2
+        assert result.index_pairs == reference.index_pairs
+        assert result.left_payloads == reference.left_payloads
+
+    def test_bounded_buffer_rejects_nonsense_size(self):
+        client, server = _fixture(n_rows=4)
+        with JoinServiceServer(server) as service:
+            host, port = service.address
+            with pytest.raises(NetworkError, match="at least 1"):
+                RemoteJoinClient(
+                    host, port, client.scheme.backend,
+                    max_buffered_batches=0,
+                )
+
+    def test_abandoned_stream_closes_connection_and_releases(self):
+        client, server = _fixture(n_rows=15, batch_size=2)
+        with JoinServiceServer(server) as service:
+            host, port = service.address
+            rc = RemoteJoinClient(host, port, client.scheme.backend)
+            stream = rc.stream_join(_query(client))
+            next(stream)  # at least the first batch arrived
+            stream.close()  # abandon mid-stream
+            # Mid-stream abandonment desynchronizes the framing: the
+            # client drops the connection...
+            assert rc.closed
+            # ...and the server notices, releasing the handler slot.
+            deadline = time.monotonic() + 10
+            while time.monotonic() < deadline:
+                if service.active_connections == 0:
+                    break
+                time.sleep(0.02)
+            assert service.active_connections == 0
+            # The service remains healthy for new clients.
+            with RemoteJoinClient(host, port, client.scheme.backend) as rc2:
+                assert rc2.execute_join(_query(client)).index_pairs
+
+
+# -- graceful drain ---------------------------------------------------------
+
+
+class TestDrain:
+    def test_shutdown_closes_idle_connections_and_stops_accepting(self):
+        client, server = _fixture(n_rows=4)
+        service = JoinServiceServer(server)
+        host, port = service.start()
+        idle = socket.create_connection((host, port), timeout=10)
+        try:
+            service.shutdown(drain=True)
+            # The idle connection was force-closed (EOF or reset)...
+            try:
+                assert recv_message(idle) is None
+            except NetworkError:
+                pass
+        finally:
+            idle.close()
+        # ...and nothing new is accepted.
+        with pytest.raises(OSError):
+            socket.create_connection((host, port), timeout=1)
+
+    def test_drain_finishes_in_flight_stream(self):
+        client, server = _fixture(n_rows=15, batch_size=2)
+        reference = server.execute_join(_query(client))
+        service = JoinServiceServer(server, drain_timeout=30.0)
+        host, port = service.start()
+        rc = RemoteJoinClient(host, port, client.scheme.backend)
+        try:
+            stream = rc.stream_join(_query(client))
+            first = next(stream)  # the stream is in flight
+            shutdown_done = threading.Event()
+
+            def trigger():
+                service.shutdown(drain=True)
+                shutdown_done.set()
+
+            threading.Thread(target=trigger, daemon=True).start()
+            batches, result = _drain(stream)
+            # Drain let the in-flight stream run to completion.
+            assert result.index_pairs == reference.index_pairs
+            assert [first.index_pairs] + [
+                b.index_pairs for b in batches
+            ]  # batches all arrived
+            assert shutdown_done.wait(timeout=30)
+        finally:
+            rc.close()
+        # The pool went down with the service.
+        assert not server.execution_service.started
+
+    def test_shutdown_without_drain_cuts_streams(self):
+        client, server = _fixture(n_rows=15, batch_size=2)
+        service = JoinServiceServer(server)
+        host, port = service.start()
+        rc = RemoteJoinClient(host, port, client.scheme.backend)
+        try:
+            stream = rc.stream_join(_query(client))
+            next(stream)
+            service.shutdown(drain=False)
+            with pytest.raises((NetworkError, StopIteration)):
+                while True:
+                    next(stream)
+        finally:
+            rc.close()
+
+    def test_shutdown_is_idempotent(self):
+        client, server = _fixture(n_rows=4)
+        service = JoinServiceServer(server)
+        service.start()
+        service.shutdown()
+        service.shutdown()
+
+
+# -- QoS: priority-preferring dispatch and deadline cancellation ------------
+
+
+def _fake_side(ctx_id, priority=0, pending=1):
+    return SimpleNamespace(
+        ctx_id=ctx_id,
+        released=False,
+        pending=deque([(i, 1) for i in range(pending)]),
+        error=None,
+        expired=False,
+        holding={},
+        allowed_workers=frozenset({0}),
+        max_workers=1,
+        qos=QueryQoS(priority=priority),
+    )
+
+
+def _scheduler_with(sides):
+    service = ExecutionService(workers=1)
+    for side in sides:
+        service._active[side.ctx_id] = side
+        service._rr.append(side.ctx_id)
+    return service
+
+
+class TestPriorityScheduling:
+    def test_higher_priority_side_wins_the_refill(self):
+        low = _fake_side(1, priority=0)
+        high = _fake_side(2, priority=7)
+        service = _scheduler_with([low, high])
+        worker = SimpleNamespace(index=0)
+        assert service._pick_side_locked(worker) is high
+
+    def test_negative_priority_defers_to_neutral(self):
+        background = _fake_side(1, priority=-5)
+        neutral = _fake_side(2, priority=0)
+        service = _scheduler_with([background, neutral])
+        worker = SimpleNamespace(index=0)
+        assert service._pick_side_locked(worker) is neutral
+
+    def test_equal_priorities_round_robin(self):
+        a = _fake_side(1, priority=3, pending=4)
+        b = _fake_side(2, priority=3, pending=4)
+        service = _scheduler_with([a, b])
+        worker = SimpleNamespace(index=0)
+        picks = [service._pick_side_locked(worker).ctx_id for _ in range(4)]
+        assert picks == [1, 2, 1, 2]
+
+    def test_expired_and_errored_sides_are_skipped(self):
+        dead = _fake_side(1, priority=9)
+        dead.expired = True
+        failed = _fake_side(2, priority=9)
+        failed.error = "boom"
+        ok = _fake_side(3, priority=0)
+        service = _scheduler_with([dead, failed, ok])
+        worker = SimpleNamespace(index=0)
+        assert service._pick_side_locked(worker) is ok
+
+    def test_priority_outranks_rotation_position(self):
+        # Even sitting at the back of the rotation, the high-priority
+        # side is picked first on a fresh refill.
+        sides = [_fake_side(i, priority=0, pending=2) for i in (1, 2, 3)]
+        high = _fake_side(4, priority=1, pending=2)
+        service = _scheduler_with(sides + [high])
+        worker = SimpleNamespace(index=0)
+        assert service._pick_side_locked(worker) is high
+        assert service._pick_side_locked(worker) is high
+
+
+class TestDeadlineCancellation:
+    def test_expired_admission_raises_deadline_error(self):
+        client, _ = _fixture(n_rows=8)
+        backend = client.scheme.backend
+        table = client.encrypt_table(
+            Table("T", Schema.of(("k", "int"), ("v", "str")),
+                  [(i, f"v{i}") for i in range(8)]),
+            "k",
+        )
+        query = _query(client)
+        service = ExecutionService(workers=1)
+        try:
+            side = service.admit_side(
+                backend,
+                query.left_token.elements,
+                [c.elements for c in table.ciphertexts],
+                batch_size=2,
+                qos=QueryQoS(priority=0, deadline=time.monotonic() - 1.0),
+            )
+            with pytest.raises(DeadlineError, match="deadline"):
+                for _ in service.stream_chunks(side):
+                    pass
+        finally:
+            service.close()
+
+    def test_unexpired_admission_completes(self):
+        client, _ = _fixture(n_rows=6)
+        backend = client.scheme.backend
+        table = client.encrypt_table(
+            Table("T", Schema.of(("k", "int"), ("v", "str")),
+                  [(i, f"v{i}") for i in range(6)]),
+            "k",
+        )
+        query = _query(client)
+        service = ExecutionService(workers=1)
+        try:
+            side = service.admit_side(
+                backend,
+                query.left_token.elements,
+                [c.elements for c in table.ciphertexts],
+                batch_size=2,
+                qos=QueryQoS(priority=2, deadline=time.monotonic() + 300.0),
+            )
+            chunks = list(service.stream_chunks(side))
+            assert sum(len(handles) for _, handles in chunks) == 6
+        finally:
+            service.close()
+
+    def test_batched_engine_checks_deadline_between_chunks(self):
+        client, server = _fixture(n_rows=8)
+        backend = client.scheme.backend
+        query = _query(client)
+        table = server.table("L")
+        engine = BatchedEngine(batch_size=2)
+        stream = engine.decrypt_stream(
+            backend,
+            query.left_token.elements,
+            [c.elements for c in table.ciphertexts],
+            qos=QueryQoS(deadline=time.monotonic() - 1.0),
+        )
+        with pytest.raises(DeadlineError):
+            for _ in stream:
+                pass
+        server.close()

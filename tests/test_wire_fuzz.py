@@ -1,0 +1,586 @@
+"""Malformed-payload property suite for the wire codecs.
+
+The network service (:mod:`repro.net`) feeds these decoders bytes from
+arbitrary remote peers, so the contract is absolute: for *any* input —
+truncated at any byte offset, bit-flipped anywhere in the header,
+carrying hostile counts — the only exception a decoder may raise is
+:class:`~repro.errors.SchemeError`.  Never ``MemoryError`` (a count
+that commits a huge allocation), never ``struct.error`` / ``KeyError``
+/ ``TypeError`` (internals leaking), and never a hang.
+
+Also pins the v4 round-trip (priority/deadline, stream frames) and the
+v1–v3 backward-compatibility window.
+"""
+
+from __future__ import annotations
+
+import json
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+import repro.store.wire as wire_module
+from repro.core.client import SecureJoinClient
+from repro.core.server import (
+    EncryptedJoinResult,
+    MatchBatch,
+    SecureJoinServer,
+    ServerStats,
+)
+from repro.db.query import JoinQuery
+from repro.db.schema import Schema
+from repro.db.table import Table
+from repro.errors import SchemeError
+from repro.store.codec import Reader, Writer, read_element_vector, write_header
+from repro.store.wire import (
+    MAX_PRIORITY_MAGNITUDE,
+    ErrorFrame,
+    FinalFrame,
+    MatchBatchFrame,
+    StreamHeaderFrame,
+    StreamReassembler,
+    decode_frame,
+    decode_join_query,
+    decode_join_result,
+    encode_error_frame,
+    encode_final_frame,
+    encode_join_query,
+    encode_join_result,
+    encode_match_batch,
+    encode_stream_header,
+)
+
+
+def _fixture(seed=6):
+    left = Table("L", Schema.of(("k", "int"), ("c", "str")),
+                 [(1, "x"), (2, "y"), (1, "z")])
+    right = Table("R", Schema.of(("k", "int"), ("d", "str")),
+                  [(1, "p"), (3, "q")])
+    client = SecureJoinClient.for_tables(
+        [(left, "k"), (right, "k")],
+        in_clause_limit=2,
+        rng=random.Random(seed),
+    )
+    enc_left = client.encrypt_table(left, "k")
+    enc_right = client.encrypt_table(right, "k")
+    return client, enc_left, enc_right
+
+
+def _query_bytes(seed=6, **query_kwargs):
+    client, _, _ = _fixture(seed=seed)
+    query = client.create_query(
+        JoinQuery.build("L", "R", on=("k", "k")), **query_kwargs
+    )
+    return encode_join_query(query, client.scheme.backend), client
+
+
+def _result_bytes():
+    result = EncryptedJoinResult(
+        left_table="L",
+        right_table="R",
+        index_pairs=[(0, 0), (2, 0), (1, 1)],
+        left_payloads=[b"pl0", b"pl2", b"pl1"],
+        right_payloads=[b"pr0", b"pr0", b"pr1"],
+        stats=ServerStats(matches=3),
+    )
+    return encode_join_result(result), result
+
+
+def _frame_bytes():
+    batch = MatchBatch(
+        index_pairs=[(2, 0), (0, 0)],
+        left_payloads=[b"a", b"b"],
+        right_payloads=[b"c", b"d"],
+    )
+    result = EncryptedJoinResult(
+        left_table="L",
+        right_table="R",
+        index_pairs=[(0, 0), (2, 0)],
+        left_payloads=[b"b", b"a"],
+        right_payloads=[b"d", b"c"],
+        stats=ServerStats(matches=2),
+    )
+    return {
+        "stream_header": encode_stream_header(7, "L", "R"),
+        "match_batch": encode_match_batch(batch),
+        "final": encode_final_frame(result),
+        "error": encode_error_frame("QueryError", "boom"),
+    }
+
+
+#: Exceptions that must never escape a decoder, however hostile the
+#: input.  ``MemoryError`` means an unvalidated count committed an
+#: allocation; the rest are implementation details leaking through.
+_FORBIDDEN = (
+    MemoryError,
+    OverflowError,
+    KeyError,
+    IndexError,
+    TypeError,
+    ValueError,
+    AttributeError,
+)
+
+
+def _assert_only_scheme_error(decode, blob):
+    """Decoding ``blob`` either succeeds or raises exactly SchemeError."""
+    try:
+        decode(blob)
+    except SchemeError:
+        pass
+    # Anything in _FORBIDDEN (or any other exception) propagates and
+    # fails the test with the real traceback.
+
+
+# -- truncation at every byte offset ---------------------------------------
+
+
+class TestTruncation:
+    """Every proper prefix of a valid payload fails with SchemeError."""
+
+    def test_query_truncated_at_every_offset(self):
+        blob, client = _query_bytes()
+        backend = client.scheme.backend
+        for cut in range(len(blob)):
+            prefix = blob[:cut]
+            with pytest.raises(SchemeError):
+                decode_join_query(prefix, backend)
+
+    def test_result_truncated_at_every_offset(self):
+        blob, _ = _result_bytes()
+        for cut in range(len(blob)):
+            with pytest.raises(SchemeError):
+                decode_join_result(blob[:cut])
+
+    @pytest.mark.parametrize("kind", sorted(_frame_bytes()))
+    def test_frame_truncated_at_every_offset(self, kind):
+        blob = _frame_bytes()[kind]
+        for cut in range(len(blob)):
+            with pytest.raises(SchemeError):
+                decode_frame(blob[:cut])
+
+    def test_query_with_prefilter_truncated_at_every_offset(self):
+        left = Table("L", Schema.of(("k", "int"), ("c", "str")),
+                     [(1, "x"), (2, "y")])
+        right = Table("R", Schema.of(("k", "int"), ("d", "str")),
+                      [(1, "p")])
+        client = SecureJoinClient.for_tables(
+            [(left, "k"), (right, "k")],
+            in_clause_limit=2,
+            rng=random.Random(3),
+            enable_prefilter=True,
+        )
+        client.encrypt_table(left, "k")
+        client.encrypt_table(right, "k")
+        query = client.create_query(JoinQuery.build(
+            "L", "R", on=("k", "k"), where_left={"c": ["x"]},
+        ))
+        blob = encode_join_query(query, client.scheme.backend)
+        assert query.left_prefilter  # the interesting body section exists
+        for cut in range(len(blob)):
+            with pytest.raises(SchemeError):
+                decode_join_query(blob[:cut], client.scheme.backend)
+
+
+# -- hostile counts and sizes ----------------------------------------------
+
+
+class TestHostileCounts:
+    """Wire-supplied counts must be bounded before any allocation."""
+
+    def test_element_vector_count_bounded_by_remaining(self):
+        # A count claiming ~4 billion elements with a 12-byte body: the
+        # old code built the list element-by-element until truncation;
+        # worse counts could MemoryError.  Now it fails up front.
+        writer = Writer()
+        writer.u32(0xFFFFFFFF).raw(b"\x00" * 12)
+        with pytest.raises(SchemeError, match="bad element-vector count"):
+            read_element_vector(Reader(writer.getvalue()), size=4)
+
+    def test_element_vector_zero_size_rejected(self):
+        writer = Writer()
+        writer.u32(10)
+        with pytest.raises(SchemeError, match="element size"):
+            read_element_vector(Reader(writer.getvalue()), size=0)
+
+    def test_element_vector_exact_fit_still_reads(self):
+        writer = Writer()
+        write_element = [b"abcd", b"efgh"]
+        writer.u32(2).raw(b"".join(write_element))
+        assert read_element_vector(
+            Reader(writer.getvalue()), size=4
+        ) == write_element
+
+    @pytest.mark.parametrize("n_pairs", [-1, -(2**40)])
+    def test_result_negative_pair_count_rejected(self, n_pairs):
+        writer = Writer()
+        write_header(writer, b"RPROJRES", wire_module._VERSION, {
+            "left_table": "L", "right_table": "R",
+            "n_pairs": n_pairs, "stats": {},
+        })
+        with pytest.raises(SchemeError, match="n_pairs"):
+            decode_join_result(writer.getvalue())
+
+    @pytest.mark.parametrize("n_pairs", [1, 10**6, 2**61])
+    def test_result_oversized_pair_count_rejected_before_read(self, n_pairs):
+        # No body bytes at all: any positive count exceeds remaining//8.
+        writer = Writer()
+        write_header(writer, b"RPROJRES", wire_module._VERSION, {
+            "left_table": "L", "right_table": "R",
+            "n_pairs": n_pairs, "stats": {},
+        })
+        with pytest.raises(SchemeError, match="bad pair count"):
+            decode_join_result(writer.getvalue())
+
+    def test_match_batch_frame_oversized_pair_count_rejected(self):
+        writer = Writer()
+        write_header(writer, b"RPROJFRM", wire_module._VERSION, {
+            "kind": "match_batch", "n_pairs": 2**32,
+        })
+        with pytest.raises(SchemeError, match="bad pair count"):
+            decode_frame(writer.getvalue())
+
+    def test_query_g1_size_mismatch_is_a_clear_error(self):
+        # Satellite 1: a query built by a differently parameterized
+        # backend must fail on the declared element size, not with a
+        # misleading truncated-blob error deep in the body.
+        blob, client = _query_bytes()
+        backend = client.scheme.backend
+        reader = Reader(blob)
+        reader.take(len(b"RPROJQRY"))
+        reader.u8()
+        header = json.loads(reader.blob())
+        body = blob[len(blob) - reader.remaining:]
+        header["g1_element_size"] = backend.g1_element_size + 1
+        writer = Writer()
+        write_header(writer, b"RPROJQRY", wire_module._VERSION, header)
+        writer.raw(body)
+        with pytest.raises(SchemeError, match="mismatched backend"):
+            decode_join_query(writer.getvalue(), backend)
+
+    def test_query_priority_magnitude_capped(self):
+        blob, client = _query_bytes()
+        backend = client.scheme.backend
+        for hostile in (MAX_PRIORITY_MAGNITUDE + 1, -(2**300)):
+            rewritten = _rewrite_query_header(blob, priority=hostile)
+            with pytest.raises(SchemeError, match="priority"):
+                decode_join_query(rewritten, backend)
+
+    @pytest.mark.parametrize(
+        "deadline", [0, -1.5, float("nan"), float("inf"), "soon", True]
+    )
+    def test_query_bad_deadline_rejected(self, deadline):
+        blob, client = _query_bytes()
+        rewritten = _rewrite_query_header(blob, deadline=deadline)
+        with pytest.raises(SchemeError, match="deadline"):
+            decode_join_query(rewritten, client.scheme.backend)
+
+
+def _rewrite_query_header(blob: bytes, **overrides) -> bytes:
+    """Re-emit a valid query blob with hostile header fields."""
+    reader = Reader(blob)
+    reader.take(len(b"RPROJQRY"))
+    version = reader.u8()
+    header = json.loads(reader.blob())
+    body = blob[len(blob) - reader.remaining:]
+    header.update(overrides)
+    writer = Writer()
+    writer.raw(b"RPROJQRY").u8(version)
+    # json.dumps cannot emit NaN/Infinity by default; these tests need
+    # exactly those hostile values on the wire, so allow them here (the
+    # *decoder* must reject them).
+    writer.blob(json.dumps(header, allow_nan=True).encode("utf-8"))
+    writer.raw(body)
+    return writer.getvalue()
+
+
+# -- property-based corruption ---------------------------------------------
+
+
+_QUERY_BLOB, _QUERY_CLIENT = _query_bytes(seed=11)
+_RESULT_BLOB, _ = _result_bytes()
+_FRAME_BLOBS = _frame_bytes()
+
+
+def _header_span(blob: bytes, magic_len: int = 8) -> tuple[int, int]:
+    """Byte range of the JSON header inside ``blob``."""
+    reader = Reader(blob)
+    reader.take(magic_len)
+    reader.u8()
+    length = reader.u32()
+    start = magic_len + 1 + 4
+    return start, start + length
+
+
+class TestHeaderBitFlips:
+    """Single-bit corruption anywhere in the message: only SchemeError.
+
+    Flips land in the magic, the version byte, the header length, the
+    JSON header, and the body — every region of the message.  Decoding
+    may still *succeed* (some JSON bytes are don't-cares); it must never
+    raise anything but SchemeError.
+    """
+
+    @settings(max_examples=300, deadline=None)
+    @given(
+        offset=st.integers(min_value=0, max_value=len(_QUERY_BLOB) - 1),
+        bit=st.integers(min_value=0, max_value=7),
+    )
+    def test_query_bit_flips(self, offset, bit):
+        corrupted = bytearray(_QUERY_BLOB)
+        corrupted[offset] ^= 1 << bit
+        _assert_only_scheme_error(
+            lambda b: decode_join_query(b, _QUERY_CLIENT.scheme.backend),
+            bytes(corrupted),
+        )
+
+    @settings(max_examples=300, deadline=None)
+    @given(
+        offset=st.integers(min_value=0, max_value=len(_RESULT_BLOB) - 1),
+        bit=st.integers(min_value=0, max_value=7),
+    )
+    def test_result_bit_flips(self, offset, bit):
+        corrupted = bytearray(_RESULT_BLOB)
+        corrupted[offset] ^= 1 << bit
+        _assert_only_scheme_error(decode_join_result, bytes(corrupted))
+
+    @settings(max_examples=200, deadline=None)
+    @given(
+        kind=st.sampled_from(sorted(_FRAME_BLOBS)),
+        data=st.data(),
+    )
+    def test_frame_bit_flips(self, kind, data):
+        blob = _FRAME_BLOBS[kind]
+        offset = data.draw(
+            st.integers(min_value=0, max_value=len(blob) - 1)
+        )
+        bit = data.draw(st.integers(min_value=0, max_value=7))
+        corrupted = bytearray(blob)
+        corrupted[offset] ^= 1 << bit
+        _assert_only_scheme_error(decode_frame, bytes(corrupted))
+
+    @settings(max_examples=150, deadline=None)
+    @given(
+        header_json=st.dictionaries(
+            st.text(max_size=12),
+            st.one_of(
+                st.none(),
+                st.booleans(),
+                st.integers(min_value=-(2**70), max_value=2**70),
+                st.floats(allow_nan=False),
+                st.text(max_size=16),
+                st.lists(st.integers(), max_size=4),
+            ),
+            max_size=6,
+        ),
+        body=st.binary(max_size=64),
+    )
+    def test_arbitrary_headers_never_leak_internals(self, header_json, body):
+        # Well-formed JSON of arbitrary shape: type confusion territory.
+        for magic, decode in (
+            (b"RPROJQRY",
+             lambda b: decode_join_query(b, _QUERY_CLIENT.scheme.backend)),
+            (b"RPROJRES", decode_join_result),
+            (b"RPROJFRM", decode_frame),
+        ):
+            writer = Writer()
+            write_header(writer, magic, wire_module._VERSION, header_json)
+            writer.raw(body)
+            _assert_only_scheme_error(decode, writer.getvalue())
+
+    @settings(max_examples=150, deadline=None)
+    @given(blob=st.binary(max_size=128))
+    def test_random_bytes_never_leak_internals(self, blob):
+        _assert_only_scheme_error(
+            lambda b: decode_join_query(b, _QUERY_CLIENT.scheme.backend),
+            blob,
+        )
+        _assert_only_scheme_error(decode_join_result, blob)
+        _assert_only_scheme_error(decode_frame, blob)
+
+
+# -- v4 round-trip ----------------------------------------------------------
+
+
+class TestWireV4RoundTrip:
+    def test_query_qos_round_trips(self):
+        client, _, _ = _fixture(seed=21)
+        query = client.create_query(
+            JoinQuery.build("L", "R", on=("k", "k")),
+            priority=5,
+            deadline=12.5,
+        )
+        decoded = decode_join_query(
+            encode_join_query(query, client.scheme.backend),
+            client.scheme.backend,
+        )
+        assert decoded.priority == 5
+        assert decoded.deadline == 12.5
+        assert decoded.left_token == query.left_token
+        assert decoded.right_token == query.right_token
+
+    def test_query_defaults_round_trip(self):
+        blob, client = _query_bytes(seed=22)
+        decoded = decode_join_query(blob, client.scheme.backend)
+        assert decoded.priority == 0
+        assert decoded.deadline is None
+
+    def test_all_frames_round_trip(self):
+        header = decode_frame(encode_stream_header(42, "L", "R"))
+        assert header == StreamHeaderFrame(42, "L", "R")
+
+        batch = MatchBatch(
+            index_pairs=[(3, 1), (0, 2)],
+            left_payloads=[b"lp3", b"lp0"],
+            right_payloads=[b"rp1", b"rp2"],
+        )
+        decoded_batch = decode_frame(encode_match_batch(batch))
+        assert isinstance(decoded_batch, MatchBatchFrame)
+        assert decoded_batch.batch == batch
+
+        _, result = _result_bytes()
+        final = decode_frame(encode_final_frame(result))
+        assert isinstance(final, FinalFrame)
+        assert final.index_pairs == result.index_pairs
+        assert final.stats == result.stats
+
+        error = decode_frame(encode_error_frame("DeadlineError", "late"))
+        assert error == ErrorFrame("DeadlineError", "late")
+
+    def test_reassembler_rebuilds_canonical_result(self):
+        _, result = _result_bytes()
+        # Deliver the pairs across two batches in scrambled order.
+        reassembler = StreamReassembler()
+        reassembler.add_batch(MatchBatch(
+            index_pairs=[result.index_pairs[2], result.index_pairs[0]],
+            left_payloads=[result.left_payloads[2], result.left_payloads[0]],
+            right_payloads=[
+                result.right_payloads[2], result.right_payloads[0],
+            ],
+        ))
+        reassembler.add_batch(MatchBatch(
+            index_pairs=[result.index_pairs[1]],
+            left_payloads=[result.left_payloads[1]],
+            right_payloads=[result.right_payloads[1]],
+        ))
+        final = decode_frame(encode_final_frame(result))
+        rebuilt = reassembler.finish(final)
+        assert rebuilt == result
+        assert encode_join_result(rebuilt) == encode_join_result(result)
+
+    def test_reassembler_rejects_duplicate_and_missing_pairs(self):
+        _, result = _result_bytes()
+        final = decode_frame(encode_final_frame(result))
+        batch = MatchBatch(
+            index_pairs=[result.index_pairs[0]],
+            left_payloads=[result.left_payloads[0]],
+            right_payloads=[result.right_payloads[0]],
+        )
+        reassembler = StreamReassembler()
+        reassembler.add_batch(batch)
+        with pytest.raises(SchemeError, match="more than once"):
+            reassembler.add_batch(batch)
+        with pytest.raises(SchemeError, match="claims"):
+            StreamReassemblerWith(batch).finish(final)
+
+    def test_reassembler_rejects_final_naming_undelivered_pair(self):
+        _, result = _result_bytes()
+        reassembler = StreamReassembler()
+        reassembler.add_batch(MatchBatch(
+            index_pairs=[(90, 90), (91, 91), (92, 92)],
+            left_payloads=[b"x", b"y", b"z"],
+            right_payloads=[b"x", b"y", b"z"],
+        ))
+        final = decode_frame(encode_final_frame(result))
+        with pytest.raises(SchemeError, match="no match batch delivered"):
+            reassembler.finish(final)
+
+
+def StreamReassemblerWith(batch: MatchBatch) -> StreamReassembler:
+    reassembler = StreamReassembler()
+    reassembler.add_batch(batch)
+    return reassembler
+
+
+# -- v1..v3 backward compatibility -----------------------------------------
+
+
+class TestBackwardCompat:
+    """v1–v3 payloads still decode; QoS fields default; frames are v4+."""
+
+    @pytest.mark.parametrize("version", [1, 2, 3])
+    def test_older_query_versions_decode_with_default_qos(self, version):
+        client, enc_left, enc_right = _fixture(seed=31)
+        backend = client.scheme.backend
+        query = client.create_query(JoinQuery.build("L", "R", on=("k", "k")))
+        writer = Writer()
+        body = Writer()
+        for token in (query.left_token, query.right_token):
+            from repro.store.codec import write_element_vector
+            write_element_vector(
+                body,
+                [backend.encode_g1(e) for e in token.elements],
+                backend.g1_element_size,
+            )
+        header = {
+            "query_id": query.query_id,
+            "left_table": "L",
+            "right_table": "R",
+            "backend": backend.name,
+            "g1_element_size": backend.g1_element_size,
+            "left_prefilter_columns": None,
+            "right_prefilter_columns": None,
+        }
+        if version >= 2:
+            header["engine_hint"] = None
+        # No "priority"/"deadline" keys before v4.
+        write_header(writer, b"RPROJQRY", version, header)
+        writer.raw(body.getvalue())
+
+        decoded = decode_join_query(writer.getvalue(), backend)
+        assert decoded.priority == 0
+        assert decoded.deadline is None
+        assert decoded.left_token == query.left_token
+
+        server = SecureJoinServer(client.params)
+        server.store(enc_left)
+        server.store(enc_right)
+        result = server.execute_join(decoded)
+        assert sorted(result.index_pairs) == [(0, 0), (2, 0)]
+
+    @pytest.mark.parametrize("version", [1, 2, 3])
+    def test_older_result_versions_decode(self, version):
+        writer = Writer()
+        write_header(writer, b"RPROJRES", version, {
+            "left_table": "L", "right_table": "R", "n_pairs": 0,
+            "stats": {"matches": 0},
+        })
+        decoded = decode_join_result(writer.getvalue())
+        assert decoded.index_pairs == []
+        assert decoded.stats.matches == 0
+
+    @pytest.mark.parametrize("version", [1, 2, 3])
+    def test_frames_reject_pre_v4_versions(self, version):
+        writer = Writer()
+        write_header(writer, b"RPROJFRM", version, {
+            "kind": "error", "error_type": "QueryError", "message": "m",
+        })
+        with pytest.raises(SchemeError, match="version"):
+            decode_frame(writer.getvalue())
+
+    def test_future_versions_rejected_everywhere(self):
+        future = wire_module._VERSION + 1
+        for magic, decode in (
+            (b"RPROJQRY",
+             lambda b: decode_join_query(
+                 b, _QUERY_CLIENT.scheme.backend
+             )),
+            (b"RPROJRES", decode_join_result),
+            (b"RPROJFRM", decode_frame),
+        ):
+            writer = Writer()
+            write_header(writer, magic, future, {})
+            with pytest.raises(SchemeError, match="version"):
+                decode(writer.getvalue())
