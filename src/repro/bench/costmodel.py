@@ -167,6 +167,10 @@ class EngineCostModel:
     hash_probe: float = 3.0e-7
     nested_compare: float = 8.0e-8
     pair_emit: float = 2.0e-7
+    #: Per-component cost of replaying a prepared row's stored line
+    #: coefficients instead of a full Miller loop (``None`` = no
+    #: prepared pricing; fall back to ``miller_loop``).
+    prepared_miller_loop: float | None = None
 
 
 #: Defaults measured on the fast (exponent-group) backend: pairing work
@@ -183,6 +187,9 @@ FAST_ENGINE_COSTS = EngineCostModel(
     element_transport=1.2e-6,
     chunk_overhead=4e-4,
     pool_spawn=3e-2,
+    # The fast backend models a prepared replay as the same modular
+    # multiply as a raw pairing — only the BN254 backend actually saves.
+    prepared_miller_loop=3.5e-7,
 )
 
 #: Defaults for the pure-Python BN254 pairing (seconds per Miller loop):
@@ -197,6 +204,9 @@ BN254_ENGINE_COSTS = EngineCostModel(
     element_transport=2e-5,
     chunk_overhead=1e-3,
     pool_spawn=5e-2,
+    # Replaying stored coefficients in the fused multi-pairing loop
+    # costs about a third of a raw Miller loop (see BENCH_7.json).
+    prepared_miller_loop=0.17,
 )
 
 _DEFAULT_ENGINE_COSTS = {
@@ -218,19 +228,28 @@ def estimate_engine_costs(
     batch_size: int,
     parallel_batch_size: int | None = None,
     pool_warm: bool = False,
+    prepared: bool = False,
 ) -> dict[str, float]:
-    """Predicted seconds per engine for one candidate side."""
+    """Predicted seconds per engine for one candidate side.
+
+    ``prepared`` prices the side's Miller-loop work with the model's
+    ``prepared_miller_loop`` constant — the coefficient-replay cost of
+    a warm prepared table — instead of the raw ``miller_loop``.
+    """
     if rows < 0 or dimension < 1:
         raise BenchmarkError("need rows >= 0 and dimension >= 1")
     workers = max(1, workers)
     if parallel_batch_size is None:
         parallel_batch_size = max(1, batch_size // 2)
+    miller = model.miller_loop
+    if prepared and model.prepared_miller_loop is not None:
+        miller = model.prepared_miller_loop
     pairing_rows = rows * (
-        dimension * model.miller_loop + model.final_exponentiation
+        dimension * miller + model.final_exponentiation
     )
     overhead_rows = rows * model.row_overhead
     serial = (
-        rows * dimension * (model.miller_loop + model.final_exponentiation)
+        rows * dimension * (miller + model.final_exponentiation)
         + overhead_rows
     )
     batches = math.ceil(rows / batch_size) if rows else 0
@@ -290,17 +309,20 @@ def choose_engine(
     pool_warm: bool = False,
     allowed: tuple[str, ...] = ("serial", "batched", "parallel"),
     corrections: dict[str, float] | None = None,
+    prepared: bool = False,
 ) -> tuple[str, dict[str, float]]:
     """The planner decision: ``(chosen_engine, per-engine estimates)``.
 
     ``corrections`` (per-engine multiplicative factors, typically from
     an :class:`OnlineCalibrator`) scale the model estimates with what
     observed runs say about this hardware; the returned estimates are
-    the corrected ones the decision was actually made on.
+    the corrected ones the decision was actually made on.  ``prepared``
+    marks the side as a warm prepared table (coefficient replay
+    instead of raw Miller loops).
     """
     estimates = estimate_engine_costs(
         model, rows, dimension, workers, batch_size,
-        parallel_batch_size, pool_warm,
+        parallel_batch_size, pool_warm, prepared=prepared,
     )
     if corrections:
         estimates = {
@@ -463,11 +485,13 @@ def calibrate_engine_cost_model(
 ) -> EngineCostModel:
     """Measure per-op pairing costs on ``backend``; keep default overheads.
 
-    Times the serial (full pairing per component) and batched
-    (``pair_vectors_batch``) paths over a synthetic side and solves for
-    the Miller-loop and final-exponentiation costs; transport and
-    scheduling constants are inherited from the backend's default model
-    (measuring those would itself require spawning a pool).
+    Times the serial (full pairing per component), batched
+    (``pair_vectors_batch``) and prepared-replay (``prepare_row`` once,
+    then batched over the prepared rows) paths over a synthetic side
+    and solves for the Miller-loop, final-exponentiation and
+    prepared-replay costs; transport and scheduling constants are
+    inherited from the backend's default model (measuring those would
+    itself require spawning a pool).
     """
     if dimension < 2 or rows < 1:
         raise BenchmarkError("calibration needs dimension >= 2 and rows >= 1")
@@ -476,6 +500,7 @@ def calibrate_engine_cost_model(
         backend.g2_powers(range(r + 1, r + dimension + 1))
         for r in range(rows)
     ]
+    prepared_side = [backend.prepare_row(row) for row in side]
 
     def measure(fn) -> float:
         best = math.inf
@@ -488,6 +513,9 @@ def calibrate_engine_cost_model(
     def run_batched():
         backend.pair_vectors_batch(token, side)
 
+    def run_prepared():
+        backend.pair_vectors_batch(token, prepared_side)
+
     def run_serial():
         for row in side:
             accumulator = backend.gt_identity()
@@ -496,16 +524,19 @@ def calibrate_engine_cost_model(
                     accumulator, backend.pair(g1, g2)
                 )
 
-    batched_row = measure(run_batched) / rows   # d*miller + 1*fexp
-    serial_row = measure(run_serial) / rows     # d*(miller + fexp)
+    batched_row = measure(run_batched) / rows    # d*miller + 1*fexp
+    prepared_row = measure(run_prepared) / rows  # d*prep_miller + 1*fexp
+    serial_row = measure(run_serial) / rows      # d*(miller + fexp)
     base = default_engine_cost_model(backend.name)
     fexp = max((serial_row - batched_row) / (dimension - 1), 0.0)
     miller = max((batched_row - fexp) / dimension, 1e-12)
+    prep_miller = max((prepared_row - fexp) / dimension, 1e-12)
     return replace(
         base,
         backend=backend.name,
         miller_loop=miller,
         final_exponentiation=max(fexp, 1e-12),
+        prepared_miller_loop=prep_miller,
     )
 
 

@@ -47,6 +47,11 @@ class EncryptedTable:
     ciphertexts: list[SJRowCiphertext]
     payloads: list[bytes]
     prefilter_tags: dict[str, list[bytes]] | None = None
+    #: Per-row pairing precomputation
+    #: (:class:`~repro.crypto.backend.PreparedRow`), built server-side
+    #: by ``prepare_table`` / at ``save_encrypted_table`` time.  Purely
+    #: derived from the ciphertexts — never secret material.
+    prepared_rows: list | None = None
 
     def __len__(self) -> int:
         return len(self.ciphertexts)

@@ -51,7 +51,7 @@ from repro.core.service import (
     get_default_service,
     peek_default_service,
 )
-from repro.crypto.backend import BilinearBackend
+from repro.crypto.backend import BilinearBackend, PreparedRow
 from repro.errors import DeadlineError, QueryError
 
 #: Rows per chunk when a batching engine is built without an explicit size.
@@ -77,6 +77,8 @@ class EngineReport:
     workers: int = 1
     miller_loops: int = 0
     final_exponentiations: int = 0
+    prepared_miller_loops: int = 0
+    preparations: int = 0
     selected: str = ""
     planner: dict | None = None
     pool_generation: int = 0
@@ -203,6 +205,7 @@ class SerialEngine(ExecutionEngine):
         def run():
             miller_loops = 0
             final_exponentiations = 0
+            prepared_miller_loops = 0
             for offset, ciphertext in enumerate(ciphertext_vectors):
                 if qos is not None and qos.expired():
                     raise DeadlineError(
@@ -224,6 +227,7 @@ class SerialEngine(ExecutionEngine):
                 delta = backend.ops.since(snapshot)
                 miller_loops += delta.miller_loops
                 final_exponentiations += delta.final_exponentiations
+                prepared_miller_loops += delta.prepared_miller_loops
                 yield HandleChunk(offset, [accumulator.to_bytes()])
             return EngineReport(
                 engine=self.name,
@@ -232,6 +236,7 @@ class SerialEngine(ExecutionEngine):
                 workers=1,
                 miller_loops=miller_loops,
                 final_exponentiations=final_exponentiations,
+                prepared_miller_loops=prepared_miller_loops,
             )
 
         return HandleStream(run())
@@ -254,6 +259,7 @@ class BatchedEngine(ExecutionEngine):
             chunks = _chunked(ciphertext_vectors, self.batch_size)
             miller_loops = 0
             final_exponentiations = 0
+            prepared_miller_loops = 0
             for start, chunk in chunks:
                 if qos is not None and qos.expired():
                     raise DeadlineError(
@@ -265,6 +271,7 @@ class BatchedEngine(ExecutionEngine):
                 delta = backend.ops.since(snapshot)
                 miller_loops += delta.miller_loops
                 final_exponentiations += delta.final_exponentiations
+                prepared_miller_loops += delta.prepared_miller_loops
                 yield HandleChunk(start, [gt.to_bytes() for gt in gts])
             return EngineReport(
                 engine=self.name,
@@ -273,6 +280,7 @@ class BatchedEngine(ExecutionEngine):
                 workers=1,
                 miller_loops=miller_loops,
                 final_exponentiations=final_exponentiations,
+                prepared_miller_loops=prepared_miller_loops,
             )
 
         return HandleStream(run())
@@ -388,6 +396,8 @@ class ParallelEngine(ExecutionEngine):
                 workers=side_report.workers_used,
                 miller_loops=side_report.miller_loops,
                 final_exponentiations=side_report.final_exponentiations,
+                prepared_miller_loops=side_report.prepared_miller_loops,
+                preparations=side_report.preparations,
                 pool_generation=side_report.pool_generation,
                 worker_restarts=side_report.worker_restarts,
                 concurrent_sides=side_report.concurrent_sides,
@@ -486,6 +496,13 @@ class AutoEngine(ExecutionEngine):
         corrections = (
             self.calibrator.corrections() if self.calibrator else None
         )
+        # A prepared (warm) table replays stored line coefficients
+        # instead of running full Miller loops, so price the side with
+        # the model's prepared constant — this is what makes the
+        # planner prefer cheaper inline engines once a table is warm.
+        prepared_rows = bool(ciphertext_vectors) and all(
+            isinstance(row, PreparedRow) for row in ciphertext_vectors
+        )
         choice, estimates = choose_engine(
             self._model_for(backend),
             rows=len(ciphertext_vectors),
@@ -496,6 +513,7 @@ class AutoEngine(ExecutionEngine):
             pool_warm=pool_warm,
             allowed=self.candidates,
             corrections=corrections,
+            prepared=prepared_rows,
         )
         inner = self._engines[choice].decrypt_stream(
             backend, token_elements, ciphertext_vectors, qos=qos
@@ -525,6 +543,8 @@ class AutoEngine(ExecutionEngine):
                 "dimension": len(token_elements),
                 "workers": workers,
                 "pool_warm": pool_warm,
+                "prepared_rows": prepared_rows,
+                "prepared_miller_loops": report.prepared_miller_loops,
                 "chosen": choice,
                 "estimates": {
                     name: float(sec) for name, sec in estimates.items()

@@ -87,6 +87,8 @@ class ServerStats:
     workers: int = 1
     miller_loops: int = 0
     final_exponentiations: int = 0
+    prepared_miller_loops: int = 0
+    preparations: int = 0
     engine_source: str = "default"
     engine_selected: str = ""
     planner: list | None = None
@@ -111,6 +113,8 @@ class ServerStats:
         self.workers = max(self.workers, report.workers)
         self.miller_loops += report.miller_loops
         self.final_exponentiations += report.final_exponentiations
+        self.prepared_miller_loops += report.prepared_miller_loops
+        self.preparations += report.preparations
         if report.planner is not None:
             if self.planner is None:
                 self.planner = []
@@ -239,6 +243,27 @@ class SecureJoinServer:
         except KeyError:
             raise QueryError(f"server has no table {name!r}") from None
 
+    def prepare_table(self, name: str) -> int:
+        """Precompute pairing coefficients for every row of a table.
+
+        After this, every query over the table replays stored line
+        coefficients instead of running full Miller loops (the
+        prepared-rows optimization — the precomputation depends only on
+        the stored ciphertext, never on the query token).  Idempotent;
+        returns the number of rows prepared by *this* call.
+        """
+        table = self.table(name)
+        backend = self.scheme.backend
+        if table.prepared_rows is None:
+            table.prepared_rows = []
+        prepared = 0
+        for ciphertext in table.ciphertexts[len(table.prepared_rows):]:
+            table.prepared_rows.append(
+                backend.prepare_row(ciphertext.elements)
+            )
+            prepared += 1
+        return prepared
+
     # -- dynamic updates --------------------------------------------------
     def insert_row(
         self,
@@ -257,6 +282,12 @@ class SecureJoinServer:
         index = len(table.ciphertexts)
         table.ciphertexts.append(ciphertext)
         table.payloads.append(payload)
+        if table.prepared_rows is not None:
+            # Keep a prepared table warm: the new row gets its
+            # coefficients now, so future queries stay all-prepared.
+            table.prepared_rows.append(
+                self.scheme.backend.prepare_row(ciphertext.elements)
+            )
         if table.prefilter_tags is not None:
             if prefilter_tags is None or set(prefilter_tags) != set(
                 table.prefilter_tags
@@ -332,6 +363,7 @@ class SecureJoinServer:
             raise SchemeError(
                 f"token dimension {len(token)} != scheme dimension {dimension}"
             )
+        prepared = table.prepared_rows
         ciphertexts = []
         for index in candidates:
             ciphertext = table.ciphertexts[index]
@@ -340,7 +372,10 @@ class SecureJoinServer:
                     f"ciphertext dimension {len(ciphertext)} != scheme "
                     f"dimension {dimension}"
                 )
-            ciphertexts.append(ciphertext.elements)
+            if prepared is not None and index < len(prepared):
+                ciphertexts.append(prepared[index])
+            else:
+                ciphertexts.append(ciphertext.elements)
         return ciphertexts
 
     def _select_matcher(

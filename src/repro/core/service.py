@@ -56,7 +56,7 @@ from collections.abc import Iterator, Sequence
 from dataclasses import dataclass
 from multiprocessing.connection import Connection, wait
 
-from repro.crypto.backend import BilinearBackend
+from repro.crypto.backend import BilinearBackend, PreparedRow
 from repro.errors import DeadlineError, QueryError
 
 try:  # pragma: no cover - exercised indirectly via the transport choice
@@ -71,6 +71,13 @@ _PREFETCH_PER_WORKER = 2
 
 #: Decoded tokens cached per worker (FIFO-evicted).
 _TOKEN_CACHE_SIZE = 32
+
+#: Prepared rows rebuilt per worker, keyed by row-ciphertext digest
+#: (FIFO-evicted).  Prepared coefficients are large (~13 KB/element on
+#: BN254), so like the fixed-base tables they are *rebuilt lazily* in
+#: each worker rather than shipped over the pipe; repeated queries over
+#: the same warm table then hit the cache and replay coefficients.
+_PREPARED_CACHE_SIZE = 256
 
 #: How long one poll on the worker pipes blocks before re-checking
 #: liveness and side state (seconds).
@@ -124,6 +131,8 @@ class SideReport:
     workers_used: int = 0
     miller_loops: int = 0
     final_exponentiations: int = 0
+    prepared_miller_loops: int = 0
+    preparations: int = 0
     pool_generation: int = 0
     worker_restarts: int = 0
     shared_memory: bool = False
@@ -175,6 +184,44 @@ def _decode_rows(
     return rows
 
 
+def _prepared_rows(
+    backend: BilinearBackend,
+    cache: dict[bytes, PreparedRow],
+    buffer,
+    start: int,
+    count: int,
+    dimension: int,
+) -> list[PreparedRow]:
+    """Rebuild prepared rows for a chunk, keyed by row-ciphertext digest.
+
+    The transport ships raw G2 ciphertexts (prepared coefficients are
+    ~40x larger); workers rebuild the precomputation lazily and reuse it
+    across chunks and queries through a digest-keyed FIFO cache, so only
+    the first query over a table pays the preparation cost.
+    """
+    element_size = backend.g2_element_size
+    stride = dimension * element_size
+    rows = []
+    for row_index in range(start, start + count):
+        base = row_index * stride
+        raw = bytes(buffer[base:base + stride])
+        digest = hashlib.blake2b(raw, digest_size=16).digest()
+        row = cache.get(digest)
+        if row is None:
+            decoded = [
+                backend.decode_g2(
+                    raw[i * element_size:(i + 1) * element_size]
+                )
+                for i in range(dimension)
+            ]
+            row = backend.prepare_row(decoded)
+            if len(cache) >= _PREPARED_CACHE_SIZE:
+                cache.pop(next(iter(cache)))
+            cache[digest] = row
+        rows.append(row)
+    return rows
+
+
 def _service_worker(conn: Connection, backend: BilinearBackend) -> None:
     """Worker main loop: install contexts, decrypt chunks, report results.
 
@@ -188,7 +235,8 @@ def _service_worker(conn: Connection, backend: BilinearBackend) -> None:
     """
     backend.ops.reset()
     token_cache: dict[bytes, tuple] = {}
-    # ctx_id -> (token_elements, dimension, shared-memory segment | None)
+    prepared_cache: dict[bytes, PreparedRow] = {}
+    # ctx_id -> (token, dimension, shared-memory segment | None, prepared)
     contexts: dict[int, tuple] = {}
     try:
         while True:
@@ -197,7 +245,10 @@ def _service_worker(conn: Connection, backend: BilinearBackend) -> None:
             if kind == "stop":
                 return
             if kind == "ctx":
-                _, ctx_id, digest, token_bytes, dimension, shm_name = message
+                (
+                    _, ctx_id, digest, token_bytes, dimension, shm_name,
+                    prepared,
+                ) = message
                 token = token_cache.get(digest)
                 if token is None:
                     token = tuple(
@@ -215,7 +266,7 @@ def _service_worker(conn: Connection, backend: BilinearBackend) -> None:
                         segment = _attach_shared_memory(shm_name)
                     except (FileNotFoundError, OSError):
                         continue
-                contexts[ctx_id] = (token, dimension, segment)
+                contexts[ctx_id] = (token, dimension, segment, prepared)
                 continue
             if kind == "release":
                 _, ctx_id = message
@@ -231,22 +282,28 @@ def _service_worker(conn: Connection, backend: BilinearBackend) -> None:
                         raise QueryError(
                             f"chunk for unknown context {ctx_id}"
                         )
-                    token, dimension, segment = context
+                    token, dimension, segment, prepared = context
                     if payload is not None:
-                        rows = _decode_rows(
-                            backend, payload, 0, count, dimension
+                        buffer, offset = payload, 0
+                    else:
+                        buffer, offset = segment.buf, start
+                    snapshot = backend.ops.snapshot()
+                    if prepared:
+                        rows = _prepared_rows(
+                            backend, prepared_cache, buffer, offset,
+                            count, dimension,
                         )
                     else:
                         rows = _decode_rows(
-                            backend, segment.buf, start, count, dimension
+                            backend, buffer, offset, count, dimension
                         )
-                    snapshot = backend.ops.snapshot()
                     gts = backend.pair_vectors_batch(token, rows)
                     delta = backend.ops.since(snapshot)
                     conn.send((
                         "done", ctx_id, start,
                         [gt.to_bytes() for gt in gts],
                         delta.miller_loops, delta.final_exponentiations,
+                        delta.prepared_miller_loops, delta.preparations,
                     ))
                 except Exception:
                     conn.send((
@@ -545,6 +602,12 @@ class ExecutionService:
         # already running on the pool.
         dimension = len(token_elements)
         n_rows = len(ciphertext_vectors)
+        # Prepared sides ship raw G2 ciphertexts (the precomputation is
+        # ~40x larger than the ciphertext); workers rebuild coefficients
+        # lazily, keyed by row digest, like the fixed-base tables.
+        prepared = n_rows > 0 and all(
+            isinstance(row, PreparedRow) for row in ciphertext_vectors
+        )
         encoded = self._encode_rows(backend, ciphertext_vectors, dimension)
         segment = self._create_segment(encoded)
         token_bytes = [backend.encode_g1(e) for e in token_elements]
@@ -568,6 +631,7 @@ class ExecutionService:
                 install = (
                     "ctx", ctx_id, digest, token_bytes, dimension,
                     segment.name if segment is not None else None,
+                    prepared,
                 )
                 limit = min(
                     max_workers if max_workers is not None
@@ -833,7 +897,12 @@ class ExecutionService:
                     f"ciphertext dimension {len(row)} != token dimension "
                     f"{dimension}"
                 )
-            for element in row:
+            # Prepared rows travel as their raw G2 elements; the worker
+            # rebuilds (and caches) the precomputation on its side.
+            elements = (
+                row.elements if isinstance(row, PreparedRow) else row
+            )
+            for element in elements:
                 parts.append(backend.encode_g2(element))
         return b"".join(parts)
 
@@ -960,7 +1029,10 @@ class ExecutionService:
                 continue
             kind = message[0]
             if kind == "done":
-                _, ctx_id, start, handles, millers, fexps = message
+                (
+                    _, ctx_id, start, handles, millers, fexps,
+                    prepared_millers, preparations,
+                ) = message
                 if worker.outstanding.pop((ctx_id, start), None) is not None:
                     self._rescues_since_progress = 0
                 side = self._active.get(ctx_id)
@@ -976,6 +1048,8 @@ class ExecutionService:
                 side.completed.append((start, handles))
                 side.report.miller_loops += millers
                 side.report.final_exponentiations += fexps
+                side.report.prepared_miller_loops += prepared_millers
+                side.report.preparations += preparations
             elif kind == "error":
                 _, ctx_id, start, trace = message
                 worker.outstanding.pop((ctx_id, start), None)

@@ -20,6 +20,7 @@ rows) run in reasonable time in pure Python; see DESIGN.md §4.
 from __future__ import annotations
 
 import random
+import threading
 from abc import ABC, abstractmethod
 from collections.abc import Sequence
 from dataclasses import dataclass
@@ -28,7 +29,15 @@ from repro.crypto.curve import G1Point, G2Point
 from repro.crypto.field import Fp12
 from repro.crypto.numtheory import is_probable_prime
 from repro.crypto.pairing import multi_pairing, pairing
-from repro.crypto.pairing_fast import multi_pairing_fast, pairing_fast
+from repro.crypto.pairing_fast import (
+    PREPARED_ELEMENT_SIZE,
+    G2Prepared,
+    final_exponentiation_fast,
+    miller_loop_fast,
+    multi_miller_prepared,
+    multi_pairing_fast,
+    pairing_fast,
+)
 from repro.crypto.params import CURVE_ORDER
 from repro.errors import CryptoError
 
@@ -92,28 +101,101 @@ class PairingOpCounter:
     backend reports the *same* counts for the same calls (it is the
     documented cost-model stand-in for BN254, see DESIGN.md §4), so
     engine ablations measured on either backend agree.
+
+    ``prepared_miller_loops`` counts Miller loops served by replaying a
+    stored row's precomputation (:class:`~repro.crypto.pairing_fast.G2Prepared`)
+    instead of running full twist arithmetic — the distinction the
+    planner's prepared-row constant is calibrated on.  ``preparations``
+    counts trajectory builds (paid once per stored element), and
+    ``gt_exponentiations`` counts GT exponentiations (``gt_pow`` /
+    ``gt_generator_power``), which previously did pairing-scale work
+    without touching the counter at all.
     """
 
     miller_loops: int = 0
     final_exponentiations: int = 0
+    prepared_miller_loops: int = 0
+    preparations: int = 0
+    gt_exponentiations: int = 0
 
-    def snapshot(self) -> tuple[int, int]:
-        return (self.miller_loops, self.final_exponentiations)
+    def snapshot(self) -> tuple[int, int, int, int, int]:
+        return (
+            self.miller_loops,
+            self.final_exponentiations,
+            self.prepared_miller_loops,
+            self.preparations,
+            self.gt_exponentiations,
+        )
 
-    def since(self, snapshot: tuple[int, int]) -> "PairingOpCounter":
+    def since(
+        self, snapshot: tuple[int, int, int, int, int]
+    ) -> "PairingOpCounter":
         """The operations performed after ``snapshot`` was taken."""
         return PairingOpCounter(
             miller_loops=self.miller_loops - snapshot[0],
             final_exponentiations=self.final_exponentiations - snapshot[1],
+            prepared_miller_loops=self.prepared_miller_loops - snapshot[2],
+            preparations=self.preparations - snapshot[3],
+            gt_exponentiations=self.gt_exponentiations - snapshot[4],
         )
 
     def add(self, other: "PairingOpCounter") -> None:
         self.miller_loops += other.miller_loops
         self.final_exponentiations += other.final_exponentiations
+        self.prepared_miller_loops += other.prepared_miller_loops
+        self.preparations += other.preparations
+        self.gt_exponentiations += other.gt_exponentiations
 
     def reset(self) -> None:
         self.miller_loops = 0
         self.final_exponentiations = 0
+        self.prepared_miller_loops = 0
+        self.preparations = 0
+        self.gt_exponentiations = 0
+
+
+class FastPrepared:
+    """The fast backend's stand-in for a prepared G2 element.
+
+    There is nothing to precompute in the exponent group, but the marker
+    lets the fast backend *count* prepared work exactly as BN254 would
+    for the same calls — keeping the DESIGN.md §4 same-counts contract
+    intact on the prepared path.
+    """
+
+    __slots__ = ("value",)
+
+    def __init__(self, value: int):
+        self.value = value
+
+    def is_infinity(self) -> bool:
+        return not self.value
+
+
+class PreparedRow(Sequence):
+    """One stored row ciphertext together with its pairing precomputation.
+
+    ``elements`` is the raw G2 vector (what transport and persistence
+    serialize); iteration and indexing yield the *prepared* elements, so
+    every engine path — including the serial one-pairing-at-a-time
+    ablation — replays precomputation when handed a prepared row.
+    """
+
+    __slots__ = ("elements", "prepared")
+
+    def __init__(self, elements: tuple, prepared: tuple):
+        if len(elements) != len(prepared):
+            raise CryptoError(
+                "prepared row needs one precomputation per element"
+            )
+        self.elements = tuple(elements)
+        self.prepared = tuple(prepared)
+
+    def __len__(self) -> int:
+        return len(self.prepared)
+
+    def __getitem__(self, index):
+        return self.prepared[index]
 
 
 class BilinearBackend(ABC):
@@ -192,6 +274,29 @@ class BilinearBackend(ABC):
     def pair(self, g1_element, g2_element) -> GTElement:
         return self.pair_vectors([g1_element], [g2_element])
 
+    # -- prepared rows (ciphertext-side Miller-loop precomputation) ------
+    @abstractmethod
+    def prepare_row(self, g2_vector: Sequence) -> PreparedRow:
+        """Precompute the pairing trajectory of one stored row.
+
+        The precomputation depends only on the G2 vector (the row
+        ciphertext), never on a token, so it is built once per stored
+        row and replayed against every future query.
+        """
+
+    @property
+    @abstractmethod
+    def prepared_element_size(self) -> int:
+        """Byte length of one encoded prepared element."""
+
+    @abstractmethod
+    def encode_prepared(self, element) -> bytes:
+        """Serialize one prepared element (for the persistence layer)."""
+
+    @abstractmethod
+    def decode_prepared(self, data: bytes):
+        """Inverse of :meth:`encode_prepared` (validating)."""
+
     def pair_vectors_batch(
         self, g1_vector: Sequence, g2_vectors: Sequence[Sequence]
     ) -> list[GTElement]:
@@ -208,26 +313,45 @@ class BilinearBackend(ABC):
 
 
 class _FixedBaseTable:
-    """Precomputed powers-of-two of a fixed base point for fast fixed-base
-    scalar multiplication (halves the work of double-and-add)."""
+    """Windowed precomputation of a fixed base point.
+
+    For 4-bit windows the table holds every multiple ``d * (base << 4i)``
+    with ``1 <= d < 16``, so a scalar multiplication is one point
+    addition per *non-zero window digit* (~60 on average for 254-bit
+    scalars) with no doublings at all — versus a doubling plus half an
+    addition per bit for plain double-and-add.  Built once per base per
+    process; pooled workers rebuild lazily rather than shipping it.
+    """
+
+    WINDOW = 4
 
     def __init__(self, base, order: int):
-        self._table = []
-        current = base
-        for _ in range(order.bit_length()):
-            self._table.append(current)
-            current = current.double()
         self._infinity = type(base).infinity()
         self._order = order
+        digits = (1 << self.WINDOW) - 1
+        self._table = []
+        current = base
+        for _ in range((order.bit_length() + self.WINDOW - 1) // self.WINDOW):
+            row = [self._infinity, current]
+            accumulator = current
+            for _ in range(digits - 1):
+                accumulator = accumulator + current
+                row.append(accumulator)
+            self._table.append(row)
+            # accumulator == digits * current, so one more addition
+            # shifts the window base: (digits + 1) * current.
+            current = accumulator + current
 
     def power(self, exponent: int):
         exponent %= self._order
         result = self._infinity
         index = 0
+        mask = (1 << self.WINDOW) - 1
         while exponent:
-            if exponent & 1:
-                result = result + self._table[index]
-            exponent >>= 1
+            digit = exponent & mask
+            if digit:
+                result = result + self._table[index][digit]
+            exponent >>= self.WINDOW
             index += 1
         return result
 
@@ -246,31 +370,69 @@ class BN254Backend(BilinearBackend):
         super().__init__()
         self._g1_table: _FixedBaseTable | None = None
         self._g2_table: _FixedBaseTable | None = None
+        self._gt_base: Fp12 | None = None
+        self._build_lock = threading.Lock()
         self.use_fast_pairing = use_fast_pairing
 
     def __getstate__(self):
-        # The fixed-base tables are pure caches and dominate the pickled
-        # size (hundreds of curve points).  The execution service ships
-        # the backend to each pooled worker once at spawn; dropping the
-        # tables keeps that message small and workers rebuild lazily.
+        # The fixed-base tables and the GT base are pure caches and
+        # dominate the pickled size (hundreds of curve points).  The
+        # execution service ships the backend to each pooled worker once
+        # at spawn; dropping the caches keeps that message small and
+        # workers rebuild lazily.  The build lock is unpicklable anyway;
+        # __setstate__ gives the clone a fresh one.
         state = self.__dict__.copy()
         state["_g1_table"] = None
         state["_g2_table"] = None
+        state["_gt_base"] = None
+        del state["_build_lock"]
         return state
+
+    def __setstate__(self, state):
+        self.__dict__.update(state)
+        self._build_lock = threading.Lock()
 
     @property
     def order(self) -> int:
         return CURVE_ORDER
 
     def _g1(self) -> _FixedBaseTable:
-        if self._g1_table is None:
-            self._g1_table = _FixedBaseTable(G1Point.generator(), CURVE_ORDER)
-        return self._g1_table
+        # Double-checked build-once: concurrent consumer threads (the
+        # admission scheduler runs several) must not each pay the
+        # table construction, nor observe a half-built one.
+        table = self._g1_table
+        if table is None:
+            with self._build_lock:
+                table = self._g1_table
+                if table is None:
+                    table = _FixedBaseTable(G1Point.generator(), CURVE_ORDER)
+                    self._g1_table = table
+        return table
 
     def _g2(self) -> _FixedBaseTable:
-        if self._g2_table is None:
-            self._g2_table = _FixedBaseTable(G2Point.generator(), CURVE_ORDER)
-        return self._g2_table
+        table = self._g2_table
+        if table is None:
+            with self._build_lock:
+                table = self._g2_table
+                if table is None:
+                    table = _FixedBaseTable(G2Point.generator(), CURVE_ORDER)
+                    self._g2_table = table
+        return table
+
+    def _gt_generator(self) -> Fp12:
+        """The cached base ``e(g1, g2)`` — one pairing per backend
+        lifetime, not one per :meth:`gt_generator_power` call."""
+        base = self._gt_base
+        if base is None:
+            with self._build_lock:
+                base = self._gt_base
+                if base is None:
+                    self.ops.miller_loops += 1
+                    self.ops.final_exponentiations += 1
+                    pair = pairing_fast if self.use_fast_pairing else pairing
+                    base = pair(G1Point.generator(), G2Point.generator())
+                    self._gt_base = base
+        return base
 
     def g1_powers(self, exponents: Sequence[int]) -> list[G1Point]:
         table = self._g1()
@@ -281,20 +443,56 @@ class BN254Backend(BilinearBackend):
         return [table.power(e) for e in exponents]
 
     def pair_vectors(
-        self, g1_vector: Sequence[G1Point], g2_vector: Sequence[G2Point]
+        self, g1_vector: Sequence[G1Point], g2_vector: Sequence
     ) -> BN254GT:
+        """Multi-pairing over raw G2 points, prepared elements, or a mix.
+
+        Prepared elements skip the twist arithmetic via replay (and all
+        prepared pairs of one call share a simultaneous Miller loop);
+        raw leftovers run the ordinary loop.  The accumulated product is
+        the same field element either way, so handles stay
+        byte-identical across paths.
+        """
         if len(g1_vector) != len(g2_vector):
             raise CryptoError("pairing vectors must have the same length")
-        pairs = [
-            (p, q)
-            for p, q in zip(g1_vector, g2_vector)
-            if not (p.is_infinity() or q.is_infinity())
-        ]
-        self.ops.miller_loops += len(pairs)
-        if pairs:
+        raw: list[tuple] = []
+        prepared: list[tuple] = []
+        for p, q in zip(g1_vector, g2_vector):
+            if p.is_infinity() or q.is_infinity():
+                continue
+            (prepared if isinstance(q, G2Prepared) else raw).append((p, q))
+        self.ops.miller_loops += len(raw)
+        self.ops.prepared_miller_loops += len(prepared)
+        if prepared:
+            self.ops.final_exponentiations += 1
+            accumulator = multi_miller_prepared(prepared)
+            for p, q in raw:
+                accumulator = accumulator * miller_loop_fast(q, p)
+            return BN254GT(final_exponentiation_fast(accumulator))
+        if raw:
             self.ops.final_exponentiations += 1
         multi = multi_pairing_fast if self.use_fast_pairing else multi_pairing
-        return BN254GT(multi(pairs))
+        return BN254GT(multi(raw))
+
+    def prepare_row(self, g2_vector: Sequence) -> PreparedRow:
+        elements = tuple(g2_vector)
+        self.ops.preparations += sum(
+            1 for q in elements if not q.is_infinity()
+        )
+        return PreparedRow(
+            elements,
+            tuple(G2Prepared.from_point(q) for q in elements),
+        )
+
+    @property
+    def prepared_element_size(self) -> int:
+        return PREPARED_ELEMENT_SIZE
+
+    def encode_prepared(self, element: G2Prepared) -> bytes:
+        return element.to_bytes()
+
+    def decode_prepared(self, data: bytes) -> G2Prepared:
+        return G2Prepared.from_bytes(data)
 
     def gt_identity(self) -> BN254GT:
         return BN254GT(Fp12.one())
@@ -303,11 +501,12 @@ class BN254Backend(BilinearBackend):
         return BN254GT(a.value * b.value)
 
     def gt_generator_power(self, exponent: int) -> BN254GT:
-        pair = pairing_fast if self.use_fast_pairing else pairing
-        base = pair(G1Point.generator(), G2Point.generator())
+        base = self._gt_generator()
+        self.ops.gt_exponentiations += 1
         return BN254GT(base.pow(exponent % CURVE_ORDER))
 
     def gt_pow(self, element: BN254GT, exponent: int) -> BN254GT:
+        self.ops.gt_exponentiations += 1
         return BN254GT(element.value.pow(exponent % CURVE_ORDER))
 
     def encode_g1(self, element: G1Point) -> bytes:
@@ -346,6 +545,10 @@ class FastBackend(BilinearBackend):
         if not is_probable_prime(modulus):
             raise CryptoError("FastBackend modulus must be prime")
         self._modulus = modulus
+        # Mirrors BN254's lazily cached e(g1, g2): the first
+        # gt_generator_power pays (and counts) one pairing, the rest
+        # only a GT exponentiation — same counts for the same calls.
+        self._gt_base_counted = False
 
     @property
     def order(self) -> int:
@@ -360,41 +563,57 @@ class FastBackend(BilinearBackend):
         return [e % q for e in exponents]
 
     def pair_vectors(
-        self, g1_vector: Sequence[int], g2_vector: Sequence[int]
+        self, g1_vector: Sequence[int], g2_vector: Sequence
     ) -> FastGT:
         if len(g1_vector) != len(g2_vector):
             raise CryptoError("pairing vectors must have the same length")
         # Model the op counts of the equivalent BN254 call: d Miller
         # loops sharing one final exponentiation (a 0 exponent stands
-        # for the identity, which the real pairing would skip).
-        nontrivial = sum(1 for a, b in zip(g1_vector, g2_vector) if a and b)
-        self.ops.miller_loops += nontrivial
-        if nontrivial:
-            self.ops.final_exponentiations += 1
+        # for the identity, which the real pairing would skip), with
+        # prepared elements counted on the replay counter like BN254.
         q = self._modulus
         total = 0
+        raw = prepared = 0
         for a, b in zip(g1_vector, g2_vector):
-            total += a * b
+            if isinstance(b, FastPrepared):
+                value = b.value
+                if a and value:
+                    prepared += 1
+            else:
+                value = b
+                if a and value:
+                    raw += 1
+            total += a * value
+        self.ops.miller_loops += raw
+        self.ops.prepared_miller_loops += prepared
+        if raw or prepared:
+            self.ops.final_exponentiations += 1
         return FastGT(total % q, q)
 
     def pair_vectors_batch(
-        self, g1_vector: Sequence[int], g2_vectors: Sequence[Sequence[int]]
+        self, g1_vector: Sequence[int], g2_vectors: Sequence[Sequence]
     ) -> list[FastGT]:
-        q = self._modulus
-        handles = []
-        for g2_vector in g2_vectors:
-            if len(g1_vector) != len(g2_vector):
-                raise CryptoError("pairing vectors must have the same length")
-            nontrivial = sum(
-                1 for a, b in zip(g1_vector, g2_vector) if a and b
-            )
-            self.ops.miller_loops += nontrivial
-            if nontrivial:
-                self.ops.final_exponentiations += 1
-            handles.append(
-                FastGT(sum(a * b for a, b in zip(g1_vector, g2_vector)) % q, q)
-            )
-        return handles
+        return [
+            self.pair_vectors(g1_vector, g2_vector)
+            for g2_vector in g2_vectors
+        ]
+
+    def prepare_row(self, g2_vector: Sequence) -> PreparedRow:
+        elements = tuple(g2_vector)
+        self.ops.preparations += sum(1 for value in elements if value)
+        return PreparedRow(
+            elements, tuple(FastPrepared(value) for value in elements)
+        )
+
+    @property
+    def prepared_element_size(self) -> int:
+        return self._element_size
+
+    def encode_prepared(self, element: FastPrepared) -> bytes:
+        return self.encode_g1(element.value)
+
+    def decode_prepared(self, data: bytes) -> FastPrepared:
+        return FastPrepared(self.decode_g1(data))
 
     def gt_identity(self) -> FastGT:
         return FastGT(0, self._modulus)
@@ -403,9 +622,15 @@ class FastBackend(BilinearBackend):
         return FastGT(a.value + b.value, self._modulus)
 
     def gt_generator_power(self, exponent: int) -> FastGT:
+        if not self._gt_base_counted:
+            self._gt_base_counted = True
+            self.ops.miller_loops += 1
+            self.ops.final_exponentiations += 1
+        self.ops.gt_exponentiations += 1
         return FastGT(exponent, self._modulus)
 
     def gt_pow(self, element: FastGT, exponent: int) -> FastGT:
+        self.ops.gt_exponentiations += 1
         return FastGT(element.value * (exponent % self._modulus), self._modulus)
 
     @property

@@ -21,6 +21,22 @@ from repro.errors import FieldError
 
 P = FIELD_MODULUS
 
+# Optional gmpy2 acceleration for base-field inversion (the one place
+# the tower calls into extended-gcd arithmetic).  gmpy2 is never a
+# required dependency: when it is absent the pure-Python mod_inverse is
+# the active path and results are bit-identical either way.
+try:  # pragma: no cover - exercised only where gmpy2 is installed
+    from gmpy2 import invert as _gmpy2_invert
+    from gmpy2 import mpz as _mpz
+
+    def _field_inverse(value: int, modulus: int) -> int:
+        return int(_gmpy2_invert(_mpz(value), _mpz(modulus)))
+
+    GMPY2_ACCELERATED = True
+except ImportError:
+    _field_inverse = mod_inverse
+    GMPY2_ACCELERATED = False
+
 
 class Fp2:
     """An element ``c0 + c1*u`` of ``Fp2 = Fp[u]/(u^2+1)``."""
@@ -91,7 +107,7 @@ class Fp2:
         norm = (self.c0 * self.c0 + self.c1 * self.c1) % P
         if norm == 0:
             raise FieldError("cannot invert zero in Fp2")
-        inv_norm = mod_inverse(norm, P)
+        inv_norm = _field_inverse(norm, P)
         return Fp2(self.c0 * inv_norm, -self.c1 * inv_norm)
 
     def mul_by_xi(self) -> "Fp2":

@@ -23,6 +23,20 @@ The derivation of the line coefficients for the D-twist untwisting
   at ``P = (xP, yP)`` is
   ``yP  -  (lambda' xP) * w  +  (lambda' xT - yT) * (v w)``;
 - the vertical line is ``xP - xT * v``.
+
+**Prepared points.**  Every line above is determined by the G2
+trajectory alone: the slope and the constant ``c = lambda' xT - yT``
+never touch the G1 argument, which only enters through the cheap sparse
+multiplication ``f.mul_by_line(yP, -(slope * xP), c)``.
+:class:`G2Prepared` precomputes the ``(slope, c)`` sequence of one G2
+point once (all the twist point arithmetic and Fp2 inversions), and
+:func:`miller_loop_prepared` replays it against any G1 point.
+:func:`multi_pairing_prepared` goes further: a *simultaneous* Miller
+loop over all pairs sharing a single ``f.square()`` per iteration — the
+accumulator invariant ``F = prod_i f_i`` is preserved because
+``(prod f_i)^2 * prod l_i = prod (f_i^2 l_i)``, so the result is the
+exact field element the independent loops would produce (and therefore
+byte-identical after the final exponentiation).
 """
 
 from __future__ import annotations
@@ -47,37 +61,169 @@ def _twist_frobenius(point: _TwistPoint) -> _TwistPoint:
     return x.conjugate() * _FROB_X, y.conjugate() * _FROB_Y
 
 
-def _double_step(
-    f: Fp12, t: _TwistPoint, xp: int, yp: int
-) -> tuple[Fp12, _TwistPoint]:
-    """``f *= line_{T,T}(P); T = 2T`` — all point math in Fp2."""
+_LineCoeffs = tuple[Fp2, Fp2]
+
+
+def _line_double(t: _TwistPoint) -> tuple[Fp2, Fp2, _TwistPoint]:
+    """Line through ``T, T``: ``(slope, c, 2T)`` — all point math in Fp2."""
     x1, y1 = t
     slope = x1.square().mul_scalar(3) * (y1 + y1).inverse()
     x3 = slope.square() - x1 - x1
     y3 = slope * (x1 - x3) - y1
-    b = -(slope.mul_scalar(xp))
-    c = slope * x1 - y1
-    return f.mul_by_line(yp, b, c), (x3, y3)
+    return slope, slope * x1 - y1, (x3, y3)
 
 
-def _add_step(
-    f: Fp12, t: _TwistPoint, q: _TwistPoint, xp: int, yp: int
-) -> tuple[Fp12, _TwistPoint]:
-    """``f *= line_{T,Q}(P); T = T + Q`` (handles the vertical case)."""
+def _line_add(
+    t: _TwistPoint, q: _TwistPoint
+) -> tuple[Fp2, Fp2, _TwistPoint]:
+    """Line through ``T, Q``: ``(slope, c, T+Q)`` (handles tangency)."""
     x1, y1 = t
     x2, y2 = q
     if x1 == x2:
         if y1 == y2:
-            return _double_step(f, t, xp, yp)
+            return _line_double(t)
         # Vertical line: x_P - x_T * v;  T + (-T) = infinity should never
         # occur inside the optimal-ate loop for subgroup inputs.
         raise PairingError("degenerate addition in Miller loop")
     slope = (y2 - y1) * (x2 - x1).inverse()
     x3 = slope.square() - x1 - x2
     y3 = slope * (x1 - x3) - y1
-    b = -(slope.mul_scalar(xp))
-    c = slope * x1 - y1
-    return f.mul_by_line(yp, b, c), (x3, y3)
+    return slope, slope * x1 - y1, (x3, y3)
+
+
+def _double_step(
+    f: Fp12, t: _TwistPoint, xp: int, yp: int
+) -> tuple[Fp12, _TwistPoint]:
+    """``f *= line_{T,T}(P); T = 2T``."""
+    slope, c, t = _line_double(t)
+    return f.mul_by_line(yp, -(slope.mul_scalar(xp)), c), t
+
+
+def _add_step(
+    f: Fp12, t: _TwistPoint, q: _TwistPoint, xp: int, yp: int
+) -> tuple[Fp12, _TwistPoint]:
+    """``f *= line_{T,Q}(P); T = T + Q``."""
+    slope, c, t = _line_add(t, q)
+    return f.mul_by_line(yp, -(slope.mul_scalar(xp)), c), t
+
+
+def _ate_coefficients(q_affine: _TwistPoint):
+    """Yield the ``(slope, c)`` line coefficients of ``Q``'s optimal-ate
+    trajectory, in exactly the order the Miller loop consumes them.
+
+    This is the single source of truth for the trajectory: the raw loop,
+    the preparation builder and the replay schedule all derive from it,
+    so prepared replay is *structurally* guaranteed to consume the same
+    coefficients in the same order as the raw loop computes them.
+    """
+    t = q_affine
+    for i in range(ATE_LOOP_COUNT.bit_length() - 2, -1, -1):
+        slope, c, t = _line_double(t)
+        yield slope, c
+        if (ATE_LOOP_COUNT >> i) & 1:
+            slope, c, t = _line_add(t, q_affine)
+            yield slope, c
+    # Frobenius correction steps: T += pi(Q); T += -pi^2(Q).
+    q1 = _twist_frobenius(q_affine)
+    q2 = _twist_frobenius(q1)
+    slope, c, t = _line_add(t, q1)
+    yield slope, c
+    slope, c, _ = _line_add(t, (q2[0], -q2[1]))
+    yield slope, c
+
+
+def _replay_schedule() -> tuple[bool, ...]:
+    """Per-coefficient flags: True where the loop squares ``f`` first.
+
+    Depends only on the (fixed) ate loop count, so one module-level
+    schedule serves every prepared point.
+    """
+    flags = []
+    for i in range(ATE_LOOP_COUNT.bit_length() - 2, -1, -1):
+        flags.append(True)
+        if (ATE_LOOP_COUNT >> i) & 1:
+            flags.append(False)
+    flags.extend((False, False))
+    return tuple(flags)
+
+
+_REPLAY_SQUARES = _replay_schedule()
+
+#: Line coefficients per prepared G2 point (fixed by the ate loop count).
+PREPARED_COEFF_COUNT = len(_REPLAY_SQUARES)
+
+#: Serialized size of one :class:`G2Prepared`: an infinity flag byte
+#: plus four 32-byte Fp coordinates per coefficient pair.
+PREPARED_ELEMENT_SIZE = 1 + PREPARED_COEFF_COUNT * 128
+
+
+class G2Prepared:
+    """The Miller-loop precomputation of one G2 point.
+
+    Holds the ``(slope, c)`` line coefficients of the point's full
+    optimal-ate trajectory — everything about the loop that does *not*
+    depend on the G1 argument.  Replaying them against a G1 point skips
+    all twist point arithmetic and every Fp2 inversion of the raw loop.
+    Instances are immutable and reusable across any number of pairings.
+    """
+
+    __slots__ = ("coeffs",)
+
+    def __init__(self, coeffs: tuple[_LineCoeffs, ...]):
+        if coeffs and len(coeffs) != PREPARED_COEFF_COUNT:
+            raise PairingError(
+                f"prepared point has {len(coeffs)} line coefficients; "
+                f"the ate trajectory needs {PREPARED_COEFF_COUNT}"
+            )
+        self.coeffs = coeffs
+
+    @classmethod
+    def from_point(cls, q: G2Point) -> "G2Prepared":
+        """Precompute ``Q``'s trajectory (the point at infinity prepares
+        to an empty trajectory, matching the raw loop's early return)."""
+        if q.is_infinity():
+            return cls(())
+        return cls(tuple(_ate_coefficients((q.x, q.y))))
+
+    def is_infinity(self) -> bool:
+        return not self.coeffs
+
+    def to_bytes(self) -> bytes:
+        """Fixed-size canonical serialization (store/transport)."""
+        if self.is_infinity():
+            return b"\x01" + b"\x00" * (PREPARED_ELEMENT_SIZE - 1)
+        parts = [b"\x00"]
+        for slope, c in self.coeffs:
+            for value in (slope.c0, slope.c1, c.c0, c.c1):
+                parts.append(value.to_bytes(32, "big"))
+        return b"".join(parts)
+
+    @classmethod
+    def from_bytes(cls, data: bytes) -> "G2Prepared":
+        """Inverse of :meth:`to_bytes` (validating)."""
+        if len(data) != PREPARED_ELEMENT_SIZE:
+            raise PairingError(
+                f"prepared element needs {PREPARED_ELEMENT_SIZE} bytes, "
+                f"got {len(data)}"
+            )
+        if data[0] == 1:
+            return cls(())
+        if data[0] != 0:
+            raise PairingError(f"bad prepared-element flag {data[0]}")
+        coeffs = []
+        for offset in range(1, len(data), 128):
+            values = [
+                int.from_bytes(data[offset + i * 32:offset + (i + 1) * 32],
+                               "big")
+                for i in range(4)
+            ]
+            if any(v >= P for v in values):
+                raise PairingError(
+                    "prepared-element coordinate out of field range"
+                )
+            coeffs.append((Fp2(values[0], values[1]),
+                           Fp2(values[2], values[3])))
+        return cls(tuple(coeffs))
 
 
 def miller_loop_fast(q: G2Point, p: G1Point) -> Fp12:
@@ -85,20 +231,27 @@ def miller_loop_fast(q: G2Point, p: G1Point) -> Fp12:
     if q.is_infinity() or p.is_infinity():
         return Fp12.one()
     xp, yp = p.x, p.y
-    q_affine: _TwistPoint = (q.x, q.y)
-    t = q_affine
     f = Fp12.one()
-    for i in range(ATE_LOOP_COUNT.bit_length() - 2, -1, -1):
-        f = f.square()
-        f, t = _double_step(f, t, xp, yp)
-        if (ATE_LOOP_COUNT >> i) & 1:
-            f, t = _add_step(f, t, q_affine, xp, yp)
-    # Frobenius correction steps: T += pi(Q); T += -pi^2(Q).
-    q1 = _twist_frobenius(q_affine)
-    q2 = _twist_frobenius(q1)
-    nq2 = (q2[0], -q2[1])
-    f, t = _add_step(f, t, q1, xp, yp)
-    f, _ = _add_step(f, t, nq2, xp, yp)
+    for squares, (slope, c) in zip(
+        _REPLAY_SQUARES, _ate_coefficients((q.x, q.y))
+    ):
+        if squares:
+            f = f.square()
+        f = f.mul_by_line(yp, -(slope.mul_scalar(xp)), c)
+    return f
+
+
+def miller_loop_prepared(prepared: G2Prepared, p: G1Point) -> Fp12:
+    """Replay a prepared trajectory against ``P`` — no point arithmetic,
+    no inversions; exactly the value :func:`miller_loop_fast` computes."""
+    if prepared.is_infinity() or p.is_infinity():
+        return Fp12.one()
+    xp, yp = p.x, p.y
+    f = Fp12.one()
+    for squares, (slope, c) in zip(_REPLAY_SQUARES, prepared.coeffs):
+        if squares:
+            f = f.square()
+        f = f.mul_by_line(yp, -(slope.mul_scalar(xp)), c)
     return f
 
 
@@ -162,3 +315,49 @@ def multi_pairing_fast(pairs: list[tuple[G1Point, G2Point]]) -> Fp12:
     if not nontrivial:
         return Fp12.one()
     return final_exponentiation_fast(accumulator)
+
+
+def pairing_prepared(p: G1Point, prepared: G2Prepared) -> Fp12:
+    """One full pairing from a prepared G2 point; agrees with
+    :func:`pairing_fast` exactly."""
+    if p.is_infinity() or prepared.is_infinity():
+        return Fp12.one()
+    return final_exponentiation_fast(miller_loop_prepared(prepared, p))
+
+
+def multi_miller_prepared(
+    pairs: list[tuple[G1Point, G2Prepared]]
+) -> Fp12:
+    """``prod_i miller(Q_i, P_i)`` as a *simultaneous* prepared loop.
+
+    One shared ``f.square()`` per ate iteration covers every pair —
+    ``(prod f_i)^2 = prod f_i^2`` keeps the accumulator equal to the
+    product of the independent Miller values at every step, so the
+    result is the identical field element at a fraction of the Fp12
+    squaring work.  Infinity pairs must be filtered by the caller.
+    """
+    points = [(p.x, p.y, prepared.coeffs) for p, prepared in pairs]
+    f = Fp12.one()
+    for index, squares in enumerate(_REPLAY_SQUARES):
+        if squares:
+            f = f.square()
+        for xp, yp, coeffs in points:
+            slope, c = coeffs[index]
+            f = f.mul_by_line(yp, -(slope.mul_scalar(xp)), c)
+    return f
+
+
+def multi_pairing_prepared(
+    pairs: list[tuple[G1Point, G2Prepared]]
+) -> Fp12:
+    """``prod_i e(P_i, Q_i)`` over prepared points: simultaneous Miller
+    loop plus one shared final exponentiation.  Byte-identical to
+    :func:`multi_pairing_fast` (and the reference) on the same inputs."""
+    live = [
+        (p, prepared)
+        for p, prepared in pairs
+        if not (p.is_infinity() or prepared.is_infinity())
+    ]
+    if not live:
+        return Fp12.one()
+    return final_exponentiation_fast(multi_miller_prepared(live))

@@ -244,6 +244,15 @@ class JoinServiceServer:
         """
         self._draining.set()
         if self._listener is not None:
+            # close() alone does not wake a thread blocked in accept():
+            # the in-flight syscall keeps the kernel socket alive — and
+            # listening — until accept returns, so a client could still
+            # connect after shutdown.  shutdown(SHUT_RDWR) aborts the
+            # blocked accept immediately.
+            try:
+                self._listener.shutdown(socket.SHUT_RDWR)
+            except OSError:
+                pass
             try:
                 self._listener.close()
             except OSError:  # pragma: no cover - already closed

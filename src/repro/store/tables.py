@@ -1,8 +1,11 @@
 """Persist encrypted tables: what the DBMS server stores on disk.
 
 The file keeps only what the server legitimately holds — SJ ciphertext
-vectors, opaque payload blobs, and (optionally) pre-filter tags.  No
-plaintext and no key material ever reaches this format.
+vectors, opaque payload blobs, (optionally) pre-filter tags, and
+(optionally, format v2) per-row pairing precomputation.  No plaintext
+and no key material ever reaches this format; the prepared coefficients
+are a deterministic function of the ciphertexts, so they carry no
+information the ciphertexts don't already.
 """
 
 from __future__ import annotations
@@ -11,7 +14,7 @@ import os
 
 from repro.core.client import EncryptedTable
 from repro.core.scheme import SJRowCiphertext
-from repro.crypto.backend import BilinearBackend
+from repro.crypto.backend import BilinearBackend, PreparedRow
 from repro.db.schema import Column, Schema
 from repro.errors import SchemeError
 from repro.store.codec import (
@@ -24,14 +27,44 @@ from repro.store.codec import (
 )
 
 _MAGIC = b"RPROETBL"
-_VERSION = 1
+#: v2 adds the optional prepared-rows section (precomputed Miller-loop
+#: line coefficients, stored with the row so warm queries replay them);
+#: v1 files remain readable — they simply load without precomputation.
+_VERSION = 2
+_MIN_VERSION = 1
 _TAG_SIZE = 32
+
+
+def prepare_encrypted_table(
+    table: EncryptedTable, backend: BilinearBackend
+) -> int:
+    """Attach per-row pairing precomputation to ``table`` in place.
+
+    Idempotent (rows already prepared are kept); returns how many rows
+    this call prepared.  The precomputation depends only on the stored
+    ciphertexts — never on any query token — which is why it can live
+    with the row on disk.
+    """
+    if table.prepared_rows is None:
+        table.prepared_rows = []
+    prepared = 0
+    for ciphertext in table.ciphertexts[len(table.prepared_rows):]:
+        table.prepared_rows.append(backend.prepare_row(ciphertext.elements))
+        prepared += 1
+    return prepared
 
 
 def encode_encrypted_table(
     table: EncryptedTable, backend: BilinearBackend
 ) -> bytes:
     """Serialize an encrypted table to bytes."""
+    prepared = table.prepared_rows
+    if prepared is not None and len(prepared) != len(table.ciphertexts):
+        raise SchemeError(
+            f"table has {len(prepared)} prepared rows for "
+            f"{len(table.ciphertexts)} ciphertexts; call "
+            "prepare_encrypted_table first"
+        )
     writer = Writer()
     header = {
         "name": table.name,
@@ -46,6 +79,10 @@ def encode_encrypted_table(
         "g2_element_size": backend.g2_element_size,
         "prefilter_columns": (
             sorted(table.prefilter_tags) if table.prefilter_tags else None
+        ),
+        "prepared": prepared is not None,
+        "prepared_element_size": (
+            backend.prepared_element_size if prepared is not None else 0
         ),
     }
     write_header(writer, _MAGIC, _VERSION, header)
@@ -62,6 +99,13 @@ def encode_encrypted_table(
             write_element_vector(
                 writer, table.prefilter_tags[column], _TAG_SIZE
             )
+    if prepared is not None:
+        for row in prepared:
+            write_element_vector(
+                writer,
+                [backend.encode_prepared(e) for e in row],
+                backend.prepared_element_size,
+            )
     return writer.getvalue()
 
 
@@ -70,7 +114,9 @@ def decode_encrypted_table(
 ) -> EncryptedTable:
     """Inverse of :func:`encode_encrypted_table` (validating)."""
     reader = Reader(data)
-    header = read_header(reader, _MAGIC, _VERSION)
+    header = read_header(
+        reader, _MAGIC, _VERSION, min_version=_MIN_VERSION
+    )
     if header["backend"] != backend.name:
         raise SchemeError(
             f"table was encrypted under backend {header['backend']!r}, "
@@ -103,6 +149,28 @@ def decode_encrypted_table(
                     f"{n_rows} rows"
                 )
             prefilter[column] = tags
+    prepared_rows = None
+    if header.get("prepared"):
+        element_size = header.get("prepared_element_size")
+        if element_size != backend.prepared_element_size:
+            raise SchemeError(
+                f"prepared-element size {element_size} != backend's "
+                f"{backend.prepared_element_size} (different backend?)"
+            )
+        prepared_rows = []
+        for row_index in range(n_rows):
+            raw = read_element_vector(reader, element_size)
+            if len(raw) != dimension:
+                raise SchemeError(
+                    f"prepared row {row_index} has {len(raw)} elements; "
+                    f"header says {dimension}"
+                )
+            prepared_rows.append(
+                PreparedRow(
+                    ciphertexts[row_index].elements,
+                    tuple(backend.decode_prepared(e) for e in raw),
+                )
+            )
     reader.expect_end()
     schema = Schema(tuple(Column(n, t) for n, t in header["schema"]))
     return EncryptedTable(
@@ -113,13 +181,24 @@ def decode_encrypted_table(
         ciphertexts=ciphertexts,
         payloads=payloads,
         prefilter_tags=prefilter,
+        prepared_rows=prepared_rows,
     )
 
 
 def save_encrypted_table(
-    table: EncryptedTable, path: str | os.PathLike, backend: BilinearBackend
+    table: EncryptedTable,
+    path: str | os.PathLike,
+    backend: BilinearBackend,
+    prepare: bool = False,
 ) -> None:
-    """Write an encrypted table to ``path`` (atomic via rename)."""
+    """Write an encrypted table to ``path`` (atomic via rename).
+
+    ``prepare=True`` attaches per-row pairing precomputation before
+    writing (see :func:`prepare_encrypted_table`), so the table loads
+    warm: every future query over it replays stored coefficients.
+    """
+    if prepare:
+        prepare_encrypted_table(table, backend)
     data = encode_encrypted_table(table, backend)
     temp_path = f"{path}.tmp"
     with open(temp_path, "wb") as handle:

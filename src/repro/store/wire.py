@@ -308,6 +308,8 @@ def _stats_dict(stats: ServerStats) -> dict:
         "workers": stats.workers,
         "miller_loops": stats.miller_loops,
         "final_exponentiations": stats.final_exponentiations,
+        "prepared_miller_loops": stats.prepared_miller_loops,
+        "preparations": stats.preparations,
         "engine_source": stats.engine_source,
         "engine_selected": stats.engine_selected,
         "planner": stats.planner,
