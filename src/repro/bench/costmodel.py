@@ -171,6 +171,10 @@ class EngineCostModel:
     #: coefficients instead of a full Miller loop (``None`` = no
     #: prepared pricing; fall back to ``miller_loop``).
     prepared_miller_loop: float | None = None
+    #: Per-shard coordination cost of a scatter-gather join: admitting
+    #: the query on one more shard's pool and merging its chunk stream
+    #: (:func:`estimate_scatter_costs`).
+    shard_dispatch: float = 5e-4
 
 
 #: Defaults measured on the fast (exponent-group) backend: pairing work
@@ -263,6 +267,49 @@ def estimate_engine_costs(
         + overhead_rows
     )
     return {"serial": serial, "batched": batched, "parallel": parallel}
+
+
+def estimate_scatter_costs(
+    model: EngineCostModel,
+    rows_per_shard: list[int],
+    dimension: int,
+    workers: int = 1,
+) -> dict[str, float]:
+    """Predicted seconds: single-store vs scatter-gather over shards.
+
+    Cross-shard parallelism is a makespan problem: every shard decrypts
+    its own candidate rows concurrently, so the scatter estimate is the
+    *most loaded* shard's pairing time plus a per-shard ``shard_dispatch``
+    coordination charge — skewed partitions therefore price close to the
+    single store (the ideal ``1/n`` speedup is discounted by exactly the
+    ``skew`` figure, max over mean) while uniform ones approach it.
+    ``workers`` is each store's pool width and divides the pairing work
+    identically on both sides of the comparison.
+    """
+    counts = [int(n) for n in rows_per_shard]
+    if not counts or any(n < 0 for n in counts) or dimension < 1:
+        raise BenchmarkError(
+            "need at least one shard, rows >= 0 and dimension >= 1"
+        )
+    workers = max(1, workers)
+    per_row = (
+        dimension * model.miller_loop
+        + model.final_exponentiation
+        + model.row_overhead
+    )
+    total = sum(counts)
+    single = total * per_row / workers
+    scatter = (
+        max(counts) * per_row / workers
+        + len(counts) * model.shard_dispatch
+    )
+    mean = total / len(counts)
+    return {
+        "single": single,
+        "scatter": scatter,
+        "skew": (max(counts) / mean) if mean else 1.0,
+        "speedup": (single / scatter) if scatter > 0.0 else 1.0,
+    }
 
 
 def select_engine(

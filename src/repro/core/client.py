@@ -52,6 +52,12 @@ class EncryptedTable:
     #: by ``prepare_table`` / at ``save_encrypted_table`` time.  Purely
     #: derived from the ciphertexts — never secret material.
     prepared_rows: list | None = None
+    #: Set when this table is one shard of a hash-partitioned table: a
+    #: :class:`~repro.shard.partition.ShardDescriptor` mapping local
+    #: rows back to global indices and pinning the layout (shard count
+    #: and partitioner seed) the split was made under.  ``None`` for an
+    #: unsharded table.
+    shard: "object | None" = None
 
     def __len__(self) -> int:
         return len(self.ciphertexts)

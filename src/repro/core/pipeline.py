@@ -63,6 +63,148 @@ class PipelineResult:
     timings: PipelineTimings = field(default_factory=PipelineTimings)
 
 
+@dataclass
+class ScatterPipelineResult:
+    """What one N-source merge produced.
+
+    ``outcomes`` holds each source's terminal value (for
+    :class:`SideEventSource`, the side's :class:`EngineReport`) in the
+    order the sources were passed.
+    """
+
+    pairs: list[tuple[int, int]] = field(default_factory=list)
+    outcomes: list = field(default_factory=list)
+    timings: PipelineTimings = field(default_factory=PipelineTimings)
+
+
+class SideEventSource:
+    """Adapt one side's :class:`HandleStream` to scatter events.
+
+    Iteration yields ``(side, items)`` per decrypted chunk, with chunk
+    offsets translated to the side's candidate row indices — the
+    single-store pipeline uses local indices, a shard source passes its
+    *global* indices, which is exactly what makes the merged matcher's
+    output canonical.  With ``payloads`` (aligned with ``rows``) each
+    item is ``(row, handle, payload)``; otherwise ``(row, handle)``.
+
+    ``close()`` always closes the underlying stream — even when the
+    merge never pulled from this source because a sibling failed first.
+    ``outcome`` is the stream's :class:`EngineReport` once exhausted.
+    """
+
+    def __init__(
+        self,
+        side: str,
+        stream: HandleStream,
+        rows: Sequence[int],
+        payloads: Sequence[bytes] | None = None,
+    ):
+        self.side = side
+        self.stream = stream
+        self.rows = rows
+        self.payloads = payloads
+        self.outcome: EngineReport | None = None
+
+    def __iter__(self) -> "SideEventSource":
+        return self
+
+    def __next__(self) -> tuple[str, list]:
+        try:
+            chunk = next(self.stream)
+        except StopIteration:
+            self.outcome = self.stream.report
+            raise
+        rows = self.rows
+        if self.payloads is None:
+            items = [
+                (rows[chunk.start + offset], handle)
+                for offset, handle in enumerate(chunk.handles)
+            ]
+        else:
+            payloads = self.payloads
+            items = [
+                (
+                    rows[chunk.start + offset],
+                    handle,
+                    payloads[chunk.start + offset],
+                )
+                for offset, handle in enumerate(chunk.handles)
+            ]
+        return self.side, items
+
+    def close(self) -> None:
+        self.stream.close()
+
+
+def run_scatter_pipeline(
+    sources: Sequence,
+    matcher: IncrementalMatcher,
+    on_items: Callable[[str, list], None] | None = None,
+):
+    """Merge N side-event sources into ``matcher``; a generator.
+
+    The N-source generalization of :func:`run_pipeline` (which is now
+    its two-source wrapper): each source is an iterator of
+    ``(side, items)`` events — ``items`` being ``(row_index, handle)``
+    or ``(row_index, handle, payload)`` tuples — with a ``close()``
+    method and an ``outcome`` attribute valid after exhaustion.  A
+    sharded join contributes one or two sources per shard; because the
+    matcher is fed *global* row indices and sorts canonically at
+    ``finish()``, the merged result is byte-identical to a single-store
+    join no matter how many sources there are or how their chunks
+    interleave.
+
+    Yields lists of newly matched pairs in discovery order; returns a
+    :class:`ScatterPipelineResult`.  Every source is closed on every
+    exit path (including a sibling source failing), so pooled shard
+    sides always release their admissions.
+    """
+    started = time.perf_counter()
+    timings = PipelineTimings()
+    first_match_at: float | None = None
+    feeds = {LEFT: matcher.add_left, RIGHT: matcher.add_right}
+    active = list(sources)
+    try:
+        turn = 0
+        while active:
+            source = active[turn % len(active)]
+            waited = time.perf_counter()
+            try:
+                side, items = next(source)
+            except StopIteration:
+                timings.decrypt_seconds += time.perf_counter() - waited
+                active.remove(source)
+                continue
+            timings.decrypt_seconds += time.perf_counter() - waited
+            if on_items is not None:
+                on_items(side, items)
+            matched_at = time.perf_counter()
+            if items and len(items[0]) != 2:
+                fed = [(item[0], item[1]) for item in items]
+            else:
+                fed = items
+            new_pairs = feeds[side](fed)
+            timings.match_seconds += time.perf_counter() - matched_at
+            if new_pairs:
+                if first_match_at is None:
+                    first_match_at = time.perf_counter()
+                    timings.time_to_first_match = first_match_at - started
+                yield new_pairs
+            turn += 1
+    finally:
+        for source in sources:
+            source.close()
+    finish_at = time.perf_counter()
+    pairs = matcher.finish()
+    timings.match_seconds += time.perf_counter() - finish_at
+    timings.total_seconds = time.perf_counter() - started
+    return ScatterPipelineResult(
+        pairs=pairs,
+        outcomes=[getattr(source, "outcome", None) for source in sources],
+        timings=timings,
+    )
+
+
 def run_pipeline(
     left_stream: HandleStream,
     right_stream: HandleStream,
@@ -84,52 +226,26 @@ def run_pipeline(
     release their admission state even when the consumer abandons the
     generator mid-join.
     """
-    started = time.perf_counter()
-    timings = PipelineTimings()
-    first_match_at: float | None = None
-    feeds = {LEFT: matcher.add_left, RIGHT: matcher.add_right}
-    candidates = {LEFT: left_candidates, RIGHT: right_candidates}
-    active: list[tuple[str, HandleStream]] = [
-        (LEFT, left_stream), (RIGHT, right_stream),
+    sources = [
+        SideEventSource(LEFT, left_stream, left_candidates),
+        SideEventSource(RIGHT, right_stream, right_candidates),
     ]
+    inner = run_scatter_pipeline(sources, matcher, on_items=on_handles)
     try:
-        turn = 0
-        while active:
-            side, stream = active[turn % len(active)]
-            waited = time.perf_counter()
+        while True:
             try:
-                chunk = next(stream)
-            except StopIteration:
-                timings.decrypt_seconds += time.perf_counter() - waited
-                active.remove((side, stream))
-                continue
-            timings.decrypt_seconds += time.perf_counter() - waited
-            rows = candidates[side]
-            items = [
-                (rows[chunk.start + offset], handle)
-                for offset, handle in enumerate(chunk.handles)
-            ]
-            if on_handles is not None:
-                on_handles(side, items)
-            matched_at = time.perf_counter()
-            new_pairs = feeds[side](items)
-            timings.match_seconds += time.perf_counter() - matched_at
-            if new_pairs:
-                if first_match_at is None:
-                    first_match_at = time.perf_counter()
-                    timings.time_to_first_match = first_match_at - started
-                yield new_pairs
-            turn += 1
+                new_pairs = next(inner)
+            except StopIteration as stop:
+                outcome = stop.value
+                break
+            yield new_pairs
     finally:
+        inner.close()
         left_stream.close()
         right_stream.close()
-    finish_at = time.perf_counter()
-    pairs = matcher.finish()
-    timings.match_seconds += time.perf_counter() - finish_at
-    timings.total_seconds = time.perf_counter() - started
     return PipelineResult(
-        pairs=pairs,
+        pairs=outcome.pairs,
         left_report=left_stream.report,
         right_report=right_stream.report,
-        timings=timings,
+        timings=outcome.timings,
     )

@@ -73,6 +73,12 @@ class ServerStats:
     ``concurrent_sides`` is the peak number of sides co-admitted on the
     worker pool while this query ran (>= 2 proves interleaving, 0 means
     the query never used the pool).
+
+    Scatter-gather fields (set by the shard coordinator; 0 for a
+    single-store join): ``shards`` is how many shards served the query
+    and ``shard_skew`` the candidate-row imbalance across them (max
+    over mean; 1.0 = perfectly uniform) — the quantity the planner's
+    cross-shard pricing discounts the ideal ``1/n`` speedup by.
     """
 
     candidates_left: int = 0
@@ -99,6 +105,8 @@ class ServerStats:
     decrypt_seconds: float = 0.0
     match_seconds: float = 0.0
     concurrent_sides: int = 0
+    shards: int = 0
+    shard_skew: float = 0.0
 
     def merge_report(self, report: EngineReport) -> None:
         """Fold one side's engine report into the per-query totals."""
@@ -421,6 +429,37 @@ class SecureJoinServer:
             chosen = algorithm
         stats.matcher = chosen
         return get_matcher(chosen)
+
+    def open_side_stream(
+        self,
+        table_name: str,
+        token: SJToken,
+        prefilter: dict[str, frozenset[bytes]] | None = None,
+        qos: QueryQoS | None = None,
+        engine: ExecutionEngine | str | None = None,
+    ) -> tuple[list[int], HandleStream]:
+        """Open one side's decrypt stream: ``(candidates, stream)``.
+
+        The scatter building block: pre-filter and tombstones applied,
+        then SJ.Dec streamed through the resolved engine (bound to
+        *this* server's pool).  A shard coordinator opens one such
+        stream per shard per side and merges the chunks into a single
+        matcher — the caller owns the stream and must close it.
+        """
+        table = self.table(table_name)
+        candidates = self._live(
+            table.name, self._candidates(table, prefilter)
+        )
+        active_engine = (
+            self._resolve_engine(engine) if engine is not None else self.engine
+        )
+        stream = active_engine.decrypt_stream(
+            self.scheme.backend,
+            token.elements,
+            self._side_ciphertexts(table, token, candidates),
+            qos=qos,
+        )
+        return candidates, stream
 
     def stream_join(
         self,

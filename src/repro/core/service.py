@@ -398,9 +398,14 @@ class ExecutionService:
         self,
         workers: int | None = None,
         use_shared_memory: bool | None = None,
+        name: str | None = None,
     ):
         if workers is not None and workers < 1:
             raise QueryError("worker count must be at least 1")
+        #: Optional label threaded into pool-death error messages — in a
+        #: sharded deployment every shard owns a pool, and "the pool
+        #: died" is not actionable without saying *whose*.
+        self.name = name
         self.worker_target = (
             workers if workers is not None else default_worker_count()
         )
@@ -447,6 +452,9 @@ class ExecutionService:
         """PIDs of the live pool (for lifecycle tests and diagnostics)."""
         with self._lock:
             return [w.process.pid for w in self._workers if w.alive()]
+
+    def _label(self) -> str:
+        return f" {self.name!r}" if self.name else ""
 
     def _spawn_worker(self, index: int) -> _WorkerHandle:
         parent_conn, child_conn = multiprocessing.Pipe(duplex=True)
@@ -544,7 +552,10 @@ class ExecutionService:
             # Consumers blocked on in-flight sides must fail, not hang.
             for side in self._active.values():
                 if not side.finished and side.error is None:
-                    side.error = "execution service was closed mid-side"
+                    side.error = (
+                        f"execution service{self._label()} was closed "
+                        "mid-side"
+                    )
             self._progress.notify_all()
 
     def _stop_workers(self) -> None:
@@ -778,8 +789,8 @@ class ExecutionService:
                     return [], side.report
                 if not self._workers:
                     raise QueryError(
-                        "execution service was closed while a side "
-                        "was executing"
+                        f"execution service{self._label()} was closed "
+                        "while a side was executing"
                     )
                 if self._polling:
                     self._progress.wait(timeout=0.1)
@@ -1087,7 +1098,7 @@ class ExecutionService:
             side.rescue_budget -= 1
             if side.rescue_budget < 0 and side.error is None:
                 side.error = (
-                    "execution-service workers keep dying "
+                    f"execution-service{self._label()} workers keep dying "
                     f"(restarted {self.worker_restarts} total); "
                     "refusing to respawn further for this side"
                 )

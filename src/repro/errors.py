@@ -52,6 +52,14 @@ class DeadlineError(QueryError):
     """A query exceeded its deadline and was cancelled mid-execution."""
 
 
+class ShardUnavailableError(QueryError):
+    """A shard died (pool closed, endpoint unreachable) mid-query.
+
+    Raised by the shard coordinator when one shard of a scatter-gather
+    join cannot complete its side streams; the coordinator releases the
+    surviving shards' admissions before raising."""
+
+
 class NetworkError(ReproError):
     """Transport-layer failures in the network service (connection lost,
     oversized message, malformed framing).  Distinct from

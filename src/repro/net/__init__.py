@@ -2,7 +2,7 @@
 
 Everything below :mod:`repro.net` exists so the client and the
 untrusted server can run in *separate processes* exchanging nothing but
-byte strings — the paper's deployment model.  The module speaks the v4
+byte strings — the paper's deployment model.  The module speaks the v5
 wire format of :mod:`repro.store.wire` over TCP with length-prefixed
 messages:
 
@@ -15,7 +15,13 @@ messages:
   stream with bounded buffering (client-side backpressure) and
   reassembles the canonical result;
 - ``python -m repro.net`` — a standalone server process with graceful
-  SIGTERM drain.
+  SIGTERM drain;
+- :class:`~repro.net.shard.ShardServiceServer` /
+  :class:`~repro.net.shard.RemoteShard` — one shard of a partitioned
+  store behind a socket and its coordinator-side proxy (scatter-chunk
+  / scatter-final frames), so a
+  :class:`~repro.shard.ShardCoordinator` mixes local and remote
+  shards freely.
 
 Exposure policy (after the FateForger encrypted-deployment notes): only
 the query/result API is externally consumable.  A remote peer can send
@@ -33,11 +39,14 @@ from repro.net.protocol import (
     send_message,
 )
 from repro.net.server import JoinServiceServer
+from repro.net.shard import RemoteShard, ShardServiceServer
 
 __all__ = [
     "JoinServiceServer",
     "MAX_MESSAGE_SIZE",
     "RemoteJoinClient",
+    "RemoteShard",
+    "ShardServiceServer",
     "recv_message",
     "send_message",
 ]

@@ -1,0 +1,290 @@
+"""Remote shards: the scatter half of a join served over TCP.
+
+A :class:`ShardServiceServer` wraps one :class:`~repro.shard.LocalShard`
+behind a socket.  Every query it receives *is* a scatter request — a
+shard endpoint has no other contract, so no wire flag is needed: the
+response stream is a stream-header frame, one **scatter-chunk frame**
+per decrypted handle chunk (global row indices + handles + payloads,
+either side, in completion order), and one **scatter-final frame**
+carrying the shard's candidate counts and per-side engine reports.
+
+:class:`RemoteShard` is the coordinator-side proxy: it satisfies the
+same source protocol as a local shard, so
+:class:`~repro.shard.ShardCoordinator` mixes in-process and remote
+shards freely.  One TCP connection per query, opened when the
+coordinator scatters (that is the remote co-admission) and closed with
+the stream — abandoning a merge mid-flight drops the socket, which the
+shard's handler notices, releasing the shard's pool admissions.
+
+Exposure policy is inherited from :mod:`repro.net`: a shard socket can
+reach exactly ``decode_join_query`` → ``open_scatter_sources``; store
+mutation, pool controls and the observation log are not on the wire.
+"""
+
+from __future__ import annotations
+
+import socket
+
+from repro.core.client import EncryptedJoinQuery
+from repro.crypto.backend import BilinearBackend
+from repro.errors import NetworkError, ReproError, ShardUnavailableError
+from repro.net.client import _error_from_frame
+from repro.net.protocol import MAX_MESSAGE_SIZE, recv_message, send_message
+from repro.net.server import JoinServiceServer
+from repro.shard.coordinator import LocalShard, ScatterOutcome
+from repro.store.wire import (
+    ErrorFrame,
+    ScatterChunkFrame,
+    ScatterFinalFrame,
+    StreamHeaderFrame,
+    decode_frame,
+    decode_join_query,
+    encode_error_frame,
+    encode_join_query,
+    encode_scatter_chunk,
+    encode_scatter_final,
+    encode_stream_header,
+)
+
+
+class ShardServiceServer(JoinServiceServer):
+    """A :class:`JoinServiceServer` whose queries scatter, not join.
+
+    Reuses the whole connection/drain machinery of the join service;
+    only the per-query handler differs: instead of running the local
+    match pipeline it streams the shard's raw decrypt events so the
+    coordinator can match centrally.  ``engine`` (a name, resolved
+    against this shard's own pool) applies to every scatter it serves.
+    """
+
+    def __init__(
+        self,
+        shard: LocalShard,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        engine: str | None = None,
+        **kwargs,
+    ):
+        super().__init__(shard.server, host=host, port=port, **kwargs)
+        self.shard = shard
+        self.engine = engine
+
+    def _serve_query(self, sock: socket.socket, request: bytes) -> None:
+        backend = self.join_server.scheme.backend
+        try:
+            query = decode_join_query(request, backend)
+            sources = self.shard.open_scatter_sources(
+                query, engine=self.engine
+            )
+        except ReproError as error:
+            send_message(
+                sock, encode_error_frame(type(error).__name__, str(error))
+            )
+            return
+        try:
+            send_message(
+                sock,
+                encode_stream_header(
+                    query.query_id, query.left_table, query.right_table
+                ),
+            )
+            try:
+                active = list(sources)
+                turn = 0
+                while active:
+                    source = active[turn % len(active)]
+                    try:
+                        side, items = next(source)
+                    except StopIteration:
+                        active.remove(source)
+                        continue
+                    send_message(sock, encode_scatter_chunk(side, items))
+                    turn += 1
+            except ReproError as error:
+                send_message(
+                    sock,
+                    encode_error_frame(type(error).__name__, str(error)),
+                )
+                return
+            final = ScatterFinalFrame(candidates_left=0, candidates_right=0)
+            for source in sources:
+                if source.side == "left":
+                    final.candidates_left = len(source.rows)
+                    final.left_report = source.outcome
+                else:
+                    final.candidates_right = len(source.rows)
+                    final.right_report = source.outcome
+            send_message(sock, encode_scatter_final(final))
+        finally:
+            # Covers transport-failure exits: a dropped coordinator
+            # socket releases this shard's pool admissions.
+            for source in sources:
+                source.close()
+
+
+class RemoteShard:
+    """Coordinator-side proxy for one :class:`ShardServiceServer`.
+
+    Interchangeable with :class:`~repro.shard.LocalShard` inside a
+    :class:`~repro.shard.ShardCoordinator`: ``open_scatter_sources``
+    returns one event source covering both sides (the shard multiplexes
+    them on one stream).  Candidate counts and engine reports arrive in
+    the scatter-final frame, so they fold into the coordinator's stats
+    exactly like a local shard's.  The partition layout of a remote
+    shard is enforced server-side (its ``LocalShard.store`` did it);
+    the coordinator's layout validation covers local shards only.
+    """
+
+    #: Remote shards have no locally known layout / per-side candidate
+    #: counts up front; the coordinator treats ``None`` as "unknown".
+    layout = None
+
+    def __init__(
+        self,
+        host: str,
+        port: int,
+        backend: BilinearBackend,
+        name: str | None = None,
+        max_message_size: int = MAX_MESSAGE_SIZE,
+        connect_timeout: float = 10.0,
+    ):
+        self.host = host
+        self.port = port
+        self.backend = backend
+        self.name = name
+        self.max_message_size = max_message_size
+        self.connect_timeout = connect_timeout
+        self._sources: set["_RemoteScatterSource"] = set()
+
+    @property
+    def backend_name(self) -> str:
+        return self.backend.name
+
+    def describe(self) -> str:
+        return self.name or f"{self.host}:{self.port}"
+
+    def open_scatter_sources(
+        self,
+        query: EncryptedJoinQuery,
+        engine=None,
+        qos=None,
+    ) -> list["_RemoteScatterSource"]:
+        """Connect, send the query (the remote co-admission), and return
+        the single merged event source.  ``engine``/``qos`` are ignored:
+        the shard endpoint picks its own engine, and the query already
+        carries its QoS fields — each shard stamps the relative deadline
+        against its own clock."""
+        source = _RemoteScatterSource(self, query)
+        self._sources.add(source)
+        return [source]
+
+    def close(self) -> None:
+        """Drop every in-flight scatter connection.  Idempotent."""
+        for source in list(self._sources):
+            source.close()
+
+
+class _RemoteScatterSource:
+    """One scatter stream from one remote shard, as a merge source.
+
+    Yields ``(side, items)`` events decoded from scatter-chunk frames;
+    sets ``outcome`` (a :class:`~repro.shard.ScatterOutcome`) when the
+    scatter-final frame arrives.  Transport loss at any point raises
+    :class:`~repro.errors.ShardUnavailableError`; server-reported
+    failures re-raise as their local exception type (so a remote
+    deadline is still a ``DeadlineError``).
+    """
+
+    #: No single side / locally known candidate rows — see RemoteShard.
+    side = None
+    rows = None
+
+    def __init__(self, shard: RemoteShard, query: EncryptedJoinQuery):
+        self.shard = shard
+        self.query = query
+        self.outcome: ScatterOutcome | None = None
+        self._sock: socket.socket | None = None
+        self._got_header = False
+        try:
+            self._sock = socket.create_connection(
+                (shard.host, shard.port), timeout=shard.connect_timeout
+            )
+            self._sock.settimeout(None)
+            try:
+                self._sock.setsockopt(
+                    socket.IPPROTO_TCP, socket.TCP_NODELAY, 1
+                )
+            except OSError:  # pragma: no cover - non-TCP test doubles
+                pass
+            send_message(self._sock, encode_join_query(query, shard.backend))
+        except (OSError, NetworkError) as error:
+            self.close()
+            raise ShardUnavailableError(
+                f"shard {shard.describe()} unreachable: {error}"
+            ) from error
+
+    def __iter__(self) -> "_RemoteScatterSource":
+        return self
+
+    def __next__(self):
+        if self.outcome is not None or self._sock is None:
+            raise StopIteration
+        while True:
+            try:
+                data = recv_message(self._sock, self.shard.max_message_size)
+            except (OSError, NetworkError) as error:
+                self._fail(f"transport failed mid-scatter: {error}", error)
+            if data is None:
+                self._fail("closed the connection mid-scatter", None)
+            frame = decode_frame(data)
+            if isinstance(frame, ErrorFrame):
+                self.close()
+                raise _error_from_frame(frame)
+            if not self._got_header:
+                if not isinstance(frame, StreamHeaderFrame):
+                    self._fail(
+                        "did not open with a stream-header frame "
+                        f"(got {type(frame).__name__})",
+                        None,
+                    )
+                if frame.query_id != self.query.query_id:
+                    self._fail(
+                        f"answered query {frame.query_id}, expected "
+                        f"{self.query.query_id}",
+                        None,
+                    )
+                self._got_header = True
+                continue
+            if isinstance(frame, ScatterChunkFrame):
+                return frame.side, frame.items
+            if isinstance(frame, ScatterFinalFrame):
+                self.outcome = ScatterOutcome(
+                    candidates_left=frame.candidates_left,
+                    candidates_right=frame.candidates_right,
+                    left_report=frame.left_report,
+                    right_report=frame.right_report,
+                )
+                self.close()
+                raise StopIteration
+            self._fail(
+                f"sent an unexpected mid-scatter {type(frame).__name__}",
+                None,
+            )
+
+    def _fail(self, message: str, cause: Exception | None):
+        self.close()
+        raise ShardUnavailableError(
+            f"shard {self.shard.describe()} {message}"
+        ) from cause
+
+    def close(self) -> None:
+        sock, self._sock = self._sock, None
+        if sock is not None:
+            try:
+                sock.close()
+            except OSError:  # pragma: no cover - already closed
+                pass
+        self.shard._sources.discard(self)
+
+
+__all__ = ["RemoteShard", "ShardServiceServer"]

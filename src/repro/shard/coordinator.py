@@ -1,0 +1,524 @@
+"""Scatter-gather join coordination over a sharded encrypted store.
+
+The division of labor follows from what partitioning *cannot* do (see
+:mod:`repro.shard.partition`): ciphertexts are randomized and handles
+exist only under a query token, so equal-join-value rows land on
+arbitrary shards and shard-local matching would miss cross-shard pairs.
+The coordinator therefore **scatters SJ.Dec and centralizes SJ.Match**:
+
+1. every shard opens decrypt streams for both sides of the query on its
+   *own* :class:`~repro.core.service.ExecutionService` pool (that is
+   the scale-out: n shards = n pools = n hosts' worth of cores), with
+   the query's priority/deadline QoS propagated into each shard's
+   admission scheduler;
+2. the coordinator merges all shards' handle chunks — each translated
+   to *global* row indices — into one incremental matcher, yielding
+   :class:`~repro.core.server.MatchBatch` increments in discovery
+   order exactly like the single-store pipeline;
+3. ``matcher.finish()`` sorts into the canonical right-major order over
+   global indices, so the reassembled
+   :class:`~repro.core.server.EncryptedJoinResult` is **byte-identical
+   to the unsharded join** no matter the shard count, the partition
+   skew, or how chunks interleaved (the property the test suite pins).
+
+Failure semantics: a worker crash inside one shard's pool is rescued by
+that shard's own respawn machinery (invisible here, result unchanged);
+a whole shard dying mid-stream — pool closed, endpoint unreachable —
+raises :class:`~repro.errors.ShardUnavailableError` naming the shard,
+after the merge's cleanup has closed every other shard's streams and
+released their admissions.  Deadline expiry stays a plain
+:class:`~repro.errors.DeadlineError`.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+
+from repro.core.client import EncryptedJoinQuery, EncryptedTable
+from repro.core.engine import EngineReport, ExecutionEngine
+from repro.core.pipeline import LEFT, RIGHT, SideEventSource, run_scatter_pipeline
+from repro.core.scheme import SecureJoinParams
+from repro.core.server import (
+    MATCH_ALGORITHMS,
+    EncryptedJoinResult,
+    MatchBatch,
+    QueryObservation,
+    SecureJoinServer,
+    ServerStats,
+)
+from repro.core.service import QueryQoS
+from repro.crypto.backend import BilinearBackend
+from repro.db.matcher import get_matcher
+from repro.errors import (
+    DeadlineError,
+    NetworkError,
+    QueryError,
+    SchemeError,
+    ShardUnavailableError,
+)
+from repro.shard.partition import shard_skew
+
+
+@dataclass
+class ScatterOutcome:
+    """What one remote shard reports after its scatter completes."""
+
+    candidates_left: int = 0
+    candidates_right: int = 0
+    left_report: EngineReport | None = None
+    right_report: EngineReport | None = None
+
+
+class LocalShard:
+    """One shard served in-process: its own tables, its own pool.
+
+    Wraps a dedicated :class:`~repro.core.server.SecureJoinServer`
+    (and therefore a dedicated
+    :class:`~repro.core.service.ExecutionService`); only tables split
+    by :func:`~repro.shard.partition.partition_table` may be stored,
+    and every stored table must agree on the shard layout — a
+    descriptor from a different shard count or seed is rejected, which
+    is what makes repartitioning explicit rather than silent.
+    """
+
+    def __init__(
+        self,
+        params: SecureJoinParams,
+        backend: BilinearBackend | None = None,
+        engine: ExecutionEngine | str | None = None,
+        workers: int | None = None,
+        name: str | None = None,
+    ):
+        self.name = name
+        self.server = SecureJoinServer(
+            params, backend=backend, engine=engine, workers=workers
+        )
+        self.server.execution_service.name = name
+        self._descriptors: dict[str, object] = {}
+        self._layout: tuple[int, int, bytes] | None = None
+
+    # -- lifecycle --------------------------------------------------------
+    def close(self) -> None:
+        self.server.close()
+
+    def __enter__(self) -> "LocalShard":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    @property
+    def layout(self) -> tuple[int, int, bytes] | None:
+        """``(shard_index, shard_count, seed)`` once a table is stored."""
+        return self._layout
+
+    @property
+    def backend_name(self) -> str:
+        return self.server.scheme.backend.name
+
+    # -- storage ----------------------------------------------------------
+    def store(self, table: EncryptedTable) -> None:
+        descriptor = table.shard
+        if descriptor is None:
+            raise SchemeError(
+                f"table {table.name!r} carries no shard descriptor; split "
+                "it with partition_table before storing on a shard"
+            )
+        layout = (
+            descriptor.shard_index,
+            descriptor.shard_count,
+            descriptor.seed,
+        )
+        if self._layout is None:
+            self._layout = layout
+        elif layout != self._layout:
+            raise SchemeError(
+                f"table {table.name!r} was partitioned as shard "
+                f"{layout[0]}/{layout[1]} but this shard holds "
+                f"{self._layout[0]}/{self._layout[1]}; repartition the "
+                "store explicitly (partition_table) instead of mixing "
+                "layouts"
+            )
+        self._descriptors[table.name] = descriptor
+        self.server.store(table)
+
+    # -- scatter ----------------------------------------------------------
+    def open_scatter_sources(
+        self,
+        query: EncryptedJoinQuery,
+        engine: ExecutionEngine | str | None = None,
+        qos: QueryQoS | None = None,
+    ) -> list[SideEventSource]:
+        """Open both sides' decrypt streams on this shard's pool.
+
+        Returns one :class:`~repro.core.pipeline.SideEventSource` per
+        side, emitting ``(global_row, handle, payload)`` items — global
+        indices via the shard descriptor, so the coordinator's matcher
+        operates in the single-store index space.  The query's QoS is
+        stamped here (per shard) unless the caller passes one, so every
+        shard's admission scheduler sees the same priority/deadline.
+        """
+        if qos is None:
+            qos = _query_qos(query)
+        sides = (
+            (LEFT, query.left_table, query.left_token, query.left_prefilter),
+            (
+                RIGHT,
+                query.right_table,
+                query.right_token,
+                query.right_prefilter,
+            ),
+        )
+        sources: list[SideEventSource] = []
+        try:
+            for side, table_name, token, prefilter in sides:
+                candidates, stream = self.server.open_side_stream(
+                    table_name, token, prefilter, qos=qos, engine=engine
+                )
+                descriptor = self._descriptors[table_name]
+                table = self.server.table(table_name)
+                sources.append(SideEventSource(
+                    side,
+                    stream,
+                    [descriptor.global_indices[i] for i in candidates],
+                    [table.payloads[i] for i in candidates],
+                ))
+        except BaseException:
+            for source in sources:
+                source.close()
+            raise
+        return sources
+
+
+class _GuardedSource:
+    """Tags a shard's source so its failures name the shard.
+
+    Pool death (``QueryError`` from a closed/unrescuable service) and
+    transport loss (``NetworkError``) become
+    :class:`ShardUnavailableError`; deadline expiry passes through
+    untranslated — running out of time is a property of the query, not
+    of shard health.
+    """
+
+    def __init__(self, ordinal: int, shard, source):
+        self.ordinal = ordinal
+        self.shard = shard
+        self.source = source
+
+    def __iter__(self) -> "_GuardedSource":
+        return self
+
+    def __next__(self):
+        try:
+            return next(self.source)
+        except (StopIteration, DeadlineError, ShardUnavailableError):
+            raise
+        except (QueryError, NetworkError) as error:
+            raise ShardUnavailableError(
+                f"shard {self._describe()} failed mid-scatter: {error}"
+            ) from error
+
+    def _describe(self) -> str:
+        name = getattr(self.shard, "name", None)
+        return f"{self.ordinal} ({name})" if name else str(self.ordinal)
+
+    def close(self) -> None:
+        self.source.close()
+
+    @property
+    def outcome(self):
+        return getattr(self.source, "outcome", None)
+
+
+def _query_qos(query: EncryptedJoinQuery) -> QueryQoS | None:
+    """Stamp the query's relative QoS against this process's clock."""
+    priority = getattr(query, "priority", 0) or 0
+    relative_deadline = getattr(query, "deadline", None)
+    if not priority and relative_deadline is None:
+        return None
+    return QueryQoS(
+        priority=priority,
+        deadline=(
+            time.monotonic() + relative_deadline
+            if relative_deadline is not None
+            else None
+        ),
+    )
+
+
+class ShardCoordinator:
+    """Co-admits a query on every shard and merges the match streams."""
+
+    def __init__(self, shards):
+        if not shards:
+            raise SchemeError("a shard coordinator needs at least one shard")
+        self.shards = list(shards)
+        self._validate_layouts()
+        #: Adversary view per query, mirroring
+        #: :attr:`~repro.core.server.SecureJoinServer.observations` —
+        #: the coordinator sees every handle the shards computed.
+        self.observations: list[QueryObservation] = []
+
+    def _validate_layouts(self) -> None:
+        layouts = [
+            shard.layout
+            for shard in self.shards
+            if getattr(shard, "layout", None) is not None
+        ]
+        counts = {(count, seed) for _, count, seed in layouts}
+        if len(counts) > 1:
+            raise SchemeError(
+                "shards disagree on the partition layout (count/seed); "
+                "repartition the store explicitly with partition_table"
+            )
+        if counts:
+            ((count, _),) = counts
+            if count != len(self.shards):
+                raise SchemeError(
+                    f"tables were partitioned for {count} shards but the "
+                    f"coordinator drives {len(self.shards)}; repartition "
+                    "explicitly with partition_table — shard-count changes "
+                    "are never implicit"
+                )
+            indices = [index for index, _, _ in layouts]
+            if len(set(indices)) != len(indices):
+                raise SchemeError(
+                    "two shards claim the same shard index; each shard "
+                    "must hold a distinct partition"
+                )
+
+    # -- lifecycle --------------------------------------------------------
+    def close(self) -> None:
+        """Close every shard (their pools / connections).  Idempotent."""
+        for shard in self.shards:
+            shard.close()
+
+    def __enter__(self) -> "ShardCoordinator":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    def _backend_name(self) -> str:
+        return self.shards[0].backend_name
+
+    def _select_matcher(self, algorithm, stats, build_rows, probe_rows):
+        if algorithm == "auto":
+            from repro.bench.costmodel import (
+                choose_matcher,
+                default_engine_cost_model,
+            )
+
+            model = default_engine_cost_model(self._backend_name())
+            chosen, estimates = choose_matcher(
+                model, build_rows=build_rows, probe_rows=probe_rows
+            )
+            if stats.planner is None:
+                stats.planner = []
+            stats.planner.append({
+                "stage": "match",
+                "build_rows": build_rows,
+                "probe_rows": probe_rows,
+                "chosen": chosen,
+                "estimates": {
+                    name: float(sec) for name, sec in estimates.items()
+                },
+            })
+        else:
+            chosen = algorithm
+        stats.matcher = chosen
+        return get_matcher(chosen)
+
+    # -- query execution --------------------------------------------------
+    def stream_join(
+        self,
+        query: EncryptedJoinQuery,
+        algorithm: str = "hash",
+        engine: ExecutionEngine | str | None = None,
+    ):
+        """The sharded mirror of ``SecureJoinServer.stream_join``.
+
+        Yields :class:`~repro.core.server.MatchBatch` increments in
+        discovery order as shard chunks arrive, and returns the final
+        canonical :class:`~repro.core.server.EncryptedJoinResult` as
+        the generator's value — byte-identical (pairs and payloads) to
+        the single-store join over the unpartitioned tables.
+        ``engine`` is forwarded to every shard by *name*, so each
+        shard resolves it against its own pool.
+        """
+        events = self._scatter_events(query, algorithm, engine)
+        try:
+            while True:
+                try:
+                    batch = next(events)
+                except StopIteration as stop:
+                    return stop.value
+                yield batch
+        finally:
+            events.close()
+
+    def execute_join(
+        self,
+        query: EncryptedJoinQuery,
+        algorithm: str = "hash",
+        engine: ExecutionEngine | str | None = None,
+    ) -> EncryptedJoinResult:
+        """Run the scatter-gather join fully materialized."""
+        events = self._scatter_events(query, algorithm, engine)
+        while True:
+            try:
+                next(events)
+            except StopIteration as stop:
+                return stop.value
+
+    def _scatter_events(self, query, algorithm, engine):
+        if algorithm not in MATCH_ALGORITHMS:
+            raise QueryError(f"unknown join algorithm {algorithm!r}")
+        stats = ServerStats(
+            engine_source="override" if engine is not None else "default"
+        )
+        stats.shards = len(self.shards)
+        observation = QueryObservation(query.query_id)
+        qos = _query_qos(query)
+        relative_deadline = getattr(query, "deadline", None)
+
+        # Scatter: open every shard's sides before pulling any chunk, so
+        # all pools co-admit the query and interleave from the start.
+        sources: list[_GuardedSource] = []
+        try:
+            for ordinal, shard in enumerate(self.shards):
+                for source in shard.open_scatter_sources(
+                    query, engine=engine, qos=qos
+                ):
+                    sources.append(_GuardedSource(ordinal, shard, source))
+        except BaseException:
+            for guarded in sources:
+                guarded.close()
+            raise
+
+        # Local sources know their candidate counts now; remote shards
+        # report theirs in the scatter-final outcome.  The auto matcher
+        # prices with what is known up front.
+        known = {LEFT: 0, RIGHT: 0}
+        for guarded in sources:
+            side = getattr(guarded.source, "side", None)
+            rows = getattr(guarded.source, "rows", None)
+            if side in known and rows is not None:
+                known[side] += len(rows)
+        matcher = self._select_matcher(
+            algorithm, stats, known[LEFT], known[RIGHT]
+        )
+
+        tables = {LEFT: query.left_table, RIGHT: query.right_table}
+        payloads: dict[str, dict[int, bytes]] = {LEFT: {}, RIGHT: {}}
+
+        def on_items(side: str, items: list) -> None:
+            table_name = tables[side]
+            payload_map = payloads[side]
+            for row, handle, payload in items:
+                payload_map[row] = payload
+                observation.handles[(table_name, row)] = handle
+
+        pipeline = run_scatter_pipeline(sources, matcher, on_items=on_items)
+        try:
+            while True:
+                try:
+                    new_pairs = next(pipeline)
+                except StopIteration as stop:
+                    outcome = stop.value
+                    break
+                if qos is not None and qos.expired():
+                    raise DeadlineError(
+                        f"query {query.query_id} exceeded its deadline "
+                        f"of {relative_deadline}s; cancelled mid-join"
+                    )
+                yield MatchBatch(
+                    index_pairs=list(new_pairs),
+                    left_payloads=[
+                        payloads[LEFT][i] for i, _ in new_pairs
+                    ],
+                    right_payloads=[
+                        payloads[RIGHT][j] for _, j in new_pairs
+                    ],
+                )
+        finally:
+            # Closes every shard's streams (releasing their pool
+            # admissions) even when one shard failed or the consumer
+            # abandoned the stream; the partial adversary view is
+            # recorded regardless — those handles were computed.
+            pipeline.close()
+            self.observations.append(observation)
+
+        # Gather accounting: per-shard candidate loads (for the skew
+        # figure), per-side engine reports, matcher stats.
+        shard_rows = [0] * len(self.shards)
+        candidates = {LEFT: 0, RIGHT: 0}
+        for guarded in sources:
+            result = guarded.outcome
+            if isinstance(result, ScatterOutcome):
+                shard_rows[guarded.ordinal] += (
+                    result.candidates_left + result.candidates_right
+                )
+                candidates[LEFT] += result.candidates_left
+                candidates[RIGHT] += result.candidates_right
+                for report in (result.left_report, result.right_report):
+                    if report is not None:
+                        stats.merge_report(report)
+            else:
+                rows = len(getattr(guarded.source, "rows", None) or ())
+                side = getattr(guarded.source, "side", None)
+                shard_rows[guarded.ordinal] += rows
+                if side in candidates:
+                    candidates[side] += rows
+                if isinstance(result, EngineReport):
+                    stats.merge_report(result)
+        stats.candidates_left = candidates[LEFT]
+        stats.candidates_right = candidates[RIGHT]
+        stats.decryptions = candidates[LEFT] + candidates[RIGHT]
+        stats.shard_skew = shard_skew(shard_rows)
+        self._record_scatter_plan(stats, shard_rows)
+
+        pairs = outcome.pairs
+        stats.matches = len(pairs)
+        stats.probes = matcher.stats.probes
+        stats.comparisons = matcher.stats.comparisons
+        stats.time_to_first_match = outcome.timings.time_to_first_match
+        stats.decrypt_seconds = outcome.timings.decrypt_seconds
+        stats.match_seconds = outcome.timings.match_seconds
+        return EncryptedJoinResult(
+            left_table=query.left_table,
+            right_table=query.right_table,
+            index_pairs=pairs,
+            left_payloads=[payloads[LEFT][i] for i, _ in pairs],
+            right_payloads=[payloads[RIGHT][j] for _, j in pairs],
+            stats=stats,
+        )
+
+    def _record_scatter_plan(
+        self, stats: ServerStats, shard_rows: list[int]
+    ) -> None:
+        """Append the cross-shard planner record (auditable, like the
+        per-side engine records): estimated single-store vs scatter
+        seconds and the skew the estimate was discounted by."""
+        from repro.bench.costmodel import (
+            default_engine_cost_model,
+            estimate_scatter_costs,
+        )
+
+        model = default_engine_cost_model(self._backend_name())
+        estimates = estimate_scatter_costs(
+            model,
+            shard_rows,
+            dimension=max(1, stats.max_batch_size or 1),
+            workers=max(1, stats.workers),
+        )
+        if stats.planner is None:
+            stats.planner = []
+        stats.planner.append({
+            "stage": "scatter",
+            "shards": len(shard_rows),
+            "rows_per_shard": list(shard_rows),
+            "skew": stats.shard_skew,
+            "estimates": estimates,
+        })

@@ -17,6 +17,7 @@ from repro.core.scheme import SJRowCiphertext
 from repro.crypto.backend import BilinearBackend, PreparedRow
 from repro.db.schema import Column, Schema
 from repro.errors import SchemeError
+from repro.shard.partition import ShardDescriptor, validate_shard_layout
 from repro.store.codec import (
     Reader,
     Writer,
@@ -29,10 +30,16 @@ from repro.store.codec import (
 _MAGIC = b"RPROETBL"
 #: v2 adds the optional prepared-rows section (precomputed Miller-loop
 #: line coefficients, stored with the row so warm queries replay them);
-#: v1 files remain readable — they simply load without precomputation.
-_VERSION = 2
+#: v3 adds the optional shard descriptor (layout header key plus the
+#: shard's global row indices as a trailing u32 section), so one shard's
+#: table file round-trips with its place in the partition.  v1/v2 files
+#: remain readable — they simply load unprepared / unsharded.
+_VERSION = 3
 _MIN_VERSION = 1
 _TAG_SIZE = 32
+#: Longest accepted hex-encoded partitioner seed (raw seed <= 64 bytes,
+#: mirroring :data:`repro.shard.partition._MAX_SEED_SIZE`).
+_MAX_SEED_HEX = 128
 
 
 def prepare_encrypted_table(
@@ -85,6 +92,18 @@ def encode_encrypted_table(
             backend.prepared_element_size if prepared is not None else 0
         ),
     }
+    shard = table.shard
+    if shard is not None:
+        if len(shard.global_indices) != len(table):
+            raise SchemeError(
+                f"shard descriptor maps {len(shard.global_indices)} rows "
+                f"but the table holds {len(table)}"
+            )
+        header["shard"] = {
+            "index": shard.shard_index,
+            "count": shard.shard_count,
+            "seed": shard.seed.hex(),
+        }
     write_header(writer, _MAGIC, _VERSION, header)
     for ciphertext in table.ciphertexts:
         write_element_vector(
@@ -106,6 +125,9 @@ def encode_encrypted_table(
                 [backend.encode_prepared(e) for e in row],
                 backend.prepared_element_size,
             )
+    if shard is not None:
+        for index in shard.global_indices:
+            writer.u32(index)
     return writer.getvalue()
 
 
@@ -171,6 +193,35 @@ def decode_encrypted_table(
                     tuple(backend.decode_prepared(e) for e in raw),
                 )
             )
+    shard = None
+    shard_header = header.get("shard")
+    if shard_header is not None:
+        if not isinstance(shard_header, dict):
+            raise SchemeError("shard header must be an object")
+        seed_hex = shard_header.get("seed")
+        if (
+            not isinstance(seed_hex, str)
+            or not seed_hex
+            or len(seed_hex) > _MAX_SEED_HEX
+        ):
+            raise SchemeError("shard seed must be a short hex string")
+        try:
+            seed = bytes.fromhex(seed_hex)
+        except ValueError:
+            raise SchemeError("shard seed is not valid hex") from None
+        index = shard_header.get("index")
+        count = shard_header.get("count")
+        # validate_shard_layout rejects non-int/bool and out-of-range
+        # values before we trust them; the indices section is exactly
+        # n_rows u32s, and ShardDescriptor enforces strict monotonicity.
+        validate_shard_layout(index, count, seed)
+        indices = [reader.u32() for _ in range(n_rows)]
+        shard = ShardDescriptor(
+            shard_index=index,
+            shard_count=count,
+            seed=seed,
+            global_indices=tuple(indices),
+        )
     reader.expect_end()
     schema = Schema(tuple(Column(n, t) for n, t in header["schema"]))
     return EncryptedTable(
@@ -182,6 +233,7 @@ def decode_encrypted_table(
         payloads=payloads,
         prefilter_tags=prefilter,
         prepared_rows=prepared_rows,
+        shard=shard,
     )
 
 

@@ -32,8 +32,10 @@ import dataclasses
 import math
 
 from repro.core.client import EncryptedJoinQuery
+from repro.core.engine import EngineReport
 from repro.core.scheme import SJToken
 from repro.core.server import EncryptedJoinResult, MatchBatch, ServerStats
+from repro.shard.partition import MAX_SHARD_COUNT, validate_shard_layout
 from repro.crypto.backend import BilinearBackend
 from repro.errors import SchemeError
 from repro.store.codec import (
@@ -63,7 +65,12 @@ _FRAME_MAGIC = b"RPROJFRM"
 # ``RPROJFRM``) exists at all.  All header additions are optional JSON
 # keys, so version-1..3 payloads still decode: missing fields take
 # their defaults, unknown ones from newer minor revisions are ignored.
-_VERSION = 4
+# Version 5 (the sharding PR): the scatter frames exist — shard-map
+# (the coordinator's view of a partitioned deployment), scatter-chunk
+# (one shard's decrypted handle events with *global* row indices and
+# payloads) and scatter-final (per-side candidate counts and engine
+# reports) — and result stats carry ``shards`` / ``shard_skew``.
+_VERSION = 5
 _MIN_VERSION = 1
 # Frames did not exist before v4, so their compatibility window starts
 # there.
@@ -82,6 +89,15 @@ FRAME_STREAM_HEADER = "stream_header"
 FRAME_MATCH_BATCH = "match_batch"
 FRAME_FINAL = "final"
 FRAME_ERROR = "error"
+FRAME_SHARD_MAP = "shard_map"
+FRAME_SCATTER_CHUNK = "scatter_chunk"
+FRAME_SCATTER_FINAL = "scatter_final"
+
+_REPORT_FIELDS = {field.name for field in dataclasses.fields(EngineReport)}
+
+#: Longest accepted hex-encoded partitioner seed in a shard-map frame
+#: (raw seed <= 64 bytes, mirroring the partitioner's own cap).
+_MAX_SEED_HEX = 128
 
 
 # -- header field validation ----------------------------------------------
@@ -320,6 +336,8 @@ def _stats_dict(stats: ServerStats) -> dict:
         "decrypt_seconds": stats.decrypt_seconds,
         "match_seconds": stats.match_seconds,
         "concurrent_sides": stats.concurrent_sides,
+        "shards": stats.shards,
+        "shard_skew": stats.shard_skew,
     }
 
 
@@ -487,9 +505,212 @@ def encode_error_frame(error_type: str, message: str) -> bytes:
     return writer.getvalue()
 
 
+# -- scatter frames (v5) ---------------------------------------------------
+
+
+@dataclasses.dataclass(frozen=True)
+class ShardMapFrame:
+    """A partitioned deployment: layout plus per-shard endpoints.
+
+    ``endpoints[i]`` is the ``(host, port)`` serving shard ``i``;
+    ``tables`` names the sharded tables the layout covers.  The seed and
+    count pin the partitioner, so a coordinator loading this map can
+    verify a row's placement rather than trust it.
+    """
+
+    shard_count: int
+    seed: bytes
+    tables: tuple[str, ...]
+    endpoints: tuple[tuple[str, int], ...]
+
+
+@dataclasses.dataclass
+class ScatterChunkFrame:
+    """One shard's decrypt increment: global-index handle events.
+
+    ``items`` holds ``(global_row_index, handle, payload)`` tuples for
+    one side — exactly the event stream the coordinator's merged
+    matcher consumes, so a remote shard is interchangeable with a local
+    one.
+    """
+
+    side: str
+    items: list[tuple[int, bytes, bytes]]
+
+
+@dataclasses.dataclass
+class ScatterFinalFrame:
+    """Closes one shard's scatter: candidate counts + engine reports."""
+
+    candidates_left: int
+    candidates_right: int
+    left_report: EngineReport | None = None
+    right_report: EngineReport | None = None
+
+
+def encode_shard_map(shard_map: ShardMapFrame) -> bytes:
+    writer = Writer()
+    write_header(writer, _FRAME_MAGIC, _VERSION, {
+        "kind": FRAME_SHARD_MAP,
+        "shard_count": shard_map.shard_count,
+        "seed": shard_map.seed.hex(),
+        "tables": list(shard_map.tables),
+        "endpoints": [
+            [host, port] for host, port in shard_map.endpoints
+        ],
+    })
+    return writer.getvalue()
+
+
+def encode_scatter_chunk(side: str, items: list) -> bytes:
+    writer = Writer()
+    write_header(writer, _FRAME_MAGIC, _VERSION, {
+        "kind": FRAME_SCATTER_CHUNK,
+        "side": side,
+        "n_rows": len(items),
+    })
+    for row, handle, payload in items:
+        writer.u32(row)
+        writer.blob(handle)
+        writer.blob(payload)
+    return writer.getvalue()
+
+
+def _report_dict(report: EngineReport | None) -> dict | None:
+    if report is None:
+        return None
+    return dataclasses.asdict(report)
+
+
+def encode_scatter_final(final: ScatterFinalFrame) -> bytes:
+    writer = Writer()
+    write_header(writer, _FRAME_MAGIC, _VERSION, {
+        "kind": FRAME_SCATTER_FINAL,
+        "candidates_left": final.candidates_left,
+        "candidates_right": final.candidates_right,
+        "reports": {
+            "left": _report_dict(final.left_report),
+            "right": _report_dict(final.right_report),
+        },
+    })
+    return writer.getvalue()
+
+
+def _decode_shard_map(header: dict) -> ShardMapFrame:
+    shard_count = _as_int(
+        _require(header, "shard_count"), "shard_count", minimum=1
+    )
+    if shard_count > MAX_SHARD_COUNT:
+        raise SchemeError(
+            f"shard count {shard_count} exceeds the cap {MAX_SHARD_COUNT}"
+        )
+    seed_hex = _as_str(_require(header, "seed"), "seed")
+    if not seed_hex or len(seed_hex) > _MAX_SEED_HEX:
+        raise SchemeError("shard-map seed must be a short non-empty hex string")
+    try:
+        seed = bytes.fromhex(seed_hex)
+    except ValueError:
+        raise SchemeError("shard-map seed is not valid hex") from None
+    # A decodable seed must also be a *usable* one — same bounds the
+    # partitioner enforces.
+    validate_shard_layout(0, shard_count, seed)
+    tables = header.get("tables", [])
+    if not isinstance(tables, list) or not all(
+        isinstance(name, str) for name in tables
+    ):
+        raise SchemeError("shard-map tables must be a list of strings")
+    endpoints = _require(header, "endpoints")
+    if not isinstance(endpoints, list) or len(endpoints) != shard_count:
+        raise SchemeError(
+            f"shard map must carry exactly {shard_count} endpoints"
+        )
+    decoded = []
+    for endpoint in endpoints:
+        if not isinstance(endpoint, list) or len(endpoint) != 2:
+            raise SchemeError("each endpoint must be a [host, port] pair")
+        host, port = endpoint
+        _as_str(host, "endpoint host")
+        _as_int(port, "endpoint port", minimum=0)
+        if port > 65535:
+            raise SchemeError(f"endpoint port {port} outside [0, 65535]")
+        decoded.append((host, port))
+    return ShardMapFrame(
+        shard_count=shard_count,
+        seed=seed,
+        tables=tuple(tables),
+        endpoints=tuple(decoded),
+    )
+
+
+def _decode_scatter_chunk(reader: Reader, header: dict) -> ScatterChunkFrame:
+    side = _as_str(_require(header, "side"), "side")
+    if side not in ("left", "right"):
+        raise SchemeError(f"scatter chunk side must be left/right, got {side!r}")
+    n_rows = _as_int(_require(header, "n_rows"), "n_rows", minimum=0)
+    # Each row needs at least a u32 index plus two blob length prefixes
+    # (12 bytes), so remaining//12 bounds any count a well-formed body
+    # could satisfy — checked before any per-row allocation.
+    if n_rows * 12 > reader.remaining:
+        raise SchemeError(
+            f"bad row count {n_rows}: {n_rows} scatter rows need at "
+            f"least {n_rows * 12} bytes, but only {reader.remaining} remain"
+        )
+    items = [
+        (reader.u32(), reader.blob(), reader.blob()) for _ in range(n_rows)
+    ]
+    reader.expect_end()
+    return ScatterChunkFrame(side=side, items=items)
+
+
+def _decode_report(value, key: str) -> EngineReport | None:
+    if value is None:
+        return None
+    report = _as_dict(value, key)
+    # Tolerant like the stats decode: absent fields default, unknown
+    # ones are dropped — but ``planner`` must stay JSON-shaped.
+    fields = {
+        name: field_value
+        for name, field_value in report.items()
+        if name in _REPORT_FIELDS
+    }
+    planner = fields.get("planner")
+    if planner is not None and not isinstance(planner, dict):
+        raise SchemeError(
+            "report field 'planner' must be null or an object"
+        )
+    try:
+        return EngineReport(**fields)
+    except TypeError:
+        raise SchemeError(f"malformed engine report in {key!r}") from None
+
+
+def _decode_scatter_final(header: dict) -> ScatterFinalFrame:
+    reports = _as_dict(header.get("reports", {}), "reports")
+    return ScatterFinalFrame(
+        candidates_left=_as_int(
+            _require(header, "candidates_left"), "candidates_left", minimum=0
+        ),
+        candidates_right=_as_int(
+            _require(header, "candidates_right"),
+            "candidates_right",
+            minimum=0,
+        ),
+        left_report=_decode_report(reports.get("left"), "reports.left"),
+        right_report=_decode_report(reports.get("right"), "reports.right"),
+    )
+
+
 def decode_frame(
     data: bytes,
-) -> StreamHeaderFrame | MatchBatchFrame | FinalFrame | ErrorFrame:
+) -> (
+    StreamHeaderFrame
+    | MatchBatchFrame
+    | FinalFrame
+    | ErrorFrame
+    | ShardMapFrame
+    | ScatterChunkFrame
+    | ScatterFinalFrame
+):
     """Decode one result-stream frame (validating, v4+ only)."""
     reader = Reader(data)
     header = read_header(
@@ -538,6 +759,14 @@ def decode_frame(
             ),
             message=_as_str(_require(header, "message"), "message"),
         )
+    if kind == FRAME_SHARD_MAP:
+        reader.expect_end()
+        return _decode_shard_map(header)
+    if kind == FRAME_SCATTER_CHUNK:
+        return _decode_scatter_chunk(reader, header)
+    if kind == FRAME_SCATTER_FINAL:
+        reader.expect_end()
+        return _decode_scatter_final(header)
     raise SchemeError(f"unknown frame kind {kind!r}")
 
 

@@ -156,6 +156,157 @@ class TestEncryptedTableFormat:
         assert len(decrypted.table) == 2
 
 
+class TestShardedTableFormat:
+    """Format v3: the optional shard descriptor section."""
+
+    @staticmethod
+    def _patched(blob: bytes, version: int, drop_keys: tuple = ()) -> bytes:
+        """Re-stamp a table blob with an older version byte, optionally
+        dropping header keys that version did not have."""
+        import json
+        import struct
+
+        header_length = struct.unpack(">I", blob[9:13])[0]
+        header = json.loads(blob[13:13 + header_length])
+        for key in drop_keys:
+            header.pop(key, None)
+        new_header = json.dumps(header, sort_keys=True).encode("utf-8")
+        return (
+            blob[:8] + bytes([version])
+            + struct.pack(">I", len(new_header)) + new_header
+            + blob[13 + header_length:]
+        )
+
+    def test_sharded_round_trip(self):
+        from repro.shard import partition_table
+
+        client, enc_left, _ = _fixture(enable_prefilter=True)
+        backend = client.scheme.backend
+        for shard in partition_table(enc_left, backend, 2):
+            decoded = decode_encrypted_table(
+                encode_encrypted_table(shard, backend), backend
+            )
+            assert decoded.shard == shard.shard
+            assert decoded.payloads == shard.payloads
+            assert decoded.prefilter_tags == shard.prefilter_tags
+            assert [c.elements for c in decoded.ciphertexts] == [
+                c.elements for c in shard.ciphertexts
+            ]
+
+    def test_loaded_shards_join_identically(self, tmp_path):
+        """Shard tables restored from disk feed a coordinator that
+        reproduces the single-store result byte-for-byte."""
+        from repro.shard import (
+            LocalShard, ShardCoordinator, partition_table,
+        )
+
+        client, enc_left, enc_right = _fixture(seed=21)
+        backend = client.scheme.backend
+        single = SecureJoinServer(client.params)
+        single.store(enc_left)
+        single.store(enc_right)
+        query = JoinQuery.build("L", "R", on=("k", "k"))
+        reference = single.execute_join(client.create_query(query))
+
+        shards = [LocalShard(client.params, backend=backend)
+                  for _ in range(2)]
+        for table in (enc_left, enc_right):
+            for i, part in enumerate(partition_table(table, backend, 2)):
+                path = tmp_path / f"{table.name}-{i}.etbl"
+                save_encrypted_table(part, path, backend)
+                shards[i].store(load_encrypted_table(path, backend))
+        coordinator = ShardCoordinator(shards)
+        try:
+            result = coordinator.execute_join(client.create_query(query))
+        finally:
+            coordinator.close()
+        assert result.index_pairs == reference.index_pairs
+        assert result.left_payloads == reference.left_payloads
+        assert result.right_payloads == reference.right_payloads
+
+    def test_v1_table_still_loads(self):
+        """A pre-prepared-rows, pre-shard file loads unprepared and
+        unsharded."""
+        client, enc_left, _ = _fixture()
+        backend = client.scheme.backend
+        blob = self._patched(
+            encode_encrypted_table(enc_left, backend), 1,
+            drop_keys=("prepared", "prepared_element_size", "shard"),
+        )
+        decoded = decode_encrypted_table(blob, backend)
+        assert decoded.shard is None
+        assert decoded.prepared_rows is None
+        assert decoded.payloads == enc_left.payloads
+
+    def test_v2_table_still_loads(self):
+        """A v2 file (prepared rows, no shard key) loads unsharded."""
+        from repro.store.tables import prepare_encrypted_table
+
+        client, enc_left, _ = _fixture()
+        backend = client.scheme.backend
+        prepare_encrypted_table(enc_left, backend)
+        blob = self._patched(
+            encode_encrypted_table(enc_left, backend), 2,
+            drop_keys=("shard",),
+        )
+        decoded = decode_encrypted_table(blob, backend)
+        assert decoded.shard is None
+        assert decoded.prepared_rows is not None
+        assert len(decoded.prepared_rows) == len(enc_left.ciphertexts)
+
+    def test_descriptor_row_count_mismatch_rejected_on_encode(self):
+        from repro.shard import ShardDescriptor
+
+        client, enc_left, _ = _fixture()
+        backend = client.scheme.backend
+        enc_left.shard = ShardDescriptor(0, 2, b"seed", (0,))
+        with pytest.raises(SchemeError, match="maps 1 rows"):
+            encode_encrypted_table(enc_left, backend)
+
+    @pytest.mark.parametrize("shard_header", [
+        "not-a-dict",
+        ["index", 0],
+        {"index": 0, "count": 2},                       # missing seed
+        {"index": 0, "count": 2, "seed": ""},           # empty seed
+        {"index": 0, "count": 2, "seed": "zz"},         # not hex
+        {"index": 0, "count": 2, "seed": "ab" * 100},   # oversized
+        {"index": 0, "count": 2, "seed": 7},            # wrong type
+        {"index": 2, "count": 2, "seed": "ab"},         # index OOB
+        {"index": 0, "count": 0, "seed": "ab"},         # zero shards
+        {"index": 0, "count": 2000, "seed": "ab"},      # absurd fan-out
+        {"index": True, "count": 2, "seed": "ab"},      # bool index
+    ])
+    def test_hostile_shard_headers_rejected(self, shard_header):
+        import json
+        import struct
+
+        client, enc_left, _ = _fixture()
+        backend = client.scheme.backend
+        blob = encode_encrypted_table(enc_left, backend)
+        header_length = struct.unpack(">I", blob[9:13])[0]
+        header = json.loads(blob[13:13 + header_length])
+        header["shard"] = shard_header
+        new_header = json.dumps(header, sort_keys=True).encode("utf-8")
+        patched = (
+            blob[:9] + struct.pack(">I", len(new_header)) + new_header
+            + blob[13 + header_length:]
+        )
+        with pytest.raises(SchemeError):
+            decode_encrypted_table(patched, backend)
+
+    def test_truncated_indices_section_rejected(self):
+        from repro.shard import partition_table
+
+        client, enc_left, _ = _fixture()
+        backend = client.scheme.backend
+        shard = next(
+            s for s in partition_table(enc_left, backend, 2) if len(s) > 0
+        )
+        blob = encode_encrypted_table(shard, backend)
+        with pytest.raises(SchemeError):
+            decode_encrypted_table(blob[:-2], backend)
+
+
 class TestWireFormats:
     def test_query_round_trip(self):
         client, _, _ = _fixture(enable_prefilter=True)

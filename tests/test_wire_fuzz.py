@@ -39,6 +39,9 @@ from repro.store.wire import (
     ErrorFrame,
     FinalFrame,
     MatchBatchFrame,
+    ScatterChunkFrame,
+    ScatterFinalFrame,
+    ShardMapFrame,
     StreamHeaderFrame,
     StreamReassembler,
     decode_frame,
@@ -49,6 +52,9 @@ from repro.store.wire import (
     encode_join_query,
     encode_join_result,
     encode_match_batch,
+    encode_scatter_chunk,
+    encode_scatter_final,
+    encode_shard_map,
     encode_stream_header,
 )
 
@@ -102,11 +108,31 @@ def _frame_bytes():
         right_payloads=[b"d", b"c"],
         stats=ServerStats(matches=2),
     )
+    from repro.core.engine import EngineReport
+
     return {
         "stream_header": encode_stream_header(7, "L", "R"),
         "match_batch": encode_match_batch(batch),
         "final": encode_final_frame(result),
         "error": encode_error_frame("QueryError", "boom"),
+        # v5 scatter frames ride through the same truncation/bit-flip
+        # machinery as the v4 frames.
+        "shard_map": encode_shard_map(ShardMapFrame(
+            shard_count=2,
+            seed=b"repro-shard-v1",
+            tables=("L", "R"),
+            endpoints=(("h0", 9000), ("h1", 9001)),
+        )),
+        "scatter_chunk": encode_scatter_chunk("left", [
+            (4, b"\x11" * 32, b"payload-4"),
+            (9, b"\x22" * 32, b""),
+        ]),
+        "scatter_final": encode_scatter_final(ScatterFinalFrame(
+            candidates_left=3,
+            candidates_right=2,
+            left_report=EngineReport(engine="parallel", workers=2),
+            right_report=EngineReport(engine="batched", batches=1),
+        )),
     }
 
 
@@ -401,6 +427,102 @@ class TestHeaderBitFlips:
         _assert_only_scheme_error(decode_frame, blob)
 
 
+# -- hostile scatter frames (v5) -------------------------------------------
+
+
+class TestHostileScatterFrames:
+    """Shard-map / scatter frames under hostile headers: bounded counts,
+    validated endpoints and seeds, only SchemeError escaping."""
+
+    @pytest.mark.parametrize("n_rows", [-1, 1, 10**6, 2**61])
+    def test_scatter_chunk_bad_row_count_rejected_before_read(self, n_rows):
+        writer = Writer()
+        write_header(writer, b"RPROJFRM", wire_module._VERSION, {
+            "kind": "scatter_chunk", "side": "left", "n_rows": n_rows,
+        })
+        with pytest.raises(SchemeError, match="row count|n_rows"):
+            decode_frame(writer.getvalue())
+
+    @pytest.mark.parametrize("side", ["middle", "", 3, None, ["left"]])
+    def test_scatter_chunk_bad_side_rejected(self, side):
+        writer = Writer()
+        write_header(writer, b"RPROJFRM", wire_module._VERSION, {
+            "kind": "scatter_chunk", "side": side, "n_rows": 0,
+        })
+        with pytest.raises(SchemeError, match="side"):
+            decode_frame(writer.getvalue())
+
+    @pytest.mark.parametrize("count", [0, -1, 1025, 2**40, True, "2", None])
+    def test_shard_map_hostile_count_rejected(self, count):
+        writer = Writer()
+        write_header(writer, b"RPROJFRM", wire_module._VERSION, {
+            "kind": "shard_map", "shard_count": count,
+            "seed": "aa", "tables": [], "endpoints": [],
+        })
+        with pytest.raises(SchemeError, match="shard"):
+            decode_frame(writer.getvalue())
+
+    def test_shard_map_endpoint_count_must_match(self):
+        writer = Writer()
+        write_header(writer, b"RPROJFRM", wire_module._VERSION, {
+            "kind": "shard_map", "shard_count": 3, "seed": "aa",
+            "tables": ["L"], "endpoints": [["h", 1], ["h", 2]],
+        })
+        with pytest.raises(SchemeError, match="exactly 3 endpoints"):
+            decode_frame(writer.getvalue())
+
+    @pytest.mark.parametrize(
+        "endpoint",
+        [["h"], ["h", 1, 2], "h:1", [3, 1], ["h", -1], ["h", 65536],
+         ["h", "80"], None],
+    )
+    def test_shard_map_bad_endpoint_rejected(self, endpoint):
+        writer = Writer()
+        write_header(writer, b"RPROJFRM", wire_module._VERSION, {
+            "kind": "shard_map", "shard_count": 1, "seed": "aa",
+            "tables": [], "endpoints": [endpoint],
+        })
+        with pytest.raises(SchemeError):
+            decode_frame(writer.getvalue())
+
+    @pytest.mark.parametrize("seed", ["", "zz", "a" * 200, 7, None, "abc"])
+    def test_shard_map_bad_seed_rejected(self, seed):
+        writer = Writer()
+        write_header(writer, b"RPROJFRM", wire_module._VERSION, {
+            "kind": "shard_map", "shard_count": 1, "seed": seed,
+            "tables": [], "endpoints": [["h", 1]],
+        })
+        with pytest.raises(SchemeError):
+            decode_frame(writer.getvalue())
+
+    @pytest.mark.parametrize(
+        "reports",
+        [
+            "not-a-dict",
+            {"left": "not-a-dict"},
+            {"left": {"planner": "not-a-dict"}},
+            {"left": {"engine": {"nested": True}}},
+        ],
+    )
+    def test_scatter_final_malformed_reports_rejected(self, reports):
+        writer = Writer()
+        write_header(writer, b"RPROJFRM", wire_module._VERSION, {
+            "kind": "scatter_final", "candidates_left": 1,
+            "candidates_right": 1, "reports": reports,
+        })
+        _assert_only_scheme_error(decode_frame, writer.getvalue())
+
+    @pytest.mark.parametrize("count", [-1, "3", None, 1.5])
+    def test_scatter_final_bad_candidate_counts_rejected(self, count):
+        writer = Writer()
+        write_header(writer, b"RPROJFRM", wire_module._VERSION, {
+            "kind": "scatter_final", "candidates_left": count,
+            "candidates_right": 0, "reports": {},
+        })
+        with pytest.raises(SchemeError, match="candidates_left"):
+            decode_frame(writer.getvalue())
+
+
 # -- v4 round-trip ----------------------------------------------------------
 
 
@@ -502,6 +624,90 @@ def StreamReassemblerWith(batch: MatchBatch) -> StreamReassembler:
     reassembler = StreamReassembler()
     reassembler.add_batch(batch)
     return reassembler
+
+
+# -- v5 round-trip ----------------------------------------------------------
+
+
+class TestWireV5RoundTrip:
+    def test_shard_map_round_trips(self):
+        shard_map = ShardMapFrame(
+            shard_count=4,
+            seed=b"repro-shard-v1",
+            tables=("L", "R"),
+            endpoints=(
+                ("10.0.0.1", 9000), ("10.0.0.2", 9000),
+                ("10.0.0.3", 9001), ("10.0.0.4", 0),
+            ),
+        )
+        assert decode_frame(encode_shard_map(shard_map)) == shard_map
+
+    def test_scatter_chunk_round_trips(self):
+        items = [(0, b"\x00" * 48, b"p0"), (7, b"\xff" * 48, b"")]
+        decoded = decode_frame(encode_scatter_chunk("right", items))
+        assert isinstance(decoded, ScatterChunkFrame)
+        assert decoded.side == "right"
+        assert decoded.items == items
+
+    def test_scatter_final_round_trips_reports(self):
+        from repro.core.engine import EngineReport
+
+        final = ScatterFinalFrame(
+            candidates_left=11,
+            candidates_right=0,
+            left_report=EngineReport(
+                engine="parallel", batches=3, workers=2, miller_loops=44,
+            ),
+            right_report=None,
+        )
+        assert decode_frame(encode_scatter_final(final)) == final
+
+    def test_scatter_final_tolerates_unknown_report_fields(self):
+        # Newer minor revisions may add report fields; they must drop,
+        # not crash — mirroring the stats decode.
+        writer = Writer()
+        write_header(writer, b"RPROJFRM", wire_module._VERSION, {
+            "kind": "scatter_final", "candidates_left": 1,
+            "candidates_right": 2,
+            "reports": {
+                "left": {"engine": "batched", "from_the_future": 9},
+                "right": None,
+            },
+        })
+        decoded = decode_frame(writer.getvalue())
+        assert decoded.left_report.engine == "batched"
+        assert decoded.right_report is None
+
+    def test_scatter_frames_accept_v4_stamp(self):
+        # The frame channel's compat window starts at v4; a v4-stamped
+        # scatter frame (e.g. a patched older peer) still decodes.
+        writer = Writer()
+        write_header(writer, b"RPROJFRM", 4, {
+            "kind": "scatter_final", "candidates_left": 0,
+            "candidates_right": 0, "reports": {},
+        })
+        decoded = decode_frame(writer.getvalue())
+        assert decoded == ScatterFinalFrame(0, 0)
+
+    def test_result_stats_carry_shard_fields(self):
+        stats = ServerStats(matches=1, shards=3, shard_skew=1.5)
+        result = EncryptedJoinResult(
+            left_table="L", right_table="R",
+            index_pairs=[(0, 0)], left_payloads=[b"l"],
+            right_payloads=[b"r"], stats=stats,
+        )
+        decoded = decode_join_result(encode_join_result(result))
+        assert decoded.stats.shards == 3
+        assert decoded.stats.shard_skew == 1.5
+        # And a v4 peer's stats (no shard keys) default to unsharded.
+        writer = Writer()
+        write_header(writer, b"RPROJRES", 4, {
+            "left_table": "L", "right_table": "R", "n_pairs": 0,
+            "stats": {"matches": 0},
+        })
+        legacy = decode_join_result(writer.getvalue())
+        assert legacy.stats.shards == 0
+        assert legacy.stats.shard_skew == 0.0
 
 
 # -- v1..v3 backward compatibility -----------------------------------------
