@@ -18,7 +18,10 @@ all four reported Figure 3 corner points to < 1% relative error.
 
 from __future__ import annotations
 
+import dataclasses
+import json
 import math
+import os
 import threading
 import time
 from dataclasses import dataclass, replace
@@ -175,6 +178,100 @@ class EngineCostModel:
     #: the query on one more shard's pool and merging its chunk stream
     #: (:func:`estimate_scatter_costs`).
     shard_dispatch: float = 5e-4
+    #: Fixed per-call cost of standing up the chunked-stream machinery
+    #: (chunk assembly, stream plumbing, admission bookkeeping) that the
+    #: batched and parallel engines pay *per refresh* — negligible on a
+    #: full-table side, dominant on a 3-row series delta, which is why
+    #: :func:`choose_delta_engine` sends tiny deltas through the serial
+    #: inline path instead of waking anything up.
+    delta_dispatch: float = 2.5e-4
+
+    # -- persistence ------------------------------------------------------
+    def save(self, path: str | os.PathLike) -> None:
+        """Write the model as JSON (atomic via rename).
+
+        The calibration counterpart of the stored cost *history*: a
+        restarted server loads this file and prices replay from what a
+        previous calibration measured instead of re-measuring.
+        """
+        payload = {
+            "format": _COST_MODEL_FORMAT,
+            "version": _COST_MODEL_VERSION,
+            "model": dataclasses.asdict(self),
+        }
+        temp_path = f"{path}.tmp"
+        with open(temp_path, "w", encoding="utf-8") as handle:
+            json.dump(payload, handle, indent=2, sort_keys=True)
+            handle.write("\n")
+        os.replace(temp_path, path)
+
+    @classmethod
+    def load(cls, path: str | os.PathLike) -> "EngineCostModel":
+        """Inverse of :meth:`save` (validating).
+
+        Unknown model keys (a newer writer) are dropped; absent optional
+        fields take their defaults — the same tolerant-decode posture as
+        the wire stats.  Anything structurally wrong (bad format tag,
+        non-numeric constant, missing required field) raises
+        :class:`~repro.errors.BenchmarkError`, never a raw decode error.
+        """
+        try:
+            with open(path, "r", encoding="utf-8") as handle:
+                payload = json.load(handle)
+        except (OSError, json.JSONDecodeError, UnicodeDecodeError) as error:
+            raise BenchmarkError(
+                f"cannot load cost model from {path}: {error}"
+            ) from error
+        if (
+            not isinstance(payload, dict)
+            or payload.get("format") != _COST_MODEL_FORMAT
+            or not isinstance(payload.get("model"), dict)
+        ):
+            raise BenchmarkError(
+                f"{path} is not a saved engine cost model"
+            )
+        raw = payload["model"]
+        known = {field.name: field for field in dataclasses.fields(cls)}
+        kwargs = {}
+        for name, value in raw.items():
+            field = known.get(name)
+            if field is None:
+                continue
+            if name == "backend":
+                if not isinstance(value, str) or not value:
+                    raise BenchmarkError(
+                        "cost model 'backend' must be a non-empty string"
+                    )
+            elif value is None:
+                if name != "prepared_miller_loop":
+                    raise BenchmarkError(
+                        f"cost model constant {name!r} must be a number"
+                    )
+            elif isinstance(value, bool) or not isinstance(
+                value, (int, float)
+            ) or not math.isfinite(value) or value < 0:
+                raise BenchmarkError(
+                    f"cost model constant {name!r} must be a finite "
+                    f"non-negative number, got {value!r}"
+                )
+            else:
+                value = float(value)
+            kwargs[name] = value
+        required = {
+            name
+            for name, field in known.items()
+            if field.default is dataclasses.MISSING
+        }
+        missing = sorted(required - set(kwargs))
+        if missing:
+            raise BenchmarkError(
+                f"saved cost model is missing required constants {missing}"
+            )
+        return cls(**kwargs)
+
+
+_COST_MODEL_FORMAT = "repro-engine-cost-model"
+_COST_MODEL_VERSION = 1
 
 
 #: Defaults measured on the fast (exponent-group) backend: pairing work
@@ -377,6 +474,82 @@ def choose_engine(
             for name, cost in estimates.items()
         }
     return select_engine(estimates, model.switch_margin, allowed), estimates
+
+
+def estimate_delta_costs(
+    model: EngineCostModel,
+    rows: int,
+    dimension: int,
+    workers: int,
+    batch_size: int = 64,
+    parallel_batch_size: int | None = None,
+    pool_warm: bool = False,
+    prepared: bool = False,
+) -> dict[str, float]:
+    """Predicted seconds per engine for one *delta* side.
+
+    A series-cache refresh decrypts only the handful of rows inserted
+    since the last execution, so per-call machinery dominates: the
+    batched and parallel engines additionally pay ``delta_dispatch``
+    (stream/chunk plumbing that a full-table side amortizes away), and
+    a cold pool still pays its spawn cost.  Serial pays neither — it
+    decrypts inline, row by row, which is exactly right for a 3-row
+    delta.
+    """
+    estimates = estimate_engine_costs(
+        model, rows, dimension, workers, batch_size,
+        parallel_batch_size, pool_warm, prepared=prepared,
+    )
+    return {
+        "serial": estimates["serial"],
+        "batched": estimates["batched"] + model.delta_dispatch,
+        "parallel": estimates["parallel"] + model.delta_dispatch,
+    }
+
+
+def choose_delta_engine(
+    model: EngineCostModel,
+    rows: int,
+    dimension: int,
+    workers: int,
+    batch_size: int = 64,
+    parallel_batch_size: int | None = None,
+    pool_warm: bool = False,
+    allowed: tuple[str, ...] = ("serial", "batched", "parallel"),
+    prepared: bool = False,
+) -> tuple[str, dict[str, float]]:
+    """The delta-path planner decision: ``(chosen, estimates)``.
+
+    The decision rule mirrors :func:`select_engine` but with **serial**
+    as the conservative default: on a tiny delta nothing should be
+    woken up, so a chunked or pooled engine must beat the inline path
+    by the model's ``switch_margin`` before it is chosen.  Large deltas
+    (hundreds of rows) cross back over to batched/parallel exactly as
+    the constants dictate.
+    """
+    estimates = estimate_delta_costs(
+        model, rows, dimension, workers, batch_size,
+        parallel_batch_size, pool_warm, prepared=prepared,
+    )
+    candidates = {
+        name: cost for name, cost in estimates.items() if name in allowed
+    }
+    if not candidates:
+        raise BenchmarkError(
+            f"no allowed engine among {sorted(estimates)}; allowed={allowed}"
+        )
+    if "serial" in candidates:
+        baseline = candidates["serial"]
+        best_name, best_cost = min(
+            candidates.items(), key=lambda item: item[1]
+        )
+        if best_name != "serial" and (
+            best_cost >= baseline
+            or best_cost * model.switch_margin > baseline
+        ):
+            return "serial", estimates
+        return best_name, estimates
+    return min(candidates, key=candidates.get), estimates
 
 
 class OnlineCalibrator:

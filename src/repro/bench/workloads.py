@@ -14,6 +14,7 @@ from dataclasses import dataclass
 
 from repro.core.client import SecureJoinClient
 from repro.core.server import SecureJoinServer
+from repro.series.cache import DEFAULT_SERIES_BUDGET
 from repro.db.query import JoinQuery
 from repro.tpch.generator import TPCHGenerator, selectivity_label
 
@@ -39,14 +40,21 @@ def build_encrypted_tpch(
     seed: int = 20220310,
     prefilter: bool = True,
     use_cache: bool = True,
+    series_cache: bool = False,
 ) -> EncryptedTPCH:
     """Generate, encrypt and upload the TPC-H pair for one configuration.
 
     With ``prefilter=True`` the ``selectivity`` column carries searchable
     tags, reproducing the paper's evaluation regime where the server
     decrypts only the selected fraction of rows (see DESIGN.md §4.3).
+
+    ``series_cache`` defaults to *off*, unlike a production server: the
+    figure drivers time repeated submissions of one encrypted query,
+    and with the cross-query cache enabled every repeat after the first
+    would measure warm replay instead of SJ.Dec.  The series benchmarks
+    opt in explicitly.
     """
-    key = (scale_factor, in_clause_limit, seed, prefilter)
+    key = (scale_factor, in_clause_limit, seed, prefilter, series_cache)
     if use_cache and key in _CACHE:
         return _CACHE[key]
     generator = TPCHGenerator(scale_factor, seed=seed)
@@ -58,7 +66,10 @@ def build_encrypted_tpch(
         enable_prefilter=prefilter,
         prefilter_columns=("selectivity",),
     )
-    server = SecureJoinServer(client.params)
+    server = SecureJoinServer(
+        client.params,
+        series_cache_bytes=None if not series_cache else DEFAULT_SERIES_BUDGET,
+    )
     server.store(client.encrypt_table(customers, "custkey"))
     server.store(client.encrypt_table(orders, "custkey"))
     workload = EncryptedTPCH(

@@ -23,17 +23,24 @@ from dataclasses import dataclass, field
 
 from repro.core.client import EncryptedJoinQuery, EncryptedTable
 from repro.core.engine import (
+    AutoEngine,
     EngineReport,
     ExecutionEngine,
     HandleStream,
     get_engine,
 )
-from repro.core.pipeline import run_pipeline
+from repro.core.pipeline import LEFT, RIGHT, run_pipeline
 from repro.core.scheme import SecureJoinParams, SecureJoinScheme, SJToken
 from repro.core.service import ExecutionService, QueryQoS
 from repro.crypto.backend import BilinearBackend
 from repro.db.matcher import IncrementalMatcher, get_matcher
 from repro.errors import DeadlineError, QueryError, SchemeError
+from repro.series.cache import (
+    DEFAULT_SERIES_BUDGET,
+    SeriesCache,
+    SeriesEntry,
+    series_key,
+)
 
 #: Matcher algorithms ``execute_join`` accepts; ``"auto"`` prices hash
 #: vs nested with the cost model (see :mod:`repro.bench.costmodel`).
@@ -79,6 +86,14 @@ class ServerStats:
     and ``shard_skew`` the candidate-row imbalance across them (max
     over mean; 1.0 = perfectly uniform) — the quantity the planner's
     cross-shard pricing discounts the ideal ``1/n`` speedup by.
+
+    Query-series fields: ``series_cache_hits`` is 1 when the query hit
+    the server's cross-query cache (a warm replay or a delta refresh),
+    ``reused_handles`` how many previously decrypted per-row handles it
+    reused instead of re-running SJ.Dec, and ``delta_rows`` how many
+    rows the refresh actually decrypted (0 on a pure replay).  For a
+    cached query ``probes``/``comparisons`` report the retained
+    matcher's cumulative work across the series, not one execution's.
     """
 
     candidates_left: int = 0
@@ -107,6 +122,9 @@ class ServerStats:
     concurrent_sides: int = 0
     shards: int = 0
     shard_skew: float = 0.0
+    series_cache_hits: int = 0
+    delta_rows: int = 0
+    reused_handles: int = 0
 
     def merge_report(self, report: EngineReport) -> None:
         """Fold one side's engine report into the per-query totals."""
@@ -183,6 +201,7 @@ class SecureJoinServer:
         engine: ExecutionEngine | str | None = None,
         hint_engines: tuple[str, ...] = ("serial", "batched"),
         workers: int | None = None,
+        series_cache_bytes: int | None = DEFAULT_SERIES_BUDGET,
     ):
         # The server only needs public parameters — never the master key.
         self.scheme = SecureJoinScheme(params, backend)
@@ -208,6 +227,19 @@ class SecureJoinServer:
         self._tag_index: dict[str, dict[str, dict[bytes, list[int]]]] = {}
         # Deleted row indices per table (tombstones).
         self._tombstones: dict[str, set[int]] = {}
+        # Query-series maintenance state: per-table epochs (bumped when
+        # a table is re-stored wholesale — retained state is garbage)
+        # and versions (bumped per insert/delete — retained state is
+        # stale but delta-repairable), plus the cross-query cache
+        # itself.  ``series_cache_bytes`` is the memory budget knob;
+        # None or 0 disables series caching entirely.
+        self._epochs: dict[str, int] = {}
+        self._versions: dict[str, int] = {}
+        self.series_cache: SeriesCache | None = (
+            SeriesCache(series_cache_bytes)
+            if series_cache_bytes
+            else None
+        )
         self.observations: list[QueryObservation] = []
 
     # -- lifecycle ----------------------------------------------------------
@@ -244,6 +276,22 @@ class SecureJoinServer:
                     postings.setdefault(tag, []).append(row_index)
                 index[column] = postings
         self._tag_index[encrypted_table.name] = index
+        # Re-storing replaces the table wholesale: a new epoch makes
+        # every retained series entry for it unreachable, and the
+        # mutation counter restarts with the new contents.
+        name = encrypted_table.name
+        self._epochs[name] = self._epochs.get(name, 0) + 1
+        self._versions[name] = 0
+        if self.series_cache is not None:
+            self.series_cache.invalidate_table(name)
+
+    def table_epoch(self, name: str) -> int:
+        """The table's store generation (0 = never stored)."""
+        return self._epochs.get(name, 0)
+
+    def table_version(self, name: str) -> int:
+        """The table's mutation counter within its current epoch."""
+        return self._versions.get(name, 0)
 
     def table(self, name: str) -> EncryptedTable:
         try:
@@ -309,6 +357,7 @@ class SecureJoinServer:
                 self._tag_index[table_name][column].setdefault(
                     tag, []
                 ).append(index)
+        self._versions[table_name] = self._versions.get(table_name, 0) + 1
         return index
 
     def delete_rows(self, table_name: str, indices: list[int]) -> None:
@@ -321,6 +370,14 @@ class SecureJoinServer:
                     f"row index {index} out of range for {table_name!r}"
                 )
             tombstones.add(index)
+        if indices:
+            self._versions[table_name] = (
+                self._versions.get(table_name, 0) + 1
+            )
+
+    def tombstoned_rows(self, table_name: str) -> frozenset[int]:
+        """The table's deleted row indices (delta-maintenance input)."""
+        return frozenset(self._tombstones.get(table_name, ()))
 
     def _live(self, table_name: str, indices: list[int]) -> list[int]:
         tombstones = self._tombstones.get(table_name)
@@ -437,6 +494,7 @@ class SecureJoinServer:
         prefilter: dict[str, frozenset[bytes]] | None = None,
         qos: QueryQoS | None = None,
         engine: ExecutionEngine | str | None = None,
+        exclude_rows: set[int] | None = None,
     ) -> tuple[list[int], HandleStream]:
         """Open one side's decrypt stream: ``(candidates, stream)``.
 
@@ -445,11 +503,16 @@ class SecureJoinServer:
         *this* server's pool).  A shard coordinator opens one such
         stream per shard per side and merges the chunks into a single
         matcher — the caller owns the stream and must close it.
+        ``exclude_rows`` drops already-decrypted rows from the stream
+        (the delta-scatter path: a coordinator with retained handles
+        asks each shard for only what it has not seen).
         """
         table = self.table(table_name)
         candidates = self._live(
             table.name, self._candidates(table, prefilter)
         )
+        if exclude_rows:
+            candidates = [i for i in candidates if i not in exclude_rows]
         active_engine = (
             self._resolve_engine(engine) if engine is not None else self.engine
         )
@@ -556,6 +619,78 @@ class SecureJoinServer:
                 ),
             )
 
+        backend = self.scheme.backend
+        cache = self.series_cache
+        # A concrete per-call engine override ("serial", an instance,
+        # ...) is an instruction to *execute* SJ.Dec that way — an
+        # ablation or accounting run — so it bypasses replay; ``None``
+        # and ``"auto"`` ask for the cheapest correct plan, which the
+        # cache is.  Either way the finished run (re)seeds the entry.
+        replay_eligible = (
+            engine is None
+            or engine == "auto"
+            or isinstance(engine, AutoEngine)
+        )
+        key = b""
+        if cache is not None:
+            # A literally re-submitted query (same token bytes) hits the
+            # series cache; lookup drops entries from a replaced epoch.
+            key = series_key(query, backend)
+        if cache is not None and replay_eligible:
+            epochs = (
+                self.table_epoch(left.name),
+                self.table_epoch(right.name),
+            )
+            entry = cache.lookup(key, epochs)
+            if entry is not None and algorithm not in (
+                "auto",
+                entry.matcher_name,
+            ):
+                # An explicit matcher request (an ablation run) must
+                # actually exercise that matcher: disregard the entry
+                # and let the from-scratch pass replace it.
+                entry = None
+            if entry is not None:
+                versions = (
+                    self.table_version(left.name),
+                    self.table_version(right.name),
+                )
+                with entry.lock:
+                    if entry.versions == versions:
+                        return (
+                            yield from self._series_replay_events(
+                                entry, query, left, right, stats
+                            )
+                        )
+                    return (
+                        yield from self._series_delta_events(
+                            entry,
+                            query,
+                            left,
+                            right,
+                            stats,
+                            qos,
+                            active_engine,
+                            versions,
+                        )
+                    )
+        # Miss path: capture the maintenance state *before* computing
+        # candidates, so a concurrent mutation lands after our snapshot
+        # and shows up as a version mismatch on the next lookup.
+        if cache is not None:
+            miss_epochs = (
+                self.table_epoch(left.name),
+                self.table_epoch(right.name),
+            )
+            miss_versions = (
+                self.table_version(left.name),
+                self.table_version(right.name),
+            )
+            miss_tombstones = {
+                LEFT: set(self._tombstones.get(left.name, ())),
+                RIGHT: set(self._tombstones.get(right.name, ())),
+            }
+
         left_candidates = self._live(
             left.name, self._candidates(left, query.left_prefilter)
         )
@@ -568,8 +703,6 @@ class SecureJoinServer:
             algorithm, stats, len(left_candidates), len(right_candidates),
             active_engine,
         )
-
-        backend = self.scheme.backend
         left_stream: HandleStream | None = None
         right_stream: HandleStream | None = None
         try:
@@ -599,11 +732,21 @@ class SecureJoinServer:
         stats.decryptions += len(left_candidates) + len(right_candidates)
 
         sides = {"left": left.name, "right": right.name}
+        # Per-side handle maps retained for the series cache.  Recorded
+        # separately from the observation (which keys by table name and
+        # would collide the two sides of a self-join).
+        retained: dict[str, dict[int, bytes]] | None = (
+            {LEFT: {}, RIGHT: {}} if cache is not None else None
+        )
 
         def record_handles(side: str, items: list) -> None:
             table_name = sides[side]
             for row_index, handle in items:
                 observation.handles[(table_name, row_index)] = handle
+            if retained is not None:
+                side_handles = retained[side]
+                for row_index, handle in items:
+                    side_handles[row_index] = handle
 
         pipeline = run_pipeline(
             left_stream,
@@ -648,6 +791,272 @@ class SecureJoinServer:
         stats.time_to_first_match = outcome.timings.time_to_first_match
         stats.decrypt_seconds = outcome.timings.decrypt_seconds
         stats.match_seconds = outcome.timings.match_seconds
+        if cache is not None:
+            # Seed the series: retain the handle maps and the live
+            # matcher so a re-submitted query replays and a mutated one
+            # refreshes by delta.  Tombstones excluded by this pass are
+            # recorded as already applied.
+            entry = SeriesEntry(
+                key,
+                left.name,
+                right.name,
+                miss_epochs,
+                miss_versions,
+                matcher,
+                stats.matcher,
+            )
+            entry.handles = retained
+            entry.applied_tombstones = miss_tombstones
+            cache.store(entry)
+        return EncryptedJoinResult(
+            left_table=left.name,
+            right_table=right.name,
+            index_pairs=pairs,
+            left_payloads=[left.payloads[i] for i, _ in pairs],
+            right_payloads=[right.payloads[j] for _, j in pairs],
+            stats=stats,
+        )
+
+    def _series_replay_events(
+        self,
+        entry: SeriesEntry,
+        query: EncryptedJoinQuery,
+        left: EncryptedTable,
+        right: EncryptedTable,
+        stats: ServerStats,
+    ):
+        """Warm replay: the cached canonical result, zero pairing work.
+
+        No decrypt stream is opened, so not a single Miller loop runs;
+        the retained matcher re-sorts its pairs and that *is* the
+        result.  The adversary observation records the *reused* handles
+        — nothing new is revealed, but the per-query view still
+        determines the result (what the leakage analyzer relies on).
+        """
+        observation = QueryObservation(query.query_id)
+        sides = {LEFT: left.name, RIGHT: right.name}
+        for side, table_name in sides.items():
+            for row_index, handle in entry.handles[side].items():
+                observation.handles[(table_name, row_index)] = handle
+        self.observations.append(observation)
+        pairs = entry.matcher.finish()
+        entry.replays += 1
+        if self.series_cache is not None:
+            self.series_cache.stats.replays += 1
+        stats.series_cache_hits = 1
+        stats.reused_handles = entry.reused_handles()
+        stats.matches = len(pairs)
+        stats.probes = entry.matcher.stats.probes
+        stats.comparisons = entry.matcher.stats.comparisons
+        stats.matcher = entry.matcher_name
+        stats.engine = "series"
+        stats.engine_selected = "series"
+        stats.candidates_left = len(entry.handles[LEFT])
+        stats.candidates_right = len(entry.handles[RIGHT])
+        stats.planner = [
+            {
+                "stage": "series",
+                "outcome": "replay",
+                "reused_handles": stats.reused_handles,
+                "pairs": len(pairs),
+            }
+        ]
+        if pairs:
+            yield list(pairs)
+        return EncryptedJoinResult(
+            left_table=left.name,
+            right_table=right.name,
+            index_pairs=pairs,
+            left_payloads=[left.payloads[i] for i, _ in pairs],
+            right_payloads=[right.payloads[j] for _, j in pairs],
+            stats=stats,
+        )
+
+    def _series_delta_events(
+        self,
+        entry: SeriesEntry,
+        query: EncryptedJoinQuery,
+        left: EncryptedTable,
+        right: EncryptedTable,
+        stats: ServerStats,
+        qos: QueryQoS | None,
+        active_engine: ExecutionEngine,
+        versions: tuple[int, int],
+    ):
+        """Delta refresh: SJ.Dec only what the entry has never seen.
+
+        Tombstones accrued since the last refresh are withdrawn from
+        the retained matcher *first* (so dead rows cannot pair with new
+        arrivals), then only the never-fed live candidate rows are
+        decrypted and fed in.  ``matcher.finish()`` then yields the
+        full canonical result — retained pairs plus the delta's.
+        """
+        cache = self.series_cache
+        matcher = entry.matcher
+        for side, table in ((LEFT, left), (RIGHT, right)):
+            current = set(self._tombstones.get(table.name, ()))
+            new = current - entry.applied_tombstones[side]
+            doomed = [i for i in new if i in entry.handles[side]]
+            if doomed:
+                if side == LEFT:
+                    matcher.retract_left(doomed)
+                else:
+                    matcher.retract_right(doomed)
+                for i in doomed:
+                    del entry.handles[side][i]
+            entry.applied_tombstones[side] |= new
+        stats.series_cache_hits = 1
+        stats.reused_handles = entry.reused_handles()
+        stats.matcher = entry.matcher_name
+
+        left_candidates = self._live(
+            left.name, self._candidates(left, query.left_prefilter)
+        )
+        right_candidates = self._live(
+            right.name, self._candidates(right, query.right_prefilter)
+        )
+        stats.candidates_left = len(left_candidates)
+        stats.candidates_right = len(right_candidates)
+        # Rows that ever entered the handle map passed the pre-filter,
+        # and tags are immutable, so set difference against the handle
+        # map is exactly "inserted since the last refresh".
+        left_delta = [
+            i for i in left_candidates if i not in entry.handles[LEFT]
+        ]
+        right_delta = [
+            i for i in right_candidates if i not in entry.handles[RIGHT]
+        ]
+        delta_rows = len(left_delta) + len(right_delta)
+        stats.delta_rows = delta_rows
+
+        # Price the refresh: a 3-row delta must not wake the pool, so
+        # under the auto planner the delta cost model (serial-favoring
+        # dispatch surcharge) picks the engine for this pass.
+        chosen_engine = active_engine
+        if isinstance(active_engine, AutoEngine):
+            from repro.bench.costmodel import (
+                choose_delta_engine,
+                default_engine_cost_model,
+            )
+
+            model = active_engine.cost_model
+            if model is None:
+                model = default_engine_cost_model(self.scheme.backend.name)
+            pool_started, workers = self.execution_service.warmth()
+            prepared_sides = [
+                table.prepared_rows is not None
+                for table, delta in ((left, left_delta), (right, right_delta))
+                if delta
+            ]
+            choice, estimates = choose_delta_engine(
+                model,
+                rows=delta_rows,
+                dimension=self.scheme.params.dimension,
+                workers=workers,
+                batch_size=active_engine.batch_size,
+                parallel_batch_size=max(1, active_engine.batch_size // 2),
+                pool_warm=pool_started,
+                allowed=active_engine.candidates,
+                prepared=bool(prepared_sides) and all(prepared_sides),
+            )
+            chosen_engine = self._resolve_engine(choice)
+            if stats.planner is None:
+                stats.planner = []
+            stats.planner.append({
+                "stage": "delta",
+                "rows": delta_rows,
+                "chosen": choice,
+                "estimates": {
+                    name: float(sec) for name, sec in estimates.items()
+                },
+            })
+
+        # Stream the retained pairs first so the union of yielded
+        # batches still equals the final result, then the delta's new
+        # pairs as they are discovered.
+        retained_pairs = matcher.finish()
+        if retained_pairs:
+            yield list(retained_pairs)
+
+        observation = QueryObservation(query.query_id)
+        backend = self.scheme.backend
+        left_stream: HandleStream | None = None
+        right_stream: HandleStream | None = None
+        try:
+            left_stream = chosen_engine.decrypt_stream(
+                backend,
+                query.left_token.elements,
+                self._side_ciphertexts(left, query.left_token, left_delta),
+                qos=qos,
+            )
+            right_stream = chosen_engine.decrypt_stream(
+                backend,
+                query.right_token.elements,
+                self._side_ciphertexts(right, query.right_token, right_delta),
+                qos=qos,
+            )
+        except BaseException:
+            if left_stream is not None:
+                left_stream.close()
+            if right_stream is not None:
+                right_stream.close()
+            raise
+        stats.decryptions += delta_rows
+
+        sides = {LEFT: left.name, RIGHT: right.name}
+        # The view starts from the reused handles; the delta's newly
+        # computed ones accrue below — together they determine the
+        # refreshed result, which is what the leakage analyzer checks.
+        for side, table_name in sides.items():
+            for row_index, handle in entry.handles[side].items():
+                observation.handles[(table_name, row_index)] = handle
+
+        def record_handles(side: str, items: list) -> None:
+            table_name = sides[side]
+            side_handles = entry.handles[side]
+            for row_index, handle in items:
+                observation.handles[(table_name, row_index)] = handle
+                side_handles[row_index] = handle
+
+        pipeline = run_pipeline(
+            left_stream,
+            right_stream,
+            left_delta,
+            right_delta,
+            matcher,
+            on_handles=record_handles,
+        )
+        try:
+            while True:
+                try:
+                    new_pairs = next(pipeline)
+                except StopIteration as stop:
+                    outcome = stop.value
+                    break
+                if qos is not None and qos.expired():
+                    raise DeadlineError(
+                        f"query {query.query_id} exceeded its deadline; "
+                        "cancelled mid-refresh"
+                    )
+                yield new_pairs
+        finally:
+            pipeline.close()
+            self.observations.append(observation)
+
+        stats.merge_report(outcome.left_report)
+        stats.merge_report(outcome.right_report)
+        pairs = outcome.pairs
+        stats.matches = len(pairs)
+        stats.probes = matcher.stats.probes
+        stats.comparisons = matcher.stats.comparisons
+        stats.time_to_first_match = outcome.timings.time_to_first_match
+        stats.decrypt_seconds = outcome.timings.decrypt_seconds
+        stats.match_seconds = outcome.timings.match_seconds
+        entry.versions = versions
+        entry.delta_refreshes += 1
+        if cache is not None:
+            cache.stats.delta_refreshes += 1
+            cache.reaccount(entry)
         return EncryptedJoinResult(
             left_table=left.name,
             right_table=right.name,

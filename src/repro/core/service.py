@@ -437,6 +437,17 @@ class ExecutionService:
     def started(self) -> bool:
         return bool(self._workers)
 
+    def warmth(self) -> tuple[bool, int]:
+        """``(pool_started, worker_target)`` without spawning anything.
+
+        The series delta planner prices a refresh with this: admitting
+        a 3-row delta must never be the thing that wakes a cold pool,
+        so the decision needs the pool's state *without* touching it
+        (``ensure_started`` would fork workers as a side effect).
+        """
+        with self._lock:
+            return bool(self._workers), self.worker_target
+
     @property
     def closed(self) -> bool:
         """True after :meth:`close` until the next (lazy) restart."""

@@ -43,6 +43,7 @@ from __future__ import annotations
 
 from repro.crypto.curve import G1Point, G2Point
 from repro.crypto.field import XI, Fp2, Fp12
+from repro.crypto.numtheory import naf_digits
 from repro.crypto.params import ATE_LOOP_COUNT, BN_X, FIELD_MODULUS
 from repro.errors import PairingError
 
@@ -255,9 +256,29 @@ def miller_loop_prepared(prepared: G2Prepared, p: G1Point) -> Fp12:
     return f
 
 
+#: NAF recoding of the BN parameter x, MSB first.  Fixed for the curve,
+#: so recode once at import instead of per exponentiation.
+_BN_X_NAF = tuple(reversed(naf_digits(BN_X)))
+
+
 def _pow_by_x(f: Fp12) -> Fp12:
-    """``f^x`` for the 63-bit BN parameter x."""
-    return f.pow(BN_X)
+    """``f^x`` for the 63-bit BN parameter x, via a signed-digit ladder.
+
+    Only called on cyclotomic-subgroup elements (the easy part of the
+    final exponentiation runs first), where ``conjugate`` computes the
+    inverse — so the NAF's -1 digits cost a conjugation (sign flips)
+    instead of a full Fp12 inversion, and the ladder does fewer
+    multiplications than the plain binary ``pow``.
+    """
+    inverse = f.conjugate()
+    result = Fp12.one()
+    for digit in _BN_X_NAF:
+        result = result.square()
+        if digit == 1:
+            result = result * f
+        elif digit == -1:
+            result = result * inverse
+    return result
 
 
 def final_exponentiation_fast(f: Fp12) -> Fp12:

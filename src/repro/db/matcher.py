@@ -29,6 +29,17 @@ algorithm rather than the arrival schedule:
   + matches``, O(n + m + output);
 - nested: exactly one comparison per (left, right) pair — ``|L| * |R|``
   total, however the items arrive.
+
+**Retained matcher state (the query-series cache).**  A matcher may
+outlive the query that built it: the series cache keeps it resident and
+*resumes* it when the same query arrives again — new base-table rows
+are fed through ``add_left`` / ``add_right`` exactly like late-arriving
+chunks, and deleted rows are withdrawn with :meth:`retract_left` /
+:meth:`retract_right`, which remove the row from the bucket/list state
+(so it can never pair with future arrivals) and drop its emitted pairs.
+``finish()`` is idempotent and re-callable, so every resume yields the
+canonical pairing of the *current* row set — byte-identical to a
+from-scratch join over the live rows.
 """
 
 from __future__ import annotations
@@ -73,6 +84,31 @@ class IncrementalMatcher:
     ) -> list[tuple[int, int]]:
         raise NotImplementedError
 
+    # -- retraction (delta-maintained deletes) ----------------------------
+    def retract_left(self, indices: Iterable[int]) -> int:
+        """Withdraw left rows: drop their pairs, forget their keys.
+
+        Returns how many emitted pairs were dropped.  Retraction is
+        bookkeeping, not matching — it charges no probes or
+        comparisons; ``stats.matches`` is decremented so it keeps
+        counting the pairs currently standing.
+        """
+        raise NotImplementedError
+
+    def retract_right(self, indices: Iterable[int]) -> int:
+        raise NotImplementedError
+
+    def _drop_pairs(self, removed: set[int], position: int) -> int:
+        if not removed:
+            return 0
+        kept = [
+            pair for pair in self._pairs if pair[position] not in removed
+        ]
+        dropped = len(self._pairs) - len(kept)
+        self._pairs = kept
+        self.stats.matches -= dropped
+        return dropped
+
     # -- results ----------------------------------------------------------
     def _emit(self, left_index: int, right_index: int, emitted: list) -> None:
         pair = (left_index, right_index)
@@ -81,7 +117,11 @@ class IncrementalMatcher:
         self.stats.matches += 1
 
     def finish(self) -> list[tuple[int, int]]:
-        """All pairs, sorted into the canonical right-major order."""
+        """All pairs, sorted into the canonical right-major order.
+
+        Idempotent and re-callable: a retained matcher is finished once
+        per replay, after any delta feeding/retraction in between.
+        """
         self._pairs.sort(key=lambda pair: (pair[1], pair[0]))
         return list(self._pairs)
 
@@ -110,11 +150,16 @@ class HashMatcher(IncrementalMatcher):
         self._right: dict[Hashable, list[int]] | None = (
             {} if symmetric else None
         )
+        # index -> key reverse maps, so retraction can find (and empty)
+        # the right bucket without scanning the whole table.
+        self._left_keys: dict[int, Hashable] = {}
+        self._right_keys: dict[int, Hashable] = {}
 
     def add_left(self, items):
         emitted: list[tuple[int, int]] = []
         for left_index, key in items:
             self._left.setdefault(key, []).append(left_index)
+            self._left_keys[left_index] = key
             if self._right is not None:
                 for right_index in self._right.get(key, ()):
                     self.stats.comparisons += 1
@@ -128,10 +173,39 @@ class HashMatcher(IncrementalMatcher):
             self.stats.comparisons += 1
             if self._right is not None:
                 self._right.setdefault(key, []).append(right_index)
+                self._right_keys[right_index] = key
             for left_index in self._left.get(key, ()):
                 self.stats.comparisons += 1
                 self._emit(left_index, right_index, emitted)
         return emitted
+
+    def _retract(
+        self,
+        indices: Iterable[int],
+        keys: dict[int, Hashable],
+        buckets: dict[Hashable, list[int]] | None,
+        position: int,
+    ) -> int:
+        removed = set(indices)
+        for index in removed:
+            key = keys.pop(index, None)
+            if key is None or buckets is None:
+                continue
+            bucket = buckets.get(key)
+            if bucket is not None:
+                try:
+                    bucket.remove(index)
+                except ValueError:
+                    pass
+                if not bucket:
+                    del buckets[key]
+        return self._drop_pairs(removed, position)
+
+    def retract_left(self, indices):
+        return self._retract(indices, self._left_keys, self._left, 0)
+
+    def retract_right(self, indices):
+        return self._retract(indices, self._right_keys, self._right, 1)
 
 
 class NestedMatcher(IncrementalMatcher):
@@ -167,6 +241,20 @@ class NestedMatcher(IncrementalMatcher):
                 if key == left_key:
                     self._emit(left_index, right_index, emitted)
         return emitted
+
+    def retract_left(self, indices):
+        removed = set(indices)
+        self._left = [
+            item for item in self._left if item[0] not in removed
+        ]
+        return self._drop_pairs(removed, 0)
+
+    def retract_right(self, indices):
+        removed = set(indices)
+        self._right = [
+            item for item in self._right if item[0] not in removed
+        ]
+        return self._drop_pairs(removed, 1)
 
 
 MATCHER_NAMES = (HashMatcher.name, NestedMatcher.name)

@@ -26,8 +26,11 @@ import signal
 import sys
 import threading
 
+from repro.bench.costmodel import EngineCostModel
+from repro.core.engine import AutoEngine
 from repro.core.scheme import SecureJoinParams
 from repro.core.server import SecureJoinServer
+from repro.errors import BenchmarkError
 from repro.net.server import JoinServiceServer
 from repro.store.tables import load_encrypted_table
 
@@ -74,6 +77,13 @@ def _build_parser() -> argparse.ArgumentParser:
         "--workers", type=int, default=None, help="worker pool size"
     )
     parser.add_argument(
+        "--cost-model",
+        default=None,
+        metavar="PATH",
+        help="JSON cost model from python -m repro.bench --calibrate-out; "
+        "prices the auto planner with this machine's measured constants",
+    )
+    parser.add_argument(
         "--algorithm", default="hash", help="join matcher (hash/sort)"
     )
     parser.add_argument(
@@ -105,9 +115,24 @@ def main(argv: list[str] | None = None) -> int:
         for name in args.hint_engines.split(",")
         if name.strip()
     )
+    engine: str | AutoEngine | None = args.engine
+    if args.cost_model is not None:
+        try:
+            cost_model = EngineCostModel.load(args.cost_model)
+        except BenchmarkError as error:
+            print(f"bad --cost-model: {error}", file=sys.stderr)
+            return 2
+        if engine not in (None, "auto"):
+            print(
+                "--cost-model requires the auto engine "
+                f"(got --engine {engine})",
+                file=sys.stderr,
+            )
+            return 2
+        engine = AutoEngine(cost_model=cost_model)
     join_server = SecureJoinServer(
         params,
-        engine=args.engine,
+        engine=engine,
         hint_engines=hint_engines,
         workers=args.workers,
     )

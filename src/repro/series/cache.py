@@ -1,0 +1,299 @@
+"""The server-resident cross-query cache for repeated joins.
+
+One :class:`SeriesEntry` retains, per ``(left table, right table,
+token-pair digest)``, everything the first execution of that query
+computed and that is worth keeping:
+
+- the decrypted per-row **handles** of both sides (the SJ.Dec output —
+  the expensive pairing work), keyed by row index;
+- the live :class:`~repro.db.matcher.IncrementalMatcher`, whose state
+  already encodes every pairing decision made so far.
+
+A repeated query then *replays*: ``matcher.finish()`` re-sorts the
+retained pairs into the canonical right-major order and not a single
+Miller loop runs.  A mutated base table is **delta-maintained**: the
+server feeds only the rows inserted since the last refresh through
+SJ.Dec into the retained matcher (``add_left`` / ``add_right`` accept
+increments by construction) and withdraws tombstoned rows with
+``retract_left`` / ``retract_right`` — never re-decrypting what it
+already holds.
+
+Keying and invalidation semantics:
+
+- The digest covers the **token bytes**, so only a literally
+  re-submitted query hits.  This is by design: ``SJ.TokenGen`` draws a
+  fresh query key per query (handles are unlinkable across queries —
+  the scheme's privacy property), so a semantically identical query
+  under fresh tokens is a *miss* that seeds its own entry.  Replaying a
+  hit therefore reveals nothing the adversary has not already seen.
+- Entries are guarded by per-table **epochs** (bumped when a table is
+  re-stored wholesale: everything retained is garbage) and **versions**
+  (bumped per insert/delete: the entry is stale but delta-repairable).
+- Memory is bounded by a **byte budget**: entries are accounted by
+  their retained handle bytes and pair state and evicted LRU.
+
+Concurrency: the cache's own map is lock-protected, and every entry
+carries its own lock — the server holds it across a replay or a delta
+refresh, so two threads re-running the same query serialize on the
+entry instead of corrupting the shared matcher.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import threading
+from collections import OrderedDict
+from dataclasses import dataclass
+
+from repro.db.matcher import IncrementalMatcher
+
+LEFT = "left"
+RIGHT = "right"
+
+#: Default byte budget for retained handles/matcher state (64 MiB).
+DEFAULT_SERIES_BUDGET = 64 * 1024 * 1024
+
+#: Accounting overhead charged per retained handle beyond its bytes
+#: (dict slot, int key, bytes header) and per retained pair.
+_HANDLE_OVERHEAD = 96
+_PAIR_OVERHEAD = 80
+_ENTRY_OVERHEAD = 1024
+
+
+def series_key(query, backend) -> bytes:
+    """The cache key of one join query: a digest of what determines its
+    result — the table pair, both SJ tokens (byte-encoded), and both
+    pre-filter tag sets.  Engine and matcher choices are deliberately
+    excluded: they change how the result is computed, never what it is.
+    """
+    digest = hashlib.blake2b(digest_size=32)
+    for table_name in (query.left_table, query.right_table):
+        name = table_name.encode("utf-8")
+        digest.update(len(name).to_bytes(4, "big"))
+        digest.update(name)
+    for token in (query.left_token, query.right_token):
+        for element in token.elements:
+            digest.update(backend.encode_g1(element))
+    for prefilter in (query.left_prefilter, query.right_prefilter):
+        if prefilter is None:
+            digest.update(b"\x00")
+            continue
+        digest.update(b"\x01")
+        for column in sorted(prefilter):
+            name = column.encode("utf-8")
+            digest.update(len(name).to_bytes(4, "big"))
+            digest.update(name)
+            for tag in sorted(prefilter[column]):
+                digest.update(tag)
+    return digest.digest()
+
+
+class SeriesEntry:
+    """Retained state of one query: handle maps + the live matcher."""
+
+    __slots__ = (
+        "key",
+        "left_table",
+        "right_table",
+        "epochs",
+        "versions",
+        "handles",
+        "payloads",
+        "matcher",
+        "matcher_name",
+        "applied_tombstones",
+        "lock",
+        "byte_size",
+        "replays",
+        "delta_refreshes",
+    )
+
+    def __init__(
+        self,
+        key: bytes,
+        left_table: str,
+        right_table: str,
+        epochs,
+        versions,
+        matcher: IncrementalMatcher,
+        matcher_name: str,
+    ):
+        self.key = key
+        self.left_table = left_table
+        self.right_table = right_table
+        #: Per-table store generations the entry was built against; an
+        #: epoch mismatch means the table was replaced wholesale and
+        #: nothing retained is salvageable.
+        self.epochs = epochs
+        #: Per-table mutation counters at the last (re)fresh; a version
+        #: mismatch means the entry is stale but delta-repairable.
+        self.versions = versions
+        #: side -> {row index -> handle bytes}: exactly the rows this
+        #: query has ever decrypted and not since retracted.
+        self.handles: dict[str, dict[int, bytes]] = {LEFT: {}, RIGHT: {}}
+        #: side -> {row index -> payload bytes}: only populated by
+        #: holders that cannot re-read payloads from local tables (the
+        #: shard coordinator); the single-store server leaves it empty.
+        self.payloads: dict[str, dict[int, bytes]] = {LEFT: {}, RIGHT: {}}
+        self.matcher = matcher
+        self.matcher_name = matcher_name
+        #: side -> tombstoned row indices already withdrawn (or known
+        #: never-fed), so each delete is applied exactly once.
+        self.applied_tombstones: dict[str, set[int]] = {
+            LEFT: set(),
+            RIGHT: set(),
+        }
+        self.lock = threading.RLock()
+        self.byte_size = 0
+        self.replays = 0
+        self.delta_refreshes = 0
+
+    def recompute_bytes(self) -> int:
+        """Re-account the entry's retained memory (call after refresh)."""
+        total = _ENTRY_OVERHEAD
+        for side_handles in self.handles.values():
+            for handle in side_handles.values():
+                total += len(handle) + _HANDLE_OVERHEAD
+        for side_payloads in self.payloads.values():
+            for payload in side_payloads.values():
+                total += len(payload) + _HANDLE_OVERHEAD
+        total += self.matcher.stats.matches * _PAIR_OVERHEAD
+        self.byte_size = total
+        return total
+
+    def reused_handles(self) -> int:
+        return len(self.handles[LEFT]) + len(self.handles[RIGHT])
+
+
+@dataclass
+class SeriesCacheStats:
+    """Cumulative cache behavior counters (diagnostics / tests)."""
+
+    hits: int = 0
+    misses: int = 0
+    replays: int = 0
+    delta_refreshes: int = 0
+    evictions: int = 0
+    invalidations: int = 0
+
+
+class SeriesCache:
+    """A byte-budgeted LRU over :class:`SeriesEntry` values.
+
+    ``budget_bytes`` bounds the *accounted* retained bytes; inserting
+    or refreshing an entry evicts least-recently-used others until the
+    total fits.  An entry that alone exceeds the whole budget is not
+    retained at all — the query still runs, it just won't replay.
+    """
+
+    def __init__(self, budget_bytes: int = DEFAULT_SERIES_BUDGET):
+        if budget_bytes < 0:
+            raise ValueError("series cache budget must be >= 0")
+        self.budget_bytes = budget_bytes
+        self._entries: "OrderedDict[bytes, SeriesEntry]" = OrderedDict()
+        self._bytes = 0
+        self._lock = threading.Lock()
+        self.stats = SeriesCacheStats()
+
+    # -- introspection ----------------------------------------------------
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._entries)
+
+    @property
+    def total_bytes(self) -> int:
+        with self._lock:
+            return self._bytes
+
+    # -- lookup / insert --------------------------------------------------
+    def lookup(self, key: bytes, epochs) -> SeriesEntry | None:
+        """The entry for ``key``, LRU-bumped — or ``None`` on a miss.
+
+        ``epochs`` is the caller's current per-table store-generation
+        pair; an entry built against different epochs is dropped (the
+        tables it described no longer exist) and counted as an
+        invalidation, not a hit.
+        """
+        with self._lock:
+            entry = self._entries.get(key)
+            if entry is None:
+                self.stats.misses += 1
+                return None
+            if entry.epochs != epochs:
+                self._evict(key, invalidation=True)
+                self.stats.misses += 1
+                return None
+            self._entries.move_to_end(key)
+            self.stats.hits += 1
+            return entry
+
+    def store(self, entry: SeriesEntry) -> bool:
+        """Insert (or replace) an entry; returns False if it was too
+        large to retain under the budget."""
+        entry.recompute_bytes()
+        with self._lock:
+            if entry.key in self._entries:
+                self._evict(entry.key)
+            if entry.byte_size > self.budget_bytes:
+                return False
+            self._entries[entry.key] = entry
+            self._bytes += entry.byte_size
+            self._enforce_budget(keep=entry.key)
+            return True
+
+    def reaccount(self, entry: SeriesEntry) -> None:
+        """Re-charge a refreshed entry's bytes and re-enforce the budget
+        (the entry may have grown past it and be evicted here)."""
+        with self._lock:
+            if entry.key not in self._entries:
+                return
+            self._bytes -= entry.byte_size
+            self._bytes += entry.recompute_bytes()
+            self._entries.move_to_end(entry.key)
+            if entry.byte_size > self.budget_bytes:
+                self._evict(entry.key)
+                return
+            self._enforce_budget(keep=entry.key)
+
+    # -- invalidation / eviction ------------------------------------------
+    def invalidate_table(self, table_name: str) -> int:
+        """Drop every entry joining over ``table_name`` (re-store path)."""
+        with self._lock:
+            doomed = [
+                key
+                for key, entry in self._entries.items()
+                if table_name in (entry.left_table, entry.right_table)
+            ]
+            for key in doomed:
+                self._evict(key, invalidation=True)
+            return len(doomed)
+
+    def clear(self) -> None:
+        with self._lock:
+            for key in list(self._entries):
+                self._evict(key)
+
+    def _evict(self, key: bytes, invalidation: bool = False) -> None:
+        entry = self._entries.pop(key, None)
+        if entry is None:
+            return
+        self._bytes -= entry.byte_size
+        if invalidation:
+            self.stats.invalidations += 1
+        else:
+            self.stats.evictions += 1
+
+    def _enforce_budget(self, keep: bytes) -> None:
+        while self._bytes > self.budget_bytes and len(self._entries) > 1:
+            oldest = next(iter(self._entries))
+            if oldest == keep:
+                # The protected entry is the oldest: rotate it out of
+                # the firing line and evict the next-oldest instead.
+                self._entries.move_to_end(oldest)
+                oldest = next(iter(self._entries))
+            self._evict(oldest)
+        if self._bytes > self.budget_bytes:
+            # Only the protected entry remains and it still does not
+            # fit; store() pre-filters this case, but a refresh can
+            # grow an entry past the budget.
+            self._evict(keep)

@@ -32,6 +32,7 @@ released their admissions.  Deadline expiry stays a plain
 
 from __future__ import annotations
 
+import dataclasses
 import time
 from dataclasses import dataclass
 
@@ -57,7 +58,13 @@ from repro.errors import (
     SchemeError,
     ShardUnavailableError,
 )
-from repro.shard.partition import shard_skew
+from repro.series.cache import (
+    DEFAULT_SERIES_BUDGET,
+    SeriesCache,
+    SeriesEntry,
+    series_key,
+)
+from repro.shard.partition import shard_of_bytes, shard_skew
 
 
 @dataclass
@@ -117,6 +124,100 @@ class LocalShard:
     def backend_name(self) -> str:
         return self.server.scheme.backend.name
 
+    @property
+    def backend(self) -> BilinearBackend:
+        return self.server.scheme.backend
+
+    # -- series maintenance ----------------------------------------------
+    def table_epoch(self, name: str) -> int:
+        return self.server.table_epoch(name)
+
+    def table_version(self, name: str) -> int:
+        return self.server.table_version(name)
+
+    def tombstoned_global_rows(self, name: str) -> set[int]:
+        """Deleted rows of this shard's slice, in global indices."""
+        descriptor = self._descriptors.get(name)
+        if descriptor is None:
+            return set()
+        return {
+            descriptor.global_indices[i]
+            for i in self.server.tombstoned_rows(name)
+        }
+
+    def max_global_index(self, name: str) -> int:
+        """The largest global row index this shard holds (-1 if none)."""
+        descriptor = self._descriptors.get(name)
+        if descriptor is None or not descriptor.global_indices:
+            return -1
+        return descriptor.global_indices[-1]
+
+    # -- dynamic updates --------------------------------------------------
+    def insert_row(
+        self,
+        table_name: str,
+        ciphertext,
+        payload: bytes,
+        prefilter_tags: dict[str, bytes] | None,
+        global_index: int,
+    ) -> int:
+        """Append one row to this shard's slice under ``global_index``.
+
+        The descriptor is extended in place (indices must stay strictly
+        increasing, so the coordinator assigns fresh global numbers past
+        every shard's maximum); returns the shard-local row index.
+        """
+        descriptor = self._descriptors.get(table_name)
+        if descriptor is None:
+            raise SchemeError(
+                f"shard holds no table {table_name!r} to insert into"
+            )
+        if (
+            descriptor.global_indices
+            and global_index <= descriptor.global_indices[-1]
+        ):
+            raise SchemeError(
+                f"global index {global_index} not past this shard's "
+                f"maximum {descriptor.global_indices[-1]}"
+            )
+        local = self.server.insert_row(
+            table_name, ciphertext, payload, prefilter_tags
+        )
+        updated = dataclasses.replace(
+            descriptor,
+            global_indices=descriptor.global_indices + (global_index,),
+        )
+        self._descriptors[table_name] = updated
+        self.server.table(table_name).shard = updated
+        return local
+
+    def delete_rows(self, table_name: str, global_indices) -> int:
+        """Tombstone the listed global rows this shard owns; returns
+        how many of them actually lived here."""
+        descriptor = self._descriptors.get(table_name)
+        if descriptor is None:
+            return 0
+        position = {
+            g: i for i, g in enumerate(descriptor.global_indices)
+        }
+        local = [position[g] for g in global_indices if g in position]
+        if local:
+            self.server.delete_rows(table_name, local)
+        return len(local)
+
+    def row_key(
+        self, ciphertext, prefilter_tags: dict[str, bytes] | None = None
+    ) -> bytes:
+        """The partitioner's stable key for one row (mirror of
+        :func:`~repro.shard.partition.row_shard_keys`)."""
+        if prefilter_tags:
+            column = sorted(prefilter_tags)[0]
+            return prefilter_tags[column]
+        backend = self.server.scheme.backend
+        return b"".join(
+            backend.encode_g2(element) for element in ciphertext.elements
+        )
+
     # -- storage ----------------------------------------------------------
     def store(self, table: EncryptedTable) -> None:
         descriptor = table.shard
@@ -149,6 +250,7 @@ class LocalShard:
         query: EncryptedJoinQuery,
         engine: ExecutionEngine | str | None = None,
         qos: QueryQoS | None = None,
+        exclude: dict[str, set[int]] | None = None,
     ) -> list[SideEventSource]:
         """Open both sides' decrypt streams on this shard's pool.
 
@@ -158,6 +260,9 @@ class LocalShard:
         operates in the single-store index space.  The query's QoS is
         stamped here (per shard) unless the caller passes one, so every
         shard's admission scheduler sees the same priority/deadline.
+        ``exclude`` maps a side to *global* rows the coordinator already
+        holds handles for (the delta-scatter path): those rows are
+        translated to shard-local indices and never decrypted again.
         """
         if qos is None:
             qos = _query_qos(query)
@@ -173,10 +278,23 @@ class LocalShard:
         sources: list[SideEventSource] = []
         try:
             for side, table_name, token, prefilter in sides:
-                candidates, stream = self.server.open_side_stream(
-                    table_name, token, prefilter, qos=qos, engine=engine
-                )
                 descriptor = self._descriptors[table_name]
+                exclude_rows: set[int] | None = None
+                excluded_global = (exclude or {}).get(side)
+                if excluded_global:
+                    exclude_rows = {
+                        i
+                        for i, g in enumerate(descriptor.global_indices)
+                        if g in excluded_global
+                    }
+                candidates, stream = self.server.open_side_stream(
+                    table_name,
+                    token,
+                    prefilter,
+                    qos=qos,
+                    engine=engine,
+                    exclude_rows=exclude_rows,
+                )
                 table = self.server.table(table_name)
                 sources.append(SideEventSource(
                     side,
@@ -250,7 +368,11 @@ def _query_qos(query: EncryptedJoinQuery) -> QueryQoS | None:
 class ShardCoordinator:
     """Co-admits a query on every shard and merges the match streams."""
 
-    def __init__(self, shards):
+    def __init__(
+        self,
+        shards,
+        series_cache_bytes: int | None = DEFAULT_SERIES_BUDGET,
+    ):
         if not shards:
             raise SchemeError("a shard coordinator needs at least one shard")
         self.shards = list(shards)
@@ -259,6 +381,88 @@ class ShardCoordinator:
         #: :attr:`~repro.core.server.SecureJoinServer.observations` —
         #: the coordinator sees every handle the shards computed.
         self.observations: list[QueryObservation] = []
+        # The coordinator keeps its *own* series cache (handles plus
+        # payloads — it holds no tables to re-read them from), but only
+        # when every shard exposes the maintenance counters and a
+        # keying backend; a remote shard without them silently bypasses
+        # caching rather than risking stale replays.
+        capable = all(
+            hasattr(shard, "table_version")
+            and hasattr(shard, "table_epoch")
+            and hasattr(shard, "tombstoned_global_rows")
+            for shard in self.shards
+        ) and getattr(self.shards[0], "backend", None) is not None
+        self.series_cache: SeriesCache | None = (
+            SeriesCache(series_cache_bytes)
+            if series_cache_bytes and capable
+            else None
+        )
+
+    def _table_epochs(self, name: str) -> tuple[int, ...]:
+        return tuple(shard.table_epoch(name) for shard in self.shards)
+
+    def _table_versions(self, name: str) -> tuple[int, ...]:
+        return tuple(shard.table_version(name) for shard in self.shards)
+
+    def _tombstoned_rows(self, name: str) -> set[int]:
+        doomed: set[int] = set()
+        for shard in self.shards:
+            doomed |= shard.tombstoned_global_rows(name)
+        return doomed
+
+    # -- dynamic updates --------------------------------------------------
+    def insert_row(
+        self,
+        table_name: str,
+        ciphertext,
+        payload: bytes,
+        prefilter_tags: dict[str, bytes] | None = None,
+    ) -> int:
+        """Insert one client-encrypted row into the sharded store.
+
+        The row lands on the shard the partitioner's hash names (same
+        key function as :func:`~repro.shard.partition.partition_rows`,
+        so a later repartition reproduces the placement), under a fresh
+        global index past every shard's maximum.  Returns that global
+        index.
+        """
+        layouts = [
+            shard.layout
+            for shard in self.shards
+            if getattr(shard, "layout", None) is not None
+        ]
+        if not layouts:
+            raise SchemeError(
+                "cannot insert before any partitioned table is stored"
+            )
+        _, shard_count, seed = layouts[0]
+        key = self.shards[0].row_key(ciphertext, prefilter_tags)
+        target_index = shard_of_bytes(key, shard_count, seed)
+        by_index = {
+            shard.layout[0]: shard
+            for shard in self.shards
+            if getattr(shard, "layout", None) is not None
+        }
+        target = by_index.get(target_index)
+        if target is None:
+            raise SchemeError(
+                f"no shard holds partition index {target_index}"
+            )
+        global_index = 1 + max(
+            shard.max_global_index(table_name) for shard in self.shards
+        )
+        target.insert_row(
+            table_name, ciphertext, payload, prefilter_tags, global_index
+        )
+        return global_index
+
+    def delete_rows(self, table_name: str, global_indices) -> int:
+        """Tombstone global rows wherever they live; returns the count
+        of rows that existed somewhere."""
+        return sum(
+            shard.delete_rows(table_name, list(global_indices))
+            for shard in self.shards
+        )
 
     def _validate_layouts(self) -> None:
         layouts = [
@@ -383,6 +587,61 @@ class ShardCoordinator:
         qos = _query_qos(query)
         relative_deadline = getattr(query, "deadline", None)
 
+        cache = self.series_cache
+        # Mirror of the server's rule: a concrete engine override is an
+        # instruction to execute, so it bypasses replay; None / "auto"
+        # accept the cached plan.
+        replay_eligible = engine is None or engine == "auto"
+        key = b""
+        if cache is not None:
+            key = series_key(query, self.shards[0].backend)
+        if cache is not None and replay_eligible:
+            epochs = (
+                self._table_epochs(query.left_table),
+                self._table_epochs(query.right_table),
+            )
+            entry = cache.lookup(key, epochs)
+            if entry is not None and algorithm not in (
+                "auto",
+                entry.matcher_name,
+            ):
+                # An explicit matcher request must actually exercise
+                # that matcher; the from-scratch pass replaces the entry.
+                entry = None
+            if entry is not None:
+                versions = (
+                    self._table_versions(query.left_table),
+                    self._table_versions(query.right_table),
+                )
+                with entry.lock:
+                    if entry.versions == versions:
+                        return (
+                            yield from self._series_replay_events(
+                                entry, query, stats
+                            )
+                        )
+                    return (
+                        yield from self._series_delta_events(
+                            entry, query, engine, stats, qos, versions
+                        )
+                    )
+        if cache is not None:
+            # Snapshot the maintenance state before any scatter work so
+            # a concurrent mutation surfaces as a version mismatch on
+            # the next lookup instead of silently staling the entry.
+            miss_epochs = (
+                self._table_epochs(query.left_table),
+                self._table_epochs(query.right_table),
+            )
+            miss_versions = (
+                self._table_versions(query.left_table),
+                self._table_versions(query.right_table),
+            )
+            miss_tombstones = {
+                LEFT: self._tombstoned_rows(query.left_table),
+                RIGHT: self._tombstoned_rows(query.right_table),
+            }
+
         # Scatter: open every shard's sides before pulling any chunk, so
         # all pools co-admit the query and interleave from the start.
         sources: list[_GuardedSource] = []
@@ -412,6 +671,9 @@ class ShardCoordinator:
 
         tables = {LEFT: query.left_table, RIGHT: query.right_table}
         payloads: dict[str, dict[int, bytes]] = {LEFT: {}, RIGHT: {}}
+        retained: dict[str, dict[int, bytes]] | None = (
+            {LEFT: {}, RIGHT: {}} if cache is not None else None
+        )
 
         def on_items(side: str, items: list) -> None:
             table_name = tables[side]
@@ -419,6 +681,10 @@ class ShardCoordinator:
             for row, handle, payload in items:
                 payload_map[row] = payload
                 observation.handles[(table_name, row)] = handle
+            if retained is not None:
+                side_handles = retained[side]
+                for row, handle, _ in items:
+                    side_handles[row] = handle
 
         pipeline = run_scatter_pipeline(sources, matcher, on_items=on_items)
         try:
@@ -486,12 +752,246 @@ class ShardCoordinator:
         stats.time_to_first_match = outcome.timings.time_to_first_match
         stats.decrypt_seconds = outcome.timings.decrypt_seconds
         stats.match_seconds = outcome.timings.match_seconds
+        if cache is not None:
+            entry = SeriesEntry(
+                key,
+                query.left_table,
+                query.right_table,
+                miss_epochs,
+                miss_versions,
+                matcher,
+                stats.matcher,
+            )
+            entry.handles = retained
+            # Payloads retained too: on a replay the coordinator has no
+            # local tables to re-read them from.
+            entry.payloads = {
+                LEFT: dict(payloads[LEFT]),
+                RIGHT: dict(payloads[RIGHT]),
+            }
+            entry.applied_tombstones = miss_tombstones
+            cache.store(entry)
         return EncryptedJoinResult(
             left_table=query.left_table,
             right_table=query.right_table,
             index_pairs=pairs,
             left_payloads=[payloads[LEFT][i] for i, _ in pairs],
             right_payloads=[payloads[RIGHT][j] for _, j in pairs],
+            stats=stats,
+        )
+
+    def _series_replay_events(
+        self,
+        entry: SeriesEntry,
+        query: EncryptedJoinQuery,
+        stats: ServerStats,
+    ):
+        """Warm sharded replay: no shard is contacted, no stream opens."""
+        pairs = entry.matcher.finish()
+        entry.replays += 1
+        if self.series_cache is not None:
+            self.series_cache.stats.replays += 1
+        stats.series_cache_hits = 1
+        stats.reused_handles = entry.reused_handles()
+        stats.matches = len(pairs)
+        stats.probes = entry.matcher.stats.probes
+        stats.comparisons = entry.matcher.stats.comparisons
+        stats.matcher = entry.matcher_name
+        stats.engine = "series"
+        stats.engine_selected = "series"
+        stats.candidates_left = len(entry.handles[LEFT])
+        stats.candidates_right = len(entry.handles[RIGHT])
+        stats.planner = [
+            {
+                "stage": "series",
+                "outcome": "replay",
+                "reused_handles": stats.reused_handles,
+                "pairs": len(pairs),
+            }
+        ]
+        observation = QueryObservation(query.query_id)
+        tables = {LEFT: query.left_table, RIGHT: query.right_table}
+        for side, table_name in tables.items():
+            for row, handle in entry.handles[side].items():
+                observation.handles[(table_name, row)] = handle
+        self.observations.append(observation)
+        left_payloads = [entry.payloads[LEFT][i] for i, _ in pairs]
+        right_payloads = [entry.payloads[RIGHT][j] for _, j in pairs]
+        if pairs:
+            yield MatchBatch(
+                index_pairs=list(pairs),
+                left_payloads=list(left_payloads),
+                right_payloads=list(right_payloads),
+            )
+        return EncryptedJoinResult(
+            left_table=query.left_table,
+            right_table=query.right_table,
+            index_pairs=pairs,
+            left_payloads=left_payloads,
+            right_payloads=right_payloads,
+            stats=stats,
+        )
+
+    def _series_delta_events(
+        self,
+        entry: SeriesEntry,
+        query: EncryptedJoinQuery,
+        engine: ExecutionEngine | str | None,
+        stats: ServerStats,
+        qos: QueryQoS | None,
+        versions,
+    ):
+        """Sharded delta refresh: scatter only never-seen rows.
+
+        Newly tombstoned global rows are withdrawn from the retained
+        matcher first, then every shard is asked for its sides *minus*
+        the rows the coordinator already holds handles for — each shard
+        decrypts only its slice of the delta.
+        """
+        cache = self.series_cache
+        matcher = entry.matcher
+        relative_deadline = getattr(query, "deadline", None)
+        for side, table_name in (
+            (LEFT, query.left_table),
+            (RIGHT, query.right_table),
+        ):
+            current = self._tombstoned_rows(table_name)
+            new = current - entry.applied_tombstones[side]
+            doomed = [i for i in new if i in entry.handles[side]]
+            if doomed:
+                if side == LEFT:
+                    matcher.retract_left(doomed)
+                else:
+                    matcher.retract_right(doomed)
+                for i in doomed:
+                    del entry.handles[side][i]
+                    entry.payloads[side].pop(i, None)
+            entry.applied_tombstones[side] |= new
+        stats.series_cache_hits = 1
+        stats.reused_handles = entry.reused_handles()
+        stats.matcher = entry.matcher_name
+
+        exclude = {
+            LEFT: set(entry.handles[LEFT]),
+            RIGHT: set(entry.handles[RIGHT]),
+        }
+        sources: list[_GuardedSource] = []
+        try:
+            for ordinal, shard in enumerate(self.shards):
+                for source in shard.open_scatter_sources(
+                    query, engine=engine, qos=qos, exclude=exclude
+                ):
+                    sources.append(_GuardedSource(ordinal, shard, source))
+        except BaseException:
+            for guarded in sources:
+                guarded.close()
+            raise
+
+        # Stream the retained pairs first so the union of yielded
+        # batches still equals the final canonical result.
+        retained_pairs = matcher.finish()
+        if retained_pairs:
+            yield MatchBatch(
+                index_pairs=list(retained_pairs),
+                left_payloads=[
+                    entry.payloads[LEFT][i] for i, _ in retained_pairs
+                ],
+                right_payloads=[
+                    entry.payloads[RIGHT][j] for _, j in retained_pairs
+                ],
+            )
+
+        observation = QueryObservation(query.query_id)
+        tables = {LEFT: query.left_table, RIGHT: query.right_table}
+        for side, table_name in tables.items():
+            for row, handle in entry.handles[side].items():
+                observation.handles[(table_name, row)] = handle
+
+        def on_items(side: str, items: list) -> None:
+            table_name = tables[side]
+            side_handles = entry.handles[side]
+            side_payloads = entry.payloads[side]
+            for row, handle, payload in items:
+                observation.handles[(table_name, row)] = handle
+                side_handles[row] = handle
+                side_payloads[row] = payload
+
+        pipeline = run_scatter_pipeline(sources, matcher, on_items=on_items)
+        try:
+            while True:
+                try:
+                    new_pairs = next(pipeline)
+                except StopIteration as stop:
+                    outcome = stop.value
+                    break
+                if qos is not None and qos.expired():
+                    raise DeadlineError(
+                        f"query {query.query_id} exceeded its deadline "
+                        f"of {relative_deadline}s; cancelled mid-refresh"
+                    )
+                yield MatchBatch(
+                    index_pairs=list(new_pairs),
+                    left_payloads=[
+                        entry.payloads[LEFT][i] for i, _ in new_pairs
+                    ],
+                    right_payloads=[
+                        entry.payloads[RIGHT][j] for _, j in new_pairs
+                    ],
+                )
+        finally:
+            pipeline.close()
+            self.observations.append(observation)
+
+        # Gather accounting over the delta scatter only.
+        shard_rows = [0] * len(self.shards)
+        delta_rows = 0
+        for guarded in sources:
+            result = guarded.outcome
+            if isinstance(result, ScatterOutcome):
+                rows = result.candidates_left + result.candidates_right
+                shard_rows[guarded.ordinal] += rows
+                delta_rows += rows
+                for report in (result.left_report, result.right_report):
+                    if report is not None:
+                        stats.merge_report(report)
+            else:
+                rows = len(getattr(guarded.source, "rows", None) or ())
+                shard_rows[guarded.ordinal] += rows
+                delta_rows += rows
+                if isinstance(result, EngineReport):
+                    stats.merge_report(result)
+        stats.delta_rows = delta_rows
+        stats.decryptions = delta_rows
+        stats.candidates_left = len(entry.handles[LEFT])
+        stats.candidates_right = len(entry.handles[RIGHT])
+        stats.shard_skew = shard_skew(shard_rows)
+        if stats.planner is None:
+            stats.planner = []
+        stats.planner.append({
+            "stage": "delta",
+            "rows": delta_rows,
+            "rows_per_shard": list(shard_rows),
+            "reused_handles": stats.reused_handles,
+        })
+
+        pairs = outcome.pairs
+        stats.matches = len(pairs)
+        stats.probes = matcher.stats.probes
+        stats.comparisons = matcher.stats.comparisons
+        stats.time_to_first_match = outcome.timings.time_to_first_match
+        stats.decrypt_seconds = outcome.timings.decrypt_seconds
+        stats.match_seconds = outcome.timings.match_seconds
+        entry.versions = versions
+        entry.delta_refreshes += 1
+        if cache is not None:
+            cache.stats.delta_refreshes += 1
+            cache.reaccount(entry)
+        return EncryptedJoinResult(
+            left_table=query.left_table,
+            right_table=query.right_table,
+            index_pairs=pairs,
+            left_payloads=[entry.payloads[LEFT][i] for i, _ in pairs],
+            right_payloads=[entry.payloads[RIGHT][j] for _, j in pairs],
             stats=stats,
         )
 

@@ -9,6 +9,7 @@ from __future__ import annotations
 
 import json
 import struct
+import zlib
 
 from repro.errors import SchemeError
 
@@ -149,3 +150,61 @@ def read_element_vector(reader: Reader, size: int) -> list[bytes]:
             f"{reader.remaining} remain"
         )
     return [reader.take(size) for _ in range(count)]
+
+
+def write_compressed_element_vector(
+    writer: Writer, elements: list[bytes], size: int, level: int = 6
+) -> None:
+    """A fixed-element-size vector stored zlib-compressed.
+
+    Layout: ``u32 count || blob(zlib(concatenation))``.  Worth it for
+    sections with internal structure (the prepared-row coefficient
+    blocks share flag bytes and padding); near-uniform ciphertext bytes
+    barely shrink, which is why this is opt-in per section, not the
+    default for every vector.
+    """
+    payload = bytearray()
+    for element in elements:
+        if len(element) != size:
+            raise SchemeError(
+                f"element of {len(element)} bytes in a vector of {size}-byte "
+                "elements"
+            )
+        payload += element
+    writer.u32(len(elements))
+    writer.blob(zlib.compress(bytes(payload), level))
+
+
+def read_compressed_element_vector(reader: Reader, size: int) -> list[bytes]:
+    """Inverse of :func:`write_compressed_element_vector` (validating).
+
+    The expected plaintext size is ``count * size``, known before
+    inflating, so decompression is capped at exactly that budget plus
+    one probe byte — a zlib bomb (tiny blob, huge expansion) fails fast
+    instead of ballooning memory, and a short stream fails loudly.
+    """
+    if size < 1:
+        raise SchemeError(f"element size must be positive, got {size}")
+    count = reader.u32()
+    compressed = reader.blob()
+    expected = count * size
+    inflater = zlib.decompressobj()
+    try:
+        data = inflater.decompress(compressed, expected + 1)
+    except zlib.error as error:
+        raise SchemeError(f"corrupt compressed vector: {error}") from error
+    if len(data) > expected:
+        raise SchemeError(
+            f"compressed vector inflates past its declared "
+            f"{count} x {size} bytes"
+        )
+    if len(data) != expected or not inflater.eof:
+        raise SchemeError(
+            f"compressed vector holds {len(data)} bytes; "
+            f"{count} elements of {size} bytes need {expected}"
+        )
+    if inflater.unused_data:
+        raise SchemeError(
+            "trailing garbage after the compressed vector's zlib stream"
+        )
+    return [data[i * size:(i + 1) * size] for i in range(count)]

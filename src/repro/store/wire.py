@@ -70,7 +70,11 @@ _FRAME_MAGIC = b"RPROJFRM"
 # (one shard's decrypted handle events with *global* row indices and
 # payloads) and scatter-final (per-side candidate counts and engine
 # reports) — and result stats carry ``shards`` / ``shard_skew``.
-_VERSION = 5
+# Version 6 (the query-series PR): result stats carry the cross-query
+# cache counters ``series_cache_hits`` / ``delta_rows`` /
+# ``reused_handles``.  Optional JSON keys again, so v1..v5 payloads
+# still decode and v5 decoders ignore the new fields.
+_VERSION = 6
 _MIN_VERSION = 1
 # Frames did not exist before v4, so their compatibility window starts
 # there.
@@ -338,6 +342,9 @@ def _stats_dict(stats: ServerStats) -> dict:
         "concurrent_sides": stats.concurrent_sides,
         "shards": stats.shards,
         "shard_skew": stats.shard_skew,
+        "series_cache_hits": stats.series_cache_hits,
+        "delta_rows": stats.delta_rows,
+        "reused_handles": stats.reused_handles,
     }
 
 

@@ -8,8 +8,9 @@ import pytest
 
 from repro.crypto.curve import G1Point, G2Point, TWIST_B, embed_g1, untwist
 from repro.crypto.field import Fp2, Fp12
+from repro.crypto.numtheory import naf_digits
 from repro.crypto.params import CURVE_ORDER
-from repro.errors import CurveError
+from repro.errors import CurveError, FieldError
 
 _rng = random.Random(7)
 
@@ -125,3 +126,66 @@ class TestUntwist:
 
         q = G2Point.generator()
         assert untwist(q.double()) == _double(untwist(q))
+
+
+class TestNAFScalarMul:
+    """The NAF ladder: same results, pinned-lower addition count."""
+
+    def test_naf_digits_reconstruct_and_are_non_adjacent(self):
+        for _ in range(100):
+            k = _rng.randrange(0, CURVE_ORDER)
+            digits = naf_digits(k)
+            assert sum(d << i for i, d in enumerate(digits)) == k
+            assert all(d in (-1, 0, 1) for d in digits)
+            assert all(
+                not (digits[i] and digits[i + 1])
+                for i in range(len(digits) - 1)
+            )
+
+    def test_naf_rejects_negative(self):
+        with pytest.raises(FieldError):
+            naf_digits(-1)
+
+    def test_matches_plain_double_and_add(self):
+        def naive(point, k):
+            result = type(point).infinity()
+            addend = point
+            while k:
+                if k & 1:
+                    result = result + addend
+                addend = addend.double()
+                k >>= 1
+            return result
+
+        g1, g2 = G1Point.generator(), G2Point.generator()
+        for k in (0, 1, 2, 3, CURVE_ORDER - 1, CURVE_ORDER,
+                  _rng.randrange(CURVE_ORDER)):
+            assert g1.scalar_mul(k) == naive(g1, k % CURVE_ORDER)
+            assert g2.scalar_mul(k) == naive(g2, k % CURVE_ORDER)
+
+    def test_addition_count_regression(self, monkeypatch):
+        """scalar_mul must perform exactly one addition per nonzero NAF
+        digit plus one doubling per digit — strictly fewer additions
+        than the binary ladder's Hamming-weight count."""
+        adds = {"n": 0}
+        doubles = {"n": 0}
+        real_add = G1Point.__add__
+        real_double = G1Point.double
+
+        def counting_add(self, other):
+            adds["n"] += 1
+            return real_add(self, other)
+
+        def counting_double(self):
+            doubles["n"] += 1
+            return real_double(self)
+
+        monkeypatch.setattr(G1Point, "__add__", counting_add)
+        monkeypatch.setattr(G1Point, "double", counting_double)
+        k = _rng.randrange(1, CURVE_ORDER)
+        digits = naf_digits(k)
+        naf_weight = sum(1 for d in digits if d)
+        G1Point.generator().scalar_mul(k)
+        assert adds["n"] == naf_weight
+        assert doubles["n"] == len(digits)
+        assert naf_weight < bin(k).count("1") or naf_weight <= 2

@@ -14,14 +14,16 @@ from repro.crypto.pairing import (
     multi_pairing,
     pairing,
 )
+from repro.crypto.numtheory import naf_digits
 from repro.crypto.pairing_fast import (
+    _pow_by_x,
     _twist_frobenius,
     final_exponentiation_fast,
     miller_loop_fast,
     multi_pairing_fast,
     pairing_fast,
 )
-from repro.crypto.params import CURVE_ORDER
+from repro.crypto.params import BN_X, CURVE_ORDER
 
 _rng = random.Random(2718)
 
@@ -131,3 +133,38 @@ class TestSparseMultiplication:
         a, b = 999, Fp2(13, 14)
         vertical = Fp12(Fp6(Fp2(a), b, Fp2.zero()), Fp6.zero())
         assert f.mul_by_vertical(a, b) == f * vertical
+
+
+class TestNAFPowByX:
+    """The cyclotomic NAF ladder inside the final exponentiation."""
+
+    def test_bn_x_naf_weight_pinned(self):
+        # x = 4965661367192848881 has binary weight 28; its NAF weight
+        # is 24.  The ladder multiplies once per nonzero digit, so this
+        # pin IS the op-count regression test for _pow_by_x.
+        digits = naf_digits(BN_X)
+        assert sum(d << i for i, d in enumerate(digits)) == BN_X
+        assert sum(1 for d in digits if d) == 24
+        assert bin(BN_X).count("1") == 28
+
+    def test_pow_by_x_matches_generic_pow_on_cyclotomic_input(self):
+        # _pow_by_x uses conjugation as inversion, which is only valid
+        # in the cyclotomic subgroup — so feed it what production feeds
+        # it: the output of the easy part.
+        p = G1Point.generator() * _rng.randrange(1, CURVE_ORDER)
+        q = G2Point.generator() * _rng.randrange(1, CURVE_ORDER)
+        f = miller_loop_fast(q, p)
+        t = f.conjugate() * f.inverse()
+        t = t.frobenius().frobenius() * t
+        assert _pow_by_x(t) == t.pow(BN_X)
+
+    def test_pairing_byte_identity_with_reference(self):
+        # The NAF ladders (curve scalar_mul + _pow_by_x) must not move
+        # a single byte of the pairing output vs the reference path.
+        for _ in range(3):
+            p = G1Point.generator() * _rng.randrange(1, CURVE_ORDER)
+            q = G2Point.generator() * _rng.randrange(1, CURVE_ORDER)
+            assert (
+                pairing_fast(p, q).to_bytes()
+                == pairing(p, q).to_bytes()
+            )

@@ -1,0 +1,650 @@
+"""Tests for the query-series cache and delta-maintained joins.
+
+The contract under test: re-submitting the *same* encrypted query
+replays the cached canonical result with zero pairing work; base-table
+mutations are repaired by decrypting only the delta; and every cached
+or delta-maintained answer is byte-identical to a from-scratch join on
+a cache-less server holding the same tables.
+"""
+
+from __future__ import annotations
+
+import copy
+import json
+import random
+import struct
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.bench.costmodel import (
+    EngineCostModel,
+    choose_delta_engine,
+    default_engine_cost_model,
+)
+from repro.core.client import SecureJoinClient
+from repro.core.server import SecureJoinServer
+from repro.db.matcher import get_matcher
+from repro.db.query import JoinQuery
+from repro.db.schema import Schema
+from repro.db.table import Table
+from repro.errors import BenchmarkError
+from repro.series.cache import SeriesCache, SeriesEntry, series_key
+from repro.shard.coordinator import LocalShard, ShardCoordinator
+from repro.shard.partition import partition_table
+from repro.store import wire
+from repro.store.wire import decode_join_result, encode_join_result
+
+LEFT_ROWS = [(1, "a0"), (2, "a1"), (3, "a2"), (2, "a3")]
+RIGHT_ROWS = [(2, "b0"), (3, "b1"), (4, "b2")]
+
+
+def _setup(seed=41, series_cache_bytes=None, enable_prefilter=False,
+           **server_kwargs):
+    """Two small joined tables on one server; default cache budget."""
+    left = Table("L", Schema.of(("k", "int"), ("a", "str")), LEFT_ROWS)
+    right = Table("R", Schema.of(("k", "int"), ("b", "str")), RIGHT_ROWS)
+    client = SecureJoinClient.for_tables(
+        [(left, "k"), (right, "k")],
+        in_clause_limit=2,
+        rng=random.Random(seed),
+        enable_prefilter=enable_prefilter,
+    )
+    if series_cache_bytes is not None:
+        server_kwargs["series_cache_bytes"] = series_cache_bytes
+    server = SecureJoinServer(client.params, **server_kwargs)
+    server.store(client.encrypt_table(left, "k"))
+    server.store(client.encrypt_table(right, "k"))
+    return client, server
+
+
+def _query(client, **kwargs):
+    return client.create_query(
+        JoinQuery.build("L", "R", on=("k", "k")), **kwargs
+    )
+
+
+def _mirror(client, server):
+    """A cache-less server holding deep copies of ``server``'s tables."""
+    mirror = SecureJoinServer(client.params, series_cache_bytes=0)
+    for name in ("L", "R"):
+        mirror.store(copy.deepcopy(server.table(name)))
+    for name in ("L", "R"):
+        doomed = server.tombstoned_rows(name)
+        if doomed:
+            mirror.delete_rows(name, sorted(doomed))
+    return mirror
+
+
+def _assert_identical(result, reference):
+    assert result.index_pairs == reference.index_pairs
+    assert result.left_payloads == reference.left_payloads
+    assert result.right_payloads == reference.right_payloads
+    assert result.stats.matches == reference.stats.matches
+
+
+def _drain(generator):
+    batches = []
+    while True:
+        try:
+            batches.append(next(generator))
+        except StopIteration as stop:
+            return batches, stop.value
+
+
+# -- the series key -------------------------------------------------------
+
+
+class TestSeriesKey:
+    def test_same_query_same_key(self):
+        client, server = _setup()
+        backend = server.scheme.backend
+        query = _query(client)
+        assert series_key(query, backend) == series_key(query, backend)
+        server.close()
+
+    def test_fresh_tokens_fresh_key(self):
+        # create_query draws fresh randomness, so two submissions of the
+        # same plaintext query are distinct series: the cache must not
+        # (and cannot) conflate them.
+        client, server = _setup()
+        backend = server.scheme.backend
+        assert series_key(_query(client), backend) != series_key(
+            _query(client), backend
+        )
+        server.close()
+
+
+# -- warm replay ----------------------------------------------------------
+
+
+class TestWarmReplay:
+    def test_replay_runs_zero_pairing_ops(self):
+        client, server = _setup()
+        ops = server.scheme.backend.ops
+        query = _query(client)
+        cold = server.execute_join(query)
+        snapshot = ops.snapshot()
+        warm = server.execute_join(query)
+        since = ops.since(snapshot)
+        assert since.miller_loops == 0
+        assert since.prepared_miller_loops == 0
+        assert since.final_exponentiations == 0
+        assert warm.stats.decryptions == 0
+        assert warm.stats.series_cache_hits == 1
+        assert warm.stats.delta_rows == 0
+        assert warm.stats.reused_handles == (
+            cold.stats.candidates_left + cold.stats.candidates_right
+        )
+        assert warm.stats.engine == "series"
+        _assert_identical(warm, cold)
+        assert server.series_cache.stats.replays == 1
+        server.close()
+
+    def test_streamed_replay_matches_materialized(self):
+        client, server = _setup()
+        query = _query(client)
+        cold = server.execute_join(query)
+        batches, warm = _drain(server.stream_join(query))
+        streamed = sorted(
+            pair for batch in batches for pair in batch.index_pairs
+        )
+        assert streamed == sorted(cold.index_pairs)
+        _assert_identical(warm, cold)
+        server.close()
+
+    def test_replay_is_byte_identical_to_scratch(self):
+        client, server = _setup()
+        query = _query(client)
+        server.execute_join(query)
+        warm = server.execute_join(query)
+        scratch = _mirror(client, server)
+        _assert_identical(warm, scratch.execute_join(query))
+        scratch.close()
+        server.close()
+
+    def test_explicit_engine_override_bypasses_replay(self):
+        # A concrete engine override is an instruction to *execute*
+        # SJ.Dec that way (ablation runs depend on it), so it must not
+        # be served from the cache.
+        client, server = _setup()
+        query = _query(client)
+        cold = server.execute_join(query)
+        rerun = server.execute_join(query, engine="serial")
+        assert rerun.stats.series_cache_hits == 0
+        assert rerun.stats.decryptions == cold.stats.decryptions
+        _assert_identical(rerun, cold)
+        server.close()
+
+    def test_explicit_matcher_mismatch_bypasses_replay(self):
+        client, server = _setup()
+        query = _query(client)
+        cold = server.execute_join(query, algorithm="hash")
+        rerun = server.execute_join(query, algorithm="nested")
+        assert rerun.stats.series_cache_hits == 0
+        assert rerun.stats.matcher == "nested"
+        _assert_identical(rerun, cold)
+        server.close()
+
+    def test_disabled_cache_never_hits(self):
+        client, server = _setup(series_cache_bytes=0)
+        assert server.series_cache is None
+        query = _query(client)
+        first = server.execute_join(query)
+        second = server.execute_join(query)
+        assert second.stats.series_cache_hits == 0
+        assert second.stats.decryptions == first.stats.decryptions
+        server.close()
+
+
+# -- delta maintenance ----------------------------------------------------
+
+
+class TestDeltaMaintenance:
+    def test_insert_of_k_rows_decrypts_exactly_k_rows(self):
+        client, server = _setup()
+        ops = server.scheme.backend.ops
+        query = _query(client)
+        server.execute_join(query)
+        inserted = [(2, "new0"), (5, "new1"), (3, "new2")]
+        for row in inserted:
+            server.insert_row("R", *client.encrypt_row_for("R", row))
+        dimension = len(server.table("R").ciphertexts[0])
+        snapshot = ops.snapshot()
+        delta = server.execute_join(query)
+        since = ops.since(snapshot)
+        assert delta.stats.series_cache_hits == 1
+        assert delta.stats.delta_rows == len(inserted)
+        assert delta.stats.decryptions == len(inserted)
+        # SJ.Dec costs one Miller loop per ciphertext element, so the
+        # pairing counter pins the decryption count independently.
+        assert (
+            since.miller_loops + since.prepared_miller_loops
+            == len(inserted) * dimension
+        )
+        scratch = _mirror(client, server)
+        _assert_identical(delta, scratch.execute_join(query))
+        scratch.close()
+        server.close()
+
+    def test_delete_refresh_decrypts_nothing(self):
+        client, server = _setup()
+        ops = server.scheme.backend.ops
+        query = _query(client)
+        cold = server.execute_join(query)
+        server.delete_rows("R", [0])
+        snapshot = ops.snapshot()
+        refreshed = server.execute_join(query)
+        since = ops.since(snapshot)
+        assert since.miller_loops == 0
+        assert since.prepared_miller_loops == 0
+        assert refreshed.stats.series_cache_hits == 1
+        assert refreshed.stats.delta_rows == 0
+        assert refreshed.stats.decryptions == 0
+        assert all(pair[1] != 0 for pair in refreshed.index_pairs)
+        assert len(refreshed.index_pairs) < len(cold.index_pairs)
+        scratch = _mirror(client, server)
+        _assert_identical(refreshed, scratch.execute_join(query))
+        scratch.close()
+        server.close()
+
+    def test_replay_after_delta_is_warm_again(self):
+        client, server = _setup()
+        query = _query(client)
+        server.execute_join(query)
+        server.insert_row("L", *client.encrypt_row_for("L", (4, "late")))
+        server.execute_join(query)
+        warm = server.execute_join(query)
+        assert warm.stats.series_cache_hits == 1
+        assert warm.stats.delta_rows == 0
+        assert warm.stats.decryptions == 0
+        server.close()
+
+    def test_streamed_delta_yields_retained_pairs_first(self):
+        client, server = _setup()
+        query = _query(client)
+        cold = server.execute_join(query)
+        server.insert_row("R", *client.encrypt_row_for("R", (1, "fresh")))
+        batches, result = _drain(server.stream_join(query))
+        assert sorted(batches[0].index_pairs) == sorted(cold.index_pairs)
+        streamed = sorted(
+            pair for batch in batches for pair in batch.index_pairs
+        )
+        assert streamed == sorted(result.index_pairs)
+        server.close()
+
+    def test_delta_planner_prices_small_deltas_serial(self):
+        model = default_engine_cost_model("fast")
+        chosen, estimates = choose_delta_engine(
+            model, rows=3, dimension=4, workers=4, pool_warm=True
+        )
+        assert chosen == "serial"
+        assert set(estimates) == {"serial", "batched", "parallel"}
+
+
+# -- invalidation ---------------------------------------------------------
+
+
+class TestInvalidation:
+    def test_restore_invalidates_the_series(self):
+        client, server = _setup()
+        query = _query(client)
+        server.execute_join(query)
+        left = Table("L", Schema.of(("k", "int"), ("a", "str")), LEFT_ROWS)
+        server.store(client.encrypt_table(left, "k"))
+        assert server.series_cache.stats.invalidations >= 1
+        again = server.execute_join(query)
+        assert again.stats.series_cache_hits == 0
+        assert again.stats.decryptions > 0
+        server.close()
+
+    def test_version_counters_route_to_delta_not_replay(self):
+        client, server = _setup()
+        query = _query(client)
+        server.execute_join(query)
+        before = server.table_version("R")
+        server.insert_row("R", *client.encrypt_row_for("R", (9, "v")))
+        assert server.table_version("R") == before + 1
+        delta = server.execute_join(query)
+        assert delta.stats.series_cache_hits == 1
+        assert delta.stats.delta_rows == 1
+        server.close()
+
+
+# -- eviction under a byte budget ----------------------------------------
+
+
+class TestEviction:
+    def test_budget_evicts_lru_and_stays_correct(self):
+        client, server = _setup()
+        entry_bytes = None
+        query_a = _query(client)
+        server.execute_join(query_a)
+        cache = server.series_cache
+        entry_bytes = next(iter(cache._entries.values())).byte_size
+        # Shrink the budget to hold exactly one entry, then cache a
+        # second series: the older one must be evicted.
+        cache.budget_bytes = entry_bytes + entry_bytes // 2
+        query_b = _query(client)
+        server.execute_join(query_b)
+        assert cache.stats.evictions >= 1
+        assert len(cache._entries) == 1
+        evicted_rerun = server.execute_join(query_a)
+        assert evicted_rerun.stats.series_cache_hits == 0
+        scratch = _mirror(client, server)
+        _assert_identical(evicted_rerun, scratch.execute_join(query_a))
+        scratch.close()
+        server.close()
+
+    def test_oversized_entry_is_not_cached(self):
+        cache = SeriesCache(budget_bytes=8)
+        entry = SeriesEntry(
+            key=b"k" * 32, left_table="L", right_table="R",
+            epochs=(1, 1), versions=(0, 0),
+            matcher=get_matcher("hash"), matcher_name="hash",
+        )
+        assert not cache.store(entry)
+        assert cache.lookup(b"k" * 32, (1, 1)) is None
+
+
+# -- wire stats round-trip ------------------------------------------------
+
+
+class TestWireStats:
+    def test_series_counters_round_trip(self):
+        client, server = _setup()
+        query = _query(client)
+        server.execute_join(query)
+        server.insert_row("R", *client.encrypt_row_for("R", (2, "w")))
+        delta = server.execute_join(query)
+        assert delta.stats.delta_rows == 1
+        decoded = decode_join_result(encode_join_result(delta))
+        assert decoded.stats.series_cache_hits == 1
+        assert decoded.stats.delta_rows == 1
+        assert decoded.stats.reused_handles == delta.stats.reused_handles
+        server.close()
+
+    def test_v5_results_still_load_with_zero_series_counters(self):
+        client, server = _setup()
+        query = _query(client)
+        blob = encode_join_result(server.execute_join(query))
+        # Rewrite as a version-5 payload: drop the counters a v5 writer
+        # did not have and stamp the older version byte.
+        magic = blob[:8]
+        (header_len,) = struct.unpack(">I", blob[9:13])
+        header = json.loads(blob[13:13 + header_len])
+        for key in ("series_cache_hits", "delta_rows", "reused_handles"):
+            del header["stats"][key]
+        raw = json.dumps(header, sort_keys=True).encode("utf-8")
+        legacy = (
+            magic + bytes([5]) + struct.pack(">I", len(raw)) + raw
+            + blob[13 + header_len:]
+        )
+        decoded = decode_join_result(legacy)
+        assert decoded.stats.series_cache_hits == 0
+        assert decoded.stats.delta_rows == 0
+        assert decoded.stats.reused_handles == 0
+        server.close()
+
+    def test_future_stats_keys_are_dropped(self):
+        assert "series_cache_hits" in wire._STATS_FIELDS
+
+
+# -- cost-model persistence ----------------------------------------------
+
+
+class TestCostModelPersistence:
+    def test_save_load_round_trip(self, tmp_path):
+        model = default_engine_cost_model("fast")
+        path = tmp_path / "model.json"
+        model.save(path)
+        assert EngineCostModel.load(path) == model
+
+    def test_load_drops_unknown_keys(self, tmp_path):
+        model = default_engine_cost_model("fast")
+        path = tmp_path / "model.json"
+        model.save(path)
+        payload = json.loads(path.read_text())
+        payload["model"]["from_the_future"] = 1.0
+        path.write_text(json.dumps(payload))
+        assert EngineCostModel.load(path) == model
+
+    def test_load_rejects_wrong_format(self, tmp_path):
+        path = tmp_path / "model.json"
+        path.write_text('{"format": "something-else", "model": {}}')
+        with pytest.raises(BenchmarkError):
+            EngineCostModel.load(path)
+        path.write_text("not json at all")
+        with pytest.raises(BenchmarkError):
+            EngineCostModel.load(path)
+
+
+# -- sharded series -------------------------------------------------------
+
+
+def _sharded_setup(seed=43, n_shards=2, series_cache_bytes=None):
+    left = Table("L", Schema.of(("k", "int"), ("a", "str")), LEFT_ROWS)
+    right = Table("R", Schema.of(("k", "int"), ("b", "str")), RIGHT_ROWS)
+    client = SecureJoinClient.for_tables(
+        [(left, "k"), (right, "k")],
+        in_clause_limit=2,
+        rng=random.Random(seed),
+    )
+    backend_probe = SecureJoinServer(client.params)
+    backend = backend_probe.scheme.backend
+    tables = [
+        client.encrypt_table(left, "k"), client.encrypt_table(right, "k")
+    ]
+    shards = [
+        LocalShard(client.params, workers=2, name=f"shard-{i}")
+        for i in range(n_shards)
+    ]
+    for table in tables:
+        for piece in partition_table(table, backend, n_shards):
+            shards[piece.shard.shard_index].store(piece)
+    kwargs = {}
+    if series_cache_bytes is not None:
+        kwargs["series_cache_bytes"] = series_cache_bytes
+    coordinator = ShardCoordinator(shards, **kwargs)
+    backend_probe.close()
+    return client, coordinator, shards
+
+
+class TestShardedSeries:
+    def test_coordinator_replay_runs_zero_pairing_ops(self):
+        client, coordinator, shards = _sharded_setup()
+        query = _query(client)
+        cold = coordinator.execute_join(query)
+        ops = shards[0].backend.ops
+        snapshot = ops.snapshot()
+        warm = coordinator.execute_join(query)
+        since = ops.since(snapshot)
+        assert since.miller_loops == 0
+        assert since.prepared_miller_loops == 0
+        assert warm.stats.series_cache_hits == 1
+        assert warm.stats.decryptions == 0
+        _assert_identical(warm, cold)
+        for shard in shards:
+            shard.close()
+
+    def test_coordinator_delta_insert_decrypts_only_the_delta(self):
+        client, coordinator, shards = _sharded_setup()
+        query = _query(client)
+        coordinator.execute_join(query)
+        coordinator.insert_row("R", *client.encrypt_row_for("R", (2, "d")))
+        delta = coordinator.execute_join(query)
+        assert delta.stats.series_cache_hits == 1
+        assert delta.stats.delta_rows == 1
+        assert delta.stats.decryptions == 1
+        # The new global row joins key 2 on both left rows with that key.
+        fresh = _sharded_setup(seed=43)  # rebuild cold for comparison
+        client2, cold_coord, cold_shards = fresh
+        cold_coord.insert_row(
+            "R", *client2.encrypt_row_for("R", (2, "d"))
+        )
+        cold = cold_coord.execute_join(_query(client2))
+        assert sorted(delta.index_pairs) == sorted(cold.index_pairs)
+        for shard in shards + cold_shards:
+            shard.close()
+
+    def test_coordinator_delete_tombstones_without_recompute(self):
+        client, coordinator, shards = _sharded_setup()
+        query = _query(client)
+        cold = coordinator.execute_join(query)
+        assert coordinator.delete_rows("R", [0]) == 1
+        ops = shards[0].backend.ops
+        snapshot = ops.snapshot()
+        refreshed = coordinator.execute_join(query)
+        since = ops.since(snapshot)
+        assert since.miller_loops == 0
+        assert refreshed.stats.series_cache_hits == 1
+        assert refreshed.stats.delta_rows == 0
+        assert all(pair[1] != 0 for pair in refreshed.index_pairs)
+        assert len(refreshed.index_pairs) < len(cold.index_pairs)
+        for shard in shards:
+            shard.close()
+
+
+# -- interleavings are byte-identical to from-scratch ---------------------
+
+
+ENGINES = (None, "auto", "serial", "batched", "parallel")
+
+
+class TestInterleavings:
+    @pytest.mark.parametrize("engine", ENGINES)
+    def test_fixed_interleaving_every_engine(self, engine):
+        client, server = _setup(workers=2)
+        query = _query(client)
+        steps = [
+            ("query", None),
+            ("insert", ("R", (2, "i0"))),
+            ("query", None),
+            ("delete", ("L", [1])),
+            ("query", None),
+            ("insert", ("L", (4, "i1"))),
+            ("insert", ("R", (4, "i2"))),
+            ("query", None),
+            ("query", None),
+        ]
+        for action, payload in steps:
+            if action == "insert":
+                table, row = payload
+                server.insert_row(
+                    table, *client.encrypt_row_for(table, row)
+                )
+            elif action == "delete":
+                table, rows = payload
+                server.delete_rows(table, rows)
+            else:
+                result = server.execute_join(query, engine=engine)
+                scratch = _mirror(client, server)
+                reference = scratch.execute_join(query, engine=engine)
+                _assert_identical(result, reference)
+                scratch.close()
+        server.close()
+
+    @pytest.mark.parametrize("n_shards", (1, 2))
+    def test_fixed_interleaving_sharded(self, n_shards):
+        client, coordinator, shards = _sharded_setup(n_shards=n_shards)
+        cacheless = _sharded_setup(
+            n_shards=n_shards, series_cache_bytes=0
+        )
+        client2, cold_coord, cold_shards = cacheless
+        assert cold_coord.series_cache is None
+        query = _query(client)
+        query2 = _query(client2)
+        steps = [
+            ("query", None),
+            ("insert", ("R", (3, "s0"))),
+            ("query", None),
+            ("delete", ("R", [1])),
+            ("query", None),
+            ("query", None),
+        ]
+        for action, payload in steps:
+            if action == "insert":
+                table, row = payload
+                coordinator.insert_row(
+                    table, *client.encrypt_row_for(table, row)
+                )
+                cold_coord.insert_row(
+                    table, *client2.encrypt_row_for(table, row)
+                )
+            elif action == "delete":
+                table, rows = payload
+                coordinator.delete_rows(table, rows)
+                cold_coord.delete_rows(table, rows)
+            else:
+                cached = coordinator.execute_join(query)
+                cold = cold_coord.execute_join(query2)
+                assert sorted(cached.index_pairs) == sorted(
+                    cold.index_pairs
+                )
+                assert cached.stats.matches == cold.stats.matches
+        for shard in shards + cold_shards:
+            shard.close()
+
+    @given(
+        engine=st.sampled_from(ENGINES),
+        ops=st.lists(
+            st.one_of(
+                st.tuples(
+                    st.just("insert"),
+                    st.sampled_from(("L", "R")),
+                    st.integers(min_value=1, max_value=5),
+                ),
+                st.tuples(
+                    st.just("delete"),
+                    st.sampled_from(("L", "R")),
+                    st.integers(min_value=0, max_value=7),
+                ),
+                st.tuples(
+                    st.just("query"), st.just(""), st.just(0)
+                ),
+            ),
+            min_size=1,
+            max_size=6,
+        ),
+    )
+    @settings(max_examples=15, deadline=None)
+    def test_property_any_interleaving_matches_scratch(self, engine, ops):
+        client, server = _setup(workers=2)
+        try:
+            query = _query(client)
+            counter = 0
+            for action, table, value in ops:
+                if action == "insert":
+                    counter += 1
+                    server.insert_row(
+                        table,
+                        *client.encrypt_row_for(
+                            table, (value, f"h{counter}")
+                        ),
+                    )
+                elif action == "delete":
+                    live = [
+                        i for i in range(len(server.table(table)))
+                        if i not in server.tombstoned_rows(table)
+                    ]
+                    if live:
+                        server.delete_rows(
+                            table, [live[value % len(live)]]
+                        )
+                else:
+                    result = server.execute_join(query, engine=engine)
+                    scratch = _mirror(client, server)
+                    reference = scratch.execute_join(query, engine=engine)
+                    _assert_identical(result, reference)
+                    scratch.close()
+            batches, streamed = _drain(server.stream_join(query))
+            union = sorted(
+                pair for batch in batches for pair in batch.index_pairs
+            )
+            assert union == sorted(streamed.index_pairs)
+            scratch = _mirror(client, server)
+            _assert_identical(streamed, scratch.execute_join(query))
+            scratch.close()
+        finally:
+            server.close()
