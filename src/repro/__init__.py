@@ -22,7 +22,9 @@ paper-versus-measured record.
 """
 
 from repro.core.client import (
+    DecryptedChainResult,
     DecryptedJoinResult,
+    EncryptedChainQuery,
     EncryptedJoinQuery,
     EncryptedTable,
     SecureJoinClient,
@@ -35,6 +37,8 @@ from repro.core.scheme import (
     SJToken,
 )
 from repro.core.server import (
+    ChainMatchBatch,
+    EncryptedChainResult,
     EncryptedJoinResult,
     QueryObservation,
     SecureJoinServer,
@@ -42,21 +46,30 @@ from repro.core.server import (
 )
 from repro.crypto.backend import get_backend
 from repro.db.database import Database
-from repro.db.query import JoinQuery, TableSelection
+from repro.db.join import chain_join
+from repro.db.query import ChainQuery, JoinQuery, TableSelection
 from repro.db.schema import Column, Schema
 from repro.db.sql import parse_join_query
 from repro.db.table import Table
+from repro.plan import JoinPlan, KeyedHandleStore, compile_plan
 
 __version__ = "1.0.0"
 
 __all__ = [
+    "ChainMatchBatch",
+    "ChainQuery",
     "Column",
     "Database",
+    "DecryptedChainResult",
     "DecryptedJoinResult",
+    "EncryptedChainQuery",
+    "EncryptedChainResult",
     "EncryptedJoinQuery",
     "EncryptedJoinResult",
     "EncryptedTable",
+    "JoinPlan",
     "JoinQuery",
+    "KeyedHandleStore",
     "QueryObservation",
     "Schema",
     "SecureJoinClient",
@@ -69,6 +82,8 @@ __all__ = [
     "SJToken",
     "Table",
     "TableSelection",
+    "chain_join",
+    "compile_plan",
     "get_backend",
     "parse_join_query",
     "__version__",

@@ -24,8 +24,8 @@ from repro.core.scheme import (
 from repro.crypto.backend import BilinearBackend
 from repro.crypto.hashing import derive_key, keyed_tag
 from repro.crypto.symmetric import SymmetricCipher
-from repro.db.join import joined_prefixes
-from repro.db.query import JoinQuery, TableSelection
+from repro.db.join import chain_schema, joined_prefixes
+from repro.db.query import ChainQuery, JoinQuery, TableSelection
 from repro.db.schema import Schema
 from repro.db.table import Table
 from repro.errors import QueryError, SchemeError
@@ -93,12 +93,40 @@ class EncryptedJoinQuery:
     deadline: float | None = None
 
 
+@dataclass(frozen=True)
+class EncryptedChainQuery:
+    """The query-phase message for a multi-way chain join (wire v7).
+
+    One token per chain position, all under a *single* query key —
+    that is what makes every position's handles mutually comparable
+    and lets the server's handle pool decrypt each distinct
+    ``(table, token)`` side exactly once, however many positions share
+    it.  ``prefilters`` are positional (``None`` = no pre-filter).
+    """
+
+    query_id: int
+    tables: tuple[str, ...]
+    tokens: tuple[SJToken, ...]
+    prefilters: "tuple[dict[str, frozenset[bytes]] | None, ...]"
+    engine_hint: str | None = None
+    priority: int = 0
+    deadline: float | None = None
+
+
 @dataclass
 class DecryptedJoinResult:
     """The client-side plaintext view of a join result."""
 
     table: Table
     index_pairs: list[tuple[int, int]] = field(default_factory=list)
+
+
+@dataclass
+class DecryptedChainResult:
+    """The client-side plaintext view of a chain join result."""
+
+    table: Table
+    index_tuples: list[tuple[int, ...]] = field(default_factory=list)
 
 
 class SecureJoinClient:
@@ -288,6 +316,24 @@ class SecureJoinClient:
             tokens[column] = frozenset(keyed_tag(key, v) for v in values)
         return tokens or None
 
+    @staticmethod
+    def _validate_qos(
+        engine: str | None, priority: int, deadline: float | None
+    ) -> None:
+        if engine is not None and engine not in ENGINE_NAMES:
+            raise QueryError(
+                f"unknown execution engine {engine!r}; "
+                f"use one of {ENGINE_NAMES}"
+            )
+        if isinstance(priority, bool) or not isinstance(priority, int):
+            raise QueryError("priority must be an integer")
+        if deadline is not None and (
+            not isinstance(deadline, (int, float)) or deadline <= 0
+        ):
+            raise QueryError(
+                "deadline must be a positive number of seconds (or None)"
+            )
+
     def create_query(
         self,
         query: JoinQuery,
@@ -308,19 +354,7 @@ class SecureJoinClient:
         scheduling QoS — validated here so malformed values fail on the
         client side instead of as a server-side decode error.
         """
-        if engine is not None and engine not in ENGINE_NAMES:
-            raise QueryError(
-                f"unknown execution engine {engine!r}; "
-                f"use one of {ENGINE_NAMES}"
-            )
-        if isinstance(priority, bool) or not isinstance(priority, int):
-            raise QueryError("priority must be an integer")
-        if deadline is not None and (
-            not isinstance(deadline, (int, float)) or deadline <= 0
-        ):
-            raise QueryError(
-                "deadline must be a positive number of seconds (or None)"
-            )
+        self._validate_qos(engine, priority, deadline)
         left = self._table(query.left_table)
         right = self._table(query.right_table)
         if query.left_join_column != left.join_column:
@@ -358,6 +392,64 @@ class SecureJoinClient:
             right_token=right_token,
             left_prefilter=self._prefilter_tokens(left, query.left_selection),
             right_prefilter=self._prefilter_tokens(right, query.right_selection),
+            engine_hint=engine,
+            priority=priority,
+            deadline=float(deadline) if deadline is not None else None,
+        )
+
+    def create_chain_query(
+        self,
+        query: ChainQuery,
+        engine: str | None = None,
+        priority: int = 0,
+        deadline: float | None = None,
+    ) -> EncryptedChainQuery:
+        """SJ.TokenGen for every chain position under *one* query key.
+
+        A single query key makes every position's handles mutually
+        comparable — the property the server's multi-way planner and
+        handle pool build on.  Within one chain, repeated
+        ``(table, selection)`` positions reuse the *same* token object
+        (token generation is randomized, so regenerating would defeat
+        the server's byte-level side dedup without changing semantics).
+        """
+        self._validate_qos(engine, priority, deadline)
+        if query.max_in_size() > self.params.in_clause_limit:
+            raise QueryError(
+                f"IN clause of size {query.max_in_size()} exceeds the "
+                f"scheme bound t={self.params.in_clause_limit}"
+            )
+        encrypted_tables = []
+        for table_name, join_column in zip(query.tables, query.join_columns):
+            encrypted = self._table(table_name)
+            if join_column != encrypted.join_column:
+                raise QueryError(
+                    f"table {encrypted.name!r} was encrypted with join "
+                    f"column {encrypted.join_column!r}, not {join_column!r}"
+                )
+            encrypted_tables.append(encrypted)
+        query_key = self.scheme.new_query_key()
+        token_cache: dict[tuple, SJToken] = {}
+        tokens: list[SJToken] = []
+        prefilters: list[dict[str, frozenset[bytes]] | None] = []
+        for encrypted, selection in zip(encrypted_tables, query.selections):
+            cache_key = (encrypted.name, selection.in_clauses)
+            token = token_cache.get(cache_key)
+            if token is None:
+                token = self.scheme.token(
+                    self.msk,
+                    self._selection_by_position(encrypted, selection),
+                    query_key,
+                )
+                token_cache[cache_key] = token
+            tokens.append(token)
+            prefilters.append(self._prefilter_tokens(encrypted, selection))
+        self._query_counter += 1
+        return EncryptedChainQuery(
+            query_id=self._query_counter,
+            tables=tuple(query.tables),
+            tokens=tuple(tokens),
+            prefilters=tuple(prefilters),
             engine_hint=engine,
             priority=priority,
             deadline=float(deadline) if deadline is not None else None,
@@ -437,6 +529,66 @@ class SecureJoinClient:
             right_row = _decode_row(right_cipher.decrypt(right_payload))
             table.insert(left_row + right_row)
         return DecryptedJoinResult(table, list(result.index_pairs))
+
+    def decrypt_chain_batch(
+        self, tables: "tuple[str, ...] | list[str]", batch
+    ) -> list[tuple]:
+        """Decrypt one streamed chain match batch into joined rows.
+
+        ``batch.payloads`` carries one payload tuple per completed
+        chain tuple, in chain-position order; repeated tables share
+        their payload cipher by name.
+        """
+        ciphers = [self._payload_cipher(self._table(t).name) for t in tables]
+        rows: list[tuple] = []
+        for payload_tuple in batch.payloads:
+            joined: tuple = ()
+            for cipher, payload in zip(ciphers, payload_tuple):
+                joined = joined + _decode_row(cipher.decrypt(payload))
+            rows.append(joined)
+        return rows
+
+    def stream_decrypt_chain(self, tables, batches):
+        """Decrypt an iterable of streamed chain batches lazily.
+
+        Yields ``(index_tuples, rows)`` per batch; passes through the
+        wrapped generator's return value (the final encrypted chain
+        result) like :meth:`stream_decrypt`.
+        """
+        iterator = iter(batches)
+        try:
+            while True:
+                try:
+                    batch = next(iterator)
+                except StopIteration as stop:
+                    return stop.value
+                yield list(batch.tuples), self.decrypt_chain_batch(
+                    tables, batch
+                )
+        finally:
+            close = getattr(iterator, "close", None)
+            if close is not None:
+                close()
+
+    def decrypt_chain_result(self, result) -> DecryptedChainResult:
+        """Decrypt an encrypted chain result into a joined table.
+
+        The schema follows the same prefix rule as the plaintext
+        :func:`~repro.db.join.chain_join` reference, so both sides of a
+        correctness check compare byte-for-byte.
+        """
+        encrypted = [self._table(name) for name in result.tables]
+        schema = chain_schema(
+            [t.name for t in encrypted], [t.schema for t in encrypted]
+        )
+        ciphers = [self._payload_cipher(t.name) for t in encrypted]
+        table = Table("join", schema)
+        for payload_tuple in result.payloads:
+            joined: tuple = ()
+            for cipher, payload in zip(ciphers, payload_tuple):
+                joined = joined + _decode_row(cipher.decrypt(payload))
+            table.insert(joined)
+        return DecryptedChainResult(table, list(result.tuples))
 
 
 def _decode_row(blob: bytes) -> tuple:

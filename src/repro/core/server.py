@@ -21,7 +21,11 @@ from __future__ import annotations
 import time
 from dataclasses import dataclass, field
 
-from repro.core.client import EncryptedJoinQuery, EncryptedTable
+from repro.core.client import (
+    EncryptedChainQuery,
+    EncryptedJoinQuery,
+    EncryptedTable,
+)
 from repro.core.engine import (
     AutoEngine,
     EngineReport,
@@ -35,10 +39,22 @@ from repro.core.service import ExecutionService, QueryQoS
 from repro.crypto.backend import BilinearBackend
 from repro.db.matcher import IncrementalMatcher, get_matcher
 from repro.errors import DeadlineError, QueryError, SchemeError
+from repro.plan import (
+    DEFAULT_HANDLE_STORE_BUDGET,
+    MAX_CHAIN_TABLES,
+    ChainExecutor,
+    ChainSideSource,
+    KeyedHandleStore,
+    compile_plan,
+    group_chain_sides,
+    run_chain_pipeline,
+)
 from repro.series.cache import (
     DEFAULT_SERIES_BUDGET,
+    ChainSeriesEntry,
     SeriesCache,
     SeriesEntry,
+    chain_series_key,
     series_key,
 )
 
@@ -125,6 +141,13 @@ class ServerStats:
     series_cache_hits: int = 0
     delta_rows: int = 0
     reused_handles: int = 0
+    #: Multi-way plan fields (0 for a two-way join): ``plan_nodes`` is
+    #: the number of left-deep nodes the planner laid out (chain arity
+    #: minus one) and ``handle_pool_hits`` how many chain positions
+    #: were served from another position's decrypt stream instead of
+    #: opening their own (same table under byte-identical tokens).
+    plan_nodes: int = 0
+    handle_pool_hits: int = 0
 
     def merge_report(self, report: EngineReport) -> None:
         """Fold one side's engine report into the per-query totals."""
@@ -180,6 +203,29 @@ class MatchBatch:
 
 
 @dataclass
+class ChainMatchBatch:
+    """One increment of a streamed multi-way chain join.
+
+    ``tuples`` are completed chain tuples (one row index per chain
+    position, positions in chain order) in discovery order; ``payloads``
+    carries each tuple's payload blobs in the same position order.
+    """
+
+    tuples: list[tuple[int, ...]]
+    payloads: list[tuple[bytes, ...]]
+
+
+@dataclass
+class EncryptedChainResult:
+    """What the server returns for a multi-way chain join."""
+
+    tables: tuple[str, ...]
+    tuples: list[tuple[int, ...]]
+    payloads: list[tuple[bytes, ...]]
+    stats: ServerStats
+
+
+@dataclass
 class QueryObservation:
     """The adversary view of one query: every handle the server computed.
 
@@ -202,6 +248,7 @@ class SecureJoinServer:
         hint_engines: tuple[str, ...] = ("serial", "batched"),
         workers: int | None = None,
         series_cache_bytes: int | None = DEFAULT_SERIES_BUDGET,
+        handle_store_bytes: int | None = DEFAULT_HANDLE_STORE_BUDGET,
     ):
         # The server only needs public parameters — never the master key.
         self.scheme = SecureJoinScheme(params, backend)
@@ -238,6 +285,16 @@ class SecureJoinServer:
         self.series_cache: SeriesCache | None = (
             SeriesCache(series_cache_bytes)
             if series_cache_bytes
+            else None
+        )
+        # The cross-series handle store (see :mod:`repro.plan.handles`):
+        # far lighter per query than a series entry, so decrypted
+        # handles outlive their evicted series entries and a cold
+        # series over a warm table reuses them.  ``handle_store_bytes``
+        # is its own budget knob; None or 0 disables it.
+        self.handle_store: KeyedHandleStore | None = (
+            KeyedHandleStore(handle_store_bytes)
+            if handle_store_bytes
             else None
         )
         self.observations: list[QueryObservation] = []
@@ -284,6 +341,8 @@ class SecureJoinServer:
         self._versions[name] = 0
         if self.series_cache is not None:
             self.series_cache.invalidate_table(name)
+        if self.handle_store is not None:
+            self.handle_store.invalidate_table(name)
 
     def table_epoch(self, name: str) -> int:
         """The table's store generation (0 = never stored)."""
@@ -374,6 +433,8 @@ class SecureJoinServer:
             self._versions[table_name] = (
                 self._versions.get(table_name, 0) + 1
             )
+            if self.handle_store is not None:
+                self.handle_store.forget_rows(table_name, indices)
 
     def tombstoned_rows(self, table_name: str) -> frozenset[int]:
         """The table's deleted row indices (delta-maintenance input)."""
@@ -443,6 +504,31 @@ class SecureJoinServer:
                 ciphertexts.append(ciphertext.elements)
         return ciphertexts
 
+    def _distinct_estimate(
+        self, table_name: str, candidate_count: int
+    ) -> int | None:
+        """Estimated distinct join values among a side's candidates.
+
+        Derived from the pre-filter posting profile: the most selective
+        indexed column's distinct-tag count, scaled to the candidate
+        set under a uniformity assumption.  The tags live on attribute
+        columns, not the join column, so this is a diversity proxy —
+        good enough to separate a near-key side from a heavily repeated
+        one, which is all the containment estimator needs.  ``None``
+        when the table carries no tags (assume all-distinct).
+        """
+        index = self._tag_index.get(table_name)
+        if not index:
+            return None
+        table_rows = len(self.table(table_name))
+        if table_rows == 0 or candidate_count == 0:
+            return None
+        best = max(len(postings) for postings in index.values())
+        return max(
+            1,
+            min(candidate_count, round(candidate_count * best / table_rows)),
+        )
+
     def _select_matcher(
         self,
         algorithm: str,
@@ -450,6 +536,8 @@ class SecureJoinServer:
         build_rows: int,
         probe_rows: int,
         active_engine: ExecutionEngine | None = None,
+        build_distinct: int | None = None,
+        probe_distinct: int | None = None,
     ) -> IncrementalMatcher:
         """Resolve the SJ.Match algorithm; ``"auto"`` prices the stage.
 
@@ -457,19 +545,28 @@ class SecureJoinServer:
         with the same cost model the engine planner uses — including a
         calibrated/custom model configured on an ``auto`` engine —
         recorded as a ``stage: "match"`` entry in ``stats.planner`` so
-        the full pipeline decision is auditable.
+        the full pipeline decision is auditable.  The per-side distinct
+        estimates feed the expected-output term of the pricing (the
+        same posting-profile estimator the multi-way planner uses).
         """
         if algorithm == "auto":
             from repro.bench.costmodel import (
                 choose_matcher,
                 default_engine_cost_model,
+                estimate_expected_matches,
             )
 
             model = getattr(active_engine, "cost_model", None)
             if model is None:
                 model = default_engine_cost_model(self.scheme.backend.name)
+            expected = estimate_expected_matches(
+                build_rows, probe_rows, build_distinct, probe_distinct
+            )
             chosen, estimates = choose_matcher(
-                model, build_rows=build_rows, probe_rows=probe_rows
+                model,
+                build_rows=build_rows,
+                probe_rows=probe_rows,
+                expected_matches=expected,
             )
             if stats.planner is None:
                 stats.planner = []
@@ -477,6 +574,7 @@ class SecureJoinServer:
                 "stage": "match",
                 "build_rows": build_rows,
                 "probe_rows": probe_rows,
+                "expected_matches": expected,
                 "chosen": chosen,
                 "estimates": {
                     name: float(sec) for name, sec in estimates.items()
@@ -655,25 +753,34 @@ class SecureJoinServer:
                     self.table_version(left.name),
                     self.table_version(right.name),
                 )
-                with entry.lock:
-                    if entry.versions == versions:
+                # Per-entry admission is non-blocking: a series whose
+                # entry is mid-replay/refresh on another thread must
+                # not starve this query (nor unrelated ones), so on
+                # contention we fall through to the miss path and
+                # recompute from scratch — correct, just not cheap.
+                if entry.lock.acquire(blocking=False):
+                    try:
+                        if entry.versions == versions:
+                            return (
+                                yield from self._series_replay_events(
+                                    entry, query, left, right, stats
+                                )
+                            )
                         return (
-                            yield from self._series_replay_events(
-                                entry, query, left, right, stats
+                            yield from self._series_delta_events(
+                                entry,
+                                query,
+                                left,
+                                right,
+                                stats,
+                                qos,
+                                active_engine,
+                                versions,
                             )
                         )
-                    return (
-                        yield from self._series_delta_events(
-                            entry,
-                            query,
-                            left,
-                            right,
-                            stats,
-                            qos,
-                            active_engine,
-                            versions,
-                        )
-                    )
+                    finally:
+                        entry.lock.release()
+                cache.stats.lock_contention += 1
         # Miss path: capture the maintenance state *before* computing
         # candidates, so a concurrent mutation lands after our snapshot
         # and shows up as a version mismatch on the next lookup.
@@ -702,6 +809,12 @@ class SecureJoinServer:
         matcher = self._select_matcher(
             algorithm, stats, len(left_candidates), len(right_candidates),
             active_engine,
+            build_distinct=self._distinct_estimate(
+                left.name, len(left_candidates)
+            ),
+            probe_distinct=self._distinct_estimate(
+                right.name, len(right_candidates)
+            ),
         )
         left_stream: HandleStream | None = None
         right_stream: HandleStream | None = None
@@ -1063,6 +1176,536 @@ class SecureJoinServer:
             index_pairs=pairs,
             left_payloads=[left.payloads[i] for i, _ in pairs],
             right_payloads=[right.payloads[j] for _, j in pairs],
+            stats=stats,
+        )
+
+    # -- multi-way chains --------------------------------------------------
+    def _chain_payloads(
+        self, tables: list[EncryptedTable], tuples
+    ) -> list[tuple[bytes, ...]]:
+        return [
+            tuple(
+                tables[position].payloads[row]
+                for position, row in enumerate(combo)
+            )
+            for combo in tuples
+        ]
+
+    def stream_chain(
+        self,
+        query: EncryptedChainQuery,
+        engine: ExecutionEngine | str | None = None,
+    ):
+        """Run a multi-way chain join as a streaming pipeline; a generator.
+
+        Yields :class:`ChainMatchBatch` increments (completed chain
+        tuples in discovery order, with payloads) as the left-deep
+        pipeline completes them, and returns the final
+        :class:`EncryptedChainResult` — canonical lexicographic tuple
+        order — as the generator's value (``StopIteration.value``).
+
+        The join order is chosen per query by the cost-model planner
+        from prefilter-posting cardinality estimates; matching is
+        always hash-based (one incremental matcher per plan node).
+        """
+        tables = [self.table(name) for name in query.tables]
+        events = self._chain_events(query, engine)
+        try:
+            while True:
+                try:
+                    new_tuples = next(events)
+                except StopIteration as stop:
+                    return stop.value
+                yield ChainMatchBatch(
+                    tuples=list(new_tuples),
+                    payloads=self._chain_payloads(tables, new_tuples),
+                )
+        finally:
+            events.close()
+
+    def execute_chain(
+        self,
+        query: EncryptedChainQuery,
+        engine: ExecutionEngine | str | None = None,
+    ) -> EncryptedChainResult:
+        """Materializing wrapper around :meth:`stream_chain`."""
+        events = self._chain_events(query, engine)
+        while True:
+            try:
+                next(events)
+            except StopIteration as stop:
+                return stop.value
+
+    def _chain_events(
+        self,
+        query: EncryptedChainQuery,
+        engine: ExecutionEngine | str | None,
+    ):
+        """The chain pipeline drive: yields raw completed-tuple lists,
+        returns the final :class:`EncryptedChainResult`.
+
+        The flow mirrors :meth:`_pipeline_events` with three additions:
+        the **planner** compiles the chain into a costed left-deep
+        order, the per-query **handle pool** opens one decrypt stream
+        per distinct (table, token) side (``stats.handle_pool_hits``),
+        and the cross-series **handle store** pre-feeds retained
+        handles so a cold series over a warm table skips their SJ.Dec
+        entirely (counted in ``stats.reused_handles``).
+        """
+        n = len(query.tables)
+        if not 2 <= n <= MAX_CHAIN_TABLES:
+            raise QueryError(
+                f"a chain query needs 2..{MAX_CHAIN_TABLES} tables, got {n}"
+            )
+        if len(query.tokens) != n or len(query.prefilters) != n:
+            raise QueryError(
+                "chain query tables, tokens and prefilters must align"
+            )
+        if engine is not None:
+            active_engine = self._resolve_engine(engine)
+            engine_source = "override"
+        elif (
+            query.engine_hint is not None
+            and query.engine_hint in self.hint_engines
+        ):
+            active_engine = self._resolve_engine(query.engine_hint)
+            engine_source = "hint"
+        else:
+            active_engine = self.engine
+            engine_source = "default"
+        tables = [self.table(name) for name in query.tables]
+        stats = ServerStats(engine_source=engine_source)
+        observation = QueryObservation(query.query_id)
+        priority = getattr(query, "priority", 0) or 0
+        relative_deadline = getattr(query, "deadline", None)
+        qos: QueryQoS | None = None
+        if priority or relative_deadline is not None:
+            qos = QueryQoS(
+                priority=priority,
+                deadline=(
+                    time.monotonic() + relative_deadline
+                    if relative_deadline is not None
+                    else None
+                ),
+            )
+
+        backend = self.scheme.backend
+        cache = self.series_cache
+        replay_eligible = (
+            engine is None
+            or engine == "auto"
+            or isinstance(engine, AutoEngine)
+        )
+        key = b""
+        if cache is not None:
+            key = chain_series_key(query, backend)
+        if cache is not None and replay_eligible:
+            epochs = tuple(self.table_epoch(t.name) for t in tables)
+            entry = cache.lookup(key, epochs)
+            if entry is not None and not isinstance(entry, ChainSeriesEntry):
+                entry = None
+            if entry is not None:
+                versions = tuple(
+                    self.table_version(t.name) for t in tables
+                )
+                if entry.lock.acquire(blocking=False):
+                    try:
+                        if entry.versions == versions:
+                            return (
+                                yield from self._chain_replay_events(
+                                    entry, query, tables, stats
+                                )
+                            )
+                        return (
+                            yield from self._chain_delta_events(
+                                entry,
+                                query,
+                                tables,
+                                stats,
+                                qos,
+                                active_engine,
+                                versions,
+                            )
+                        )
+                    finally:
+                        entry.lock.release()
+                cache.stats.lock_contention += 1
+        if cache is not None:
+            miss_epochs = tuple(self.table_epoch(t.name) for t in tables)
+            miss_versions = tuple(
+                self.table_version(t.name) for t in tables
+            )
+            miss_tombstones = [
+                set(self._tombstones.get(t.name, ())) for t in tables
+            ]
+
+        started = time.perf_counter()
+        candidates = [
+            self._live(t.name, self._candidates(t, prefilter))
+            for t, prefilter in zip(tables, query.prefilters)
+        ]
+        stats.candidates_left = len(candidates[0])
+        stats.candidates_right = len(candidates[-1])
+
+        from repro.bench.costmodel import default_engine_cost_model
+
+        model = getattr(active_engine, "cost_model", None)
+        if model is None:
+            model = default_engine_cost_model(backend.name)
+        distincts = [
+            self._distinct_estimate(t.name, len(c))
+            for t, c in zip(tables, candidates)
+        ]
+        plan = compile_plan(model, [len(c) for c in candidates], distincts)
+        if stats.planner is None:
+            stats.planner = []
+        stats.planner.append(plan.record())
+        stats.plan_nodes = n - 1
+        stats.matcher = "hash"
+        executor = ChainExecutor(plan.order)
+
+        groups = group_chain_sides(query, backend)
+        stats.handle_pool_hits = n - len(groups)
+        position_rows = [set(c) for c in candidates]
+
+        # Cross-series reuse: pre-feed whatever the handle store still
+        # holds for each side, decrypt only the rest.
+        warm_completed: list[tuple[int, ...]] = []
+        cold: list[tuple] = []
+        for group in groups:
+            union_rows = sorted(
+                set().union(*(position_rows[p] for p in group.positions))
+            )
+            warm: dict[int, bytes] = {}
+            if self.handle_store is not None and union_rows:
+                warm = self.handle_store.lookup(
+                    group.table, self.table_epoch(group.table), group.digest
+                )
+            warm_items = [
+                (row, warm[row]) for row in union_rows if row in warm
+            ]
+            cold.append(
+                (group, [row for row in union_rows if row not in warm])
+            )
+            if not warm_items:
+                continue
+            stats.reused_handles += len(warm_items)
+            for row, handle in warm_items:
+                observation.handles[(group.table, row)] = handle
+            for position in group.positions:
+                allowed = position_rows[position]
+                fed = [
+                    (row, handle)
+                    for row, handle in warm_items
+                    if row in allowed
+                ]
+                if fed:
+                    warm_completed.extend(executor.feed(position, fed))
+
+        source_meta: dict[tuple[int, ...], tuple] = {}
+        sources: list[ChainSideSource] = []
+        try:
+            for group, cold_rows in cold:
+                table = self.table(group.table)
+                stream = active_engine.decrypt_stream(
+                    backend,
+                    group.token.elements,
+                    self._side_ciphertexts(table, group.token, cold_rows),
+                    qos=qos,
+                )
+                sources.append(
+                    ChainSideSource(group.positions, stream, cold_rows)
+                )
+                source_meta[tuple(group.positions)] = (
+                    group.table,
+                    self.table_epoch(group.table),
+                    group.digest,
+                )
+        except BaseException:
+            for source in sources:
+                source.close()
+            raise
+        stats.decryptions += sum(len(cold_rows) for _, cold_rows in cold)
+
+        def record_items(positions, items) -> None:
+            table_name, epoch, digest = source_meta[tuple(positions)]
+            for row, handle in items:
+                observation.handles[(table_name, row)] = handle
+            if self.handle_store is not None:
+                self.handle_store.record(table_name, epoch, digest, items)
+
+        pipeline = run_chain_pipeline(
+            sources, executor, position_rows, on_items=record_items
+        )
+        saw_first_match = False
+        try:
+            if warm_completed:
+                saw_first_match = True
+                stats.time_to_first_match = time.perf_counter() - started
+                yield list(warm_completed)
+            while True:
+                try:
+                    new_tuples = next(pipeline)
+                except StopIteration as stop:
+                    outcome = stop.value
+                    break
+                if qos is not None and qos.expired():
+                    raise DeadlineError(
+                        f"query {query.query_id} exceeded its deadline "
+                        f"of {relative_deadline}s; cancelled mid-chain"
+                    )
+                yield new_tuples
+        finally:
+            pipeline.close()
+            # ``pipeline.close()`` on a never-started generator does not
+            # run its body's cleanup, so close the sources directly too
+            # (stream close is idempotent).
+            for source in sources:
+                source.close()
+            self.observations.append(observation)
+
+        for report in outcome.outcomes:
+            if report is not None:
+                stats.merge_report(report)
+        tuples = outcome.tuples
+        stats.matches = len(tuples)
+        stats.probes = executor.probes
+        stats.comparisons = executor.comparisons
+        if not saw_first_match:
+            stats.time_to_first_match = outcome.time_to_first_match
+        stats.decrypt_seconds = outcome.decrypt_seconds
+        stats.match_seconds = outcome.match_seconds
+        if cache is not None:
+            entry = ChainSeriesEntry(
+                key, query.tables, miss_epochs, miss_versions, executor
+            )
+            entry.applied_tombstones = miss_tombstones
+            cache.store(entry)
+        return EncryptedChainResult(
+            tables=tuple(query.tables),
+            tuples=tuples,
+            payloads=self._chain_payloads(tables, tuples),
+            stats=stats,
+        )
+
+    def _chain_replay_events(
+        self,
+        entry: ChainSeriesEntry,
+        query: EncryptedChainQuery,
+        tables: list[EncryptedTable],
+        stats: ServerStats,
+    ):
+        """Warm chain replay: the retained executor's canonical tuples,
+        zero pairing work — the chain counterpart of
+        :meth:`_series_replay_events`."""
+        executor = entry.executor
+        observation = QueryObservation(query.query_id)
+        for position, table in enumerate(tables):
+            for row, handle in executor.handles[position].items():
+                observation.handles[(table.name, row)] = handle
+        self.observations.append(observation)
+        tuples = executor.finish()
+        entry.replays += 1
+        if self.series_cache is not None:
+            self.series_cache.stats.replays += 1
+        stats.series_cache_hits = 1
+        stats.reused_handles = entry.reused_handles()
+        stats.matches = len(tuples)
+        stats.probes = executor.probes
+        stats.comparisons = executor.comparisons
+        stats.matcher = "hash"
+        stats.engine = "series"
+        stats.engine_selected = "series"
+        stats.plan_nodes = len(tables) - 1
+        stats.candidates_left = len(executor.handles[0])
+        stats.candidates_right = len(executor.handles[-1])
+        stats.planner = [
+            {
+                "stage": "series",
+                "outcome": "replay",
+                "reused_handles": stats.reused_handles,
+                "tuples": len(tuples),
+            }
+        ]
+        if tuples:
+            yield list(tuples)
+        return EncryptedChainResult(
+            tables=tuple(query.tables),
+            tuples=tuples,
+            payloads=self._chain_payloads(tables, tuples),
+            stats=stats,
+        )
+
+    def _chain_delta_events(
+        self,
+        entry: ChainSeriesEntry,
+        query: EncryptedChainQuery,
+        tables: list[EncryptedTable],
+        stats: ServerStats,
+        qos: QueryQoS | None,
+        active_engine: ExecutionEngine,
+        versions: tuple[int, ...],
+    ):
+        """Chain delta refresh: retract the new tombstones, then SJ.Dec
+        only never-fed rows into the retained executor — the chain
+        counterpart of :meth:`_series_delta_events`, still pooling
+        shared sides."""
+        cache = self.series_cache
+        executor = entry.executor
+        n = len(tables)
+        for position, table in enumerate(tables):
+            current = set(self._tombstones.get(table.name, ()))
+            new = current - entry.applied_tombstones[position]
+            if new:
+                executor.retract(position, new)
+                entry.applied_tombstones[position] |= new
+        stats.series_cache_hits = 1
+        stats.reused_handles = entry.reused_handles()
+        stats.matcher = "hash"
+        stats.plan_nodes = n - 1
+
+        candidates = [
+            self._live(t.name, self._candidates(t, prefilter))
+            for t, prefilter in zip(tables, query.prefilters)
+        ]
+        stats.candidates_left = len(candidates[0])
+        stats.candidates_right = len(candidates[-1])
+        position_delta = [
+            {i for i in rows if i not in executor.handles[position]}
+            for position, rows in enumerate(candidates)
+        ]
+        delta_rows = sum(len(rows) for rows in position_delta)
+        stats.delta_rows = delta_rows
+
+        chosen_engine = active_engine
+        if isinstance(active_engine, AutoEngine):
+            from repro.bench.costmodel import (
+                choose_delta_engine,
+                default_engine_cost_model,
+            )
+
+            model = active_engine.cost_model
+            if model is None:
+                model = default_engine_cost_model(self.scheme.backend.name)
+            pool_started, workers = self.execution_service.warmth()
+            prepared_sides = [
+                table.prepared_rows is not None
+                for table, delta in zip(tables, position_delta)
+                if delta
+            ]
+            choice, estimates = choose_delta_engine(
+                model,
+                rows=delta_rows,
+                dimension=self.scheme.params.dimension,
+                workers=workers,
+                batch_size=active_engine.batch_size,
+                parallel_batch_size=max(1, active_engine.batch_size // 2),
+                pool_warm=pool_started,
+                allowed=active_engine.candidates,
+                prepared=bool(prepared_sides) and all(prepared_sides),
+            )
+            chosen_engine = self._resolve_engine(choice)
+            if stats.planner is None:
+                stats.planner = []
+            stats.planner.append({
+                "stage": "delta",
+                "rows": delta_rows,
+                "chosen": choice,
+                "estimates": {
+                    name: float(sec) for name, sec in estimates.items()
+                },
+            })
+
+        retained_tuples = executor.finish()
+        if retained_tuples:
+            yield list(retained_tuples)
+
+        observation = QueryObservation(query.query_id)
+        backend = self.scheme.backend
+        for position, table in enumerate(tables):
+            for row, handle in executor.handles[position].items():
+                observation.handles[(table.name, row)] = handle
+
+        groups = group_chain_sides(query, backend)
+        stats.handle_pool_hits = n - len(groups)
+        source_meta: dict[tuple[int, ...], tuple] = {}
+        sources: list[ChainSideSource] = []
+        try:
+            for group in groups:
+                union_rows = sorted(
+                    set().union(
+                        *(position_delta[p] for p in group.positions)
+                    )
+                )
+                table = self.table(group.table)
+                stream = chosen_engine.decrypt_stream(
+                    backend,
+                    group.token.elements,
+                    self._side_ciphertexts(table, group.token, union_rows),
+                    qos=qos,
+                )
+                sources.append(
+                    ChainSideSource(group.positions, stream, union_rows)
+                )
+                source_meta[tuple(group.positions)] = (
+                    group.table,
+                    self.table_epoch(group.table),
+                    group.digest,
+                )
+        except BaseException:
+            for source in sources:
+                source.close()
+            raise
+        stats.decryptions += sum(len(source.rows) for source in sources)
+
+        def record_items(positions, items) -> None:
+            table_name, epoch, digest = source_meta[tuple(positions)]
+            for row, handle in items:
+                observation.handles[(table_name, row)] = handle
+            if self.handle_store is not None:
+                self.handle_store.record(table_name, epoch, digest, items)
+
+        pipeline = run_chain_pipeline(
+            sources, executor, position_delta, on_items=record_items
+        )
+        try:
+            while True:
+                try:
+                    new_tuples = next(pipeline)
+                except StopIteration as stop:
+                    outcome = stop.value
+                    break
+                if qos is not None and qos.expired():
+                    raise DeadlineError(
+                        f"query {query.query_id} exceeded its deadline; "
+                        "cancelled mid-refresh"
+                    )
+                yield new_tuples
+        finally:
+            pipeline.close()
+            for source in sources:
+                source.close()
+            self.observations.append(observation)
+
+        for report in outcome.outcomes:
+            if report is not None:
+                stats.merge_report(report)
+        tuples = outcome.tuples
+        stats.matches = len(tuples)
+        stats.probes = executor.probes
+        stats.comparisons = executor.comparisons
+        stats.time_to_first_match = outcome.time_to_first_match
+        stats.decrypt_seconds = outcome.decrypt_seconds
+        stats.match_seconds = outcome.match_seconds
+        entry.versions = tuple(versions)
+        entry.delta_refreshes += 1
+        if cache is not None:
+            cache.stats.delta_refreshes += 1
+            cache.reaccount(entry)
+        return EncryptedChainResult(
+            tables=tuple(query.tables),
+            tuples=tuples,
+            payloads=self._chain_payloads(tables, tuples),
             stats=stats,
         )
 

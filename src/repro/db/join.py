@@ -19,7 +19,7 @@ from dataclasses import dataclass, field
 
 from repro.db.matcher import HashMatcher, NestedMatcher
 from repro.db.predicate import Predicate, TruePredicate
-from repro.db.schema import Schema
+from repro.db.schema import Column, Schema
 from repro.db.table import Row, Table
 
 
@@ -54,6 +54,51 @@ def joined_prefixes(
     if left_name == right_name:
         return f"{left_name}.1.", f"{right_name}.2."
     return f"{left_name}.", f"{right_name}."
+
+
+def chain_prefixes(
+    names: "list[str] | tuple[str, ...]",
+    column_sets: "list[set[str]]",
+) -> tuple[str, ...]:
+    """Column prefixes for an n-way chain result.
+
+    The n-way generalization of :func:`joined_prefixes` — and the rule
+    the encrypted client's chain decryption shares, so plaintext
+    reference and decrypted output carry byte-identical schemas: no
+    prefixes while every table's columns are pairwise disjoint, else
+    table-name prefixes, with occurrence numbers on repeated tables.
+    """
+    seen: set[str] = set()
+    disjoint = True
+    for columns in column_sets:
+        if seen & columns:
+            disjoint = False
+            break
+        seen |= columns
+    if disjoint:
+        return tuple("" for _ in names)
+    repeats = {name for name in names if names.count(name) > 1}
+    occurrence: dict[str, int] = {}
+    prefixes = []
+    for name in names:
+        if name in repeats:
+            occurrence[name] = occurrence.get(name, 0) + 1
+            prefixes.append(f"{name}.{occurrence[name]}.")
+        else:
+            prefixes.append(f"{name}.")
+    return tuple(prefixes)
+
+
+def chain_schema(names, schemas) -> Schema:
+    """Concatenated schema of an n-way chain result."""
+    prefixes = chain_prefixes(
+        list(names), [set(s.names()) for s in schemas]
+    )
+    columns = []
+    for prefix, schema in zip(prefixes, schemas):
+        for column in schema.columns:
+            columns.append(Column(prefix + column.name, column.type))
+    return Schema(tuple(columns))
 
 
 def _joined_schema(left: Table, right: Table) -> Schema:
@@ -157,3 +202,80 @@ def nested_loop_join(
         output_rows=len(pairs),
     )
     return JoinResult(result, pairs, stats)
+
+
+@dataclass
+class ChainJoinResult:
+    """An n-way chain join result: joined table + row-index tuples."""
+
+    table: Table
+    index_tuples: list[tuple[int, ...]] = field(default_factory=list)
+    stats: JoinStats = field(default_factory=JoinStats)
+
+
+def chain_join(
+    tables: "list[Table]",
+    columns: "list[str]",
+    predicates: "list[Predicate | None] | None" = None,
+) -> ChainJoinResult:
+    """Ground-truth n-way chain equi-join.
+
+    Each table carries one join column, so the chain is transitive: a
+    result tuple picks one (predicate-surviving) row per position, all
+    sharing the same join value — exactly the n-way handle-equality
+    class the encrypted :class:`~repro.plan.executor.ChainExecutor`
+    computes.  ``index_tuples`` come out sorted lexicographically, the
+    same canonical order the executor's ``finish`` uses, so encrypted
+    and plaintext outputs compare byte-for-byte.
+    """
+    if len(tables) < 2 or len(tables) != len(columns):
+        raise ValueError("chain_join needs matching tables and columns, n >= 2")
+    if predicates is None:
+        predicates = [None] * len(tables)
+    all_rows = [list(table) for table in tables]
+    # Bucket each position's surviving rows by join value, then walk
+    # the value classes common to every position.
+    buckets: list[dict[object, list[int]]] = []
+    probes = 0
+    for table, column, predicate, rows in zip(
+        tables, columns, predicates, all_rows
+    ):
+        predicate = predicate or TruePredicate()
+        key = table.schema.index_of(column)
+        bucket: dict[object, list[int]] = {}
+        for i, row in enumerate(rows):
+            if predicate.evaluate(row, table.schema):
+                bucket.setdefault(row[key], []).append(i)
+                probes += 1
+        buckets.append(bucket)
+    common = set(buckets[0])
+    for bucket in buckets[1:]:
+        common &= set(bucket)
+
+    index_tuples: list[tuple[int, ...]] = []
+    for value in common:
+        partial: list[tuple[int, ...]] = [()]
+        for bucket in buckets:
+            partial = [
+                prefix + (i,) for prefix in partial for i in bucket[value]
+            ]
+        index_tuples.extend(partial)
+    index_tuples.sort()
+
+    result = Table(
+        "join",
+        chain_schema(
+            [t.name for t in tables], [t.schema for t in tables]
+        ),
+    )
+    for combo in index_tuples:
+        joined: tuple = ()
+        for position, i in enumerate(combo):
+            joined = joined + tuple(all_rows[position][i])
+        result.insert(joined)
+    stats = JoinStats(
+        probes=probes,
+        comparisons=probes,
+        output_rows=len(index_tuples),
+    )
+    return ChainJoinResult(result, index_tuples, stats)

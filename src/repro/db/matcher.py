@@ -85,28 +85,32 @@ class IncrementalMatcher:
         raise NotImplementedError
 
     # -- retraction (delta-maintained deletes) ----------------------------
-    def retract_left(self, indices: Iterable[int]) -> int:
+    def retract_left(self, indices: Iterable[int]) -> list[tuple[int, int]]:
         """Withdraw left rows: drop their pairs, forget their keys.
 
-        Returns how many emitted pairs were dropped.  Retraction is
+        Returns the emitted pairs that were dropped, so a consumer
+        holding downstream state keyed by pair (the multi-way chain
+        executor) can cascade the retraction.  Retraction is
         bookkeeping, not matching — it charges no probes or
         comparisons; ``stats.matches`` is decremented so it keeps
         counting the pairs currently standing.
         """
         raise NotImplementedError
 
-    def retract_right(self, indices: Iterable[int]) -> int:
+    def retract_right(self, indices: Iterable[int]) -> list[tuple[int, int]]:
         raise NotImplementedError
 
-    def _drop_pairs(self, removed: set[int], position: int) -> int:
+    def _drop_pairs(
+        self, removed: set[int], position: int
+    ) -> list[tuple[int, int]]:
         if not removed:
-            return 0
-        kept = [
-            pair for pair in self._pairs if pair[position] not in removed
-        ]
-        dropped = len(self._pairs) - len(kept)
+            return []
+        kept: list[tuple[int, int]] = []
+        dropped: list[tuple[int, int]] = []
+        for pair in self._pairs:
+            (dropped if pair[position] in removed else kept).append(pair)
         self._pairs = kept
-        self.stats.matches -= dropped
+        self.stats.matches -= len(dropped)
         return dropped
 
     # -- results ----------------------------------------------------------
@@ -185,7 +189,7 @@ class HashMatcher(IncrementalMatcher):
         keys: dict[int, Hashable],
         buckets: dict[Hashable, list[int]] | None,
         position: int,
-    ) -> int:
+    ) -> list[tuple[int, int]]:
         removed = set(indices)
         for index in removed:
             key = keys.pop(index, None)

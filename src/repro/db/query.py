@@ -127,3 +127,68 @@ class JoinQuery:
             f"SELECT * FROM {self.left_table} JOIN {self.right_table} "
             f"ON {self.left_join_column} = {self.right_join_column}{where}"
         )
+
+
+@dataclass(frozen=True)
+class ChainQuery:
+    """A multi-way chain of equi-joins over one value class.
+
+    Every table in the scheme carries a single join column, so a chain
+    ``T0 ⋈ T1 ⋈ ... ⋈ Tn-1`` is necessarily *transitive*: a result
+    tuple picks one row per position, all sharing the same join value.
+    Positions are the chain order the client wrote; the server's
+    planner is free to evaluate them in any contiguous left-deep order
+    without changing the result.
+    """
+
+    tables: tuple[str, ...]
+    join_columns: tuple[str, ...]
+    selections: tuple[TableSelection, ...]
+
+    def __post_init__(self):
+        n = len(self.tables)
+        if n < 2:
+            raise QueryError("a chain query needs at least two tables")
+        if len(self.join_columns) != n or len(self.selections) != n:
+            raise QueryError(
+                "chain query tables, join columns and selections must "
+                "have the same length"
+            )
+
+    @staticmethod
+    def build(
+        chain: Sequence[tuple[str, str]],
+        where: Sequence[Mapping[str, Sequence] | None] | None = None,
+    ) -> "ChainQuery":
+        """Build from ``[(table, join_column), ...]`` plus positional
+        dict-shaped selections."""
+        chain = list(chain)
+        if where is None:
+            where = [None] * len(chain)
+        if len(where) != len(chain):
+            raise QueryError(
+                f"chain has {len(chain)} positions but {len(where)} "
+                "selections were given"
+            )
+        return ChainQuery(
+            tables=tuple(table for table, _ in chain),
+            join_columns=tuple(column for _, column in chain),
+            selections=tuple(TableSelection.of(w) for w in where),
+        )
+
+    def max_in_size(self) -> int:
+        return max(sel.max_in_size() for sel in self.selections)
+
+    def __str__(self) -> str:
+        clauses = []
+        for table, sel in zip(self.tables, self.selections):
+            for column, values in sel.in_clauses:
+                rendered = ", ".join(repr(v) for v in values)
+                clauses.append(f"{table}.{column} IN ({rendered})")
+        where = (" WHERE " + " AND ".join(clauses)) if clauses else ""
+        joins = " JOIN ".join(self.tables)
+        on = " = ".join(
+            f"{table}.{column}"
+            for table, column in zip(self.tables, self.join_columns)
+        )
+        return f"SELECT * FROM {joins} ON {on}{where}"

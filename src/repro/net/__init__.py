@@ -39,7 +39,11 @@ from repro.net.protocol import (
     send_message,
 )
 from repro.net.server import JoinServiceServer
-from repro.net.shard import RemoteShard, ShardServiceServer
+from repro.net.shard import (
+    RemoteShard,
+    ShardServiceServer,
+    coordinator_from_shard_map,
+)
 
 __all__ = [
     "JoinServiceServer",
@@ -47,6 +51,7 @@ __all__ = [
     "RemoteJoinClient",
     "RemoteShard",
     "ShardServiceServer",
+    "coordinator_from_shard_map",
     "recv_message",
     "send_message",
 ]

@@ -25,18 +25,26 @@ import queue
 import socket
 import threading
 
-from repro.core.client import EncryptedJoinQuery
-from repro.core.server import EncryptedJoinResult, MatchBatch
+from repro.core.client import EncryptedChainQuery, EncryptedJoinQuery
+from repro.core.server import (
+    EncryptedChainResult,
+    EncryptedJoinResult,
+    MatchBatch,
+)
 from repro.crypto.backend import BilinearBackend
 from repro.errors import NetworkError, QueryError, ReproError
 from repro.net.protocol import MAX_MESSAGE_SIZE, recv_message, send_message
 from repro.store.wire import (
+    ChainBatchFrame,
+    ChainFinalFrame,
+    ChainReassembler,
     ErrorFrame,
     FinalFrame,
     MatchBatchFrame,
     StreamHeaderFrame,
     StreamReassembler,
     decode_frame,
+    encode_chain_query,
     encode_join_query,
 )
 
@@ -125,6 +133,40 @@ class RemoteJoinClient:
         socket carries undelivered frames that can no longer be
         resynchronized) — use one client per abandoned stream, or drain.
         """
+        return (
+            yield from self._stream_query(
+                encode_join_query(query, self.backend),
+                query.query_id,
+                MatchBatchFrame,
+                FinalFrame,
+                StreamReassembler(),
+            )
+        )
+
+    def stream_chain(self, query: EncryptedChainQuery):
+        """Run a multi-way chain join remotely; a generator.
+
+        Yields each :class:`~repro.core.server.ChainMatchBatch` as its
+        chain-batch frame arrives and returns the reassembled canonical
+        :class:`~repro.core.server.EncryptedChainResult` as the
+        generator's value — the remote mirror of the in-process
+        :meth:`~repro.core.server.SecureJoinServer.stream_chain`, with
+        the same abandonment semantics as :meth:`stream_join`.
+        """
+        return (
+            yield from self._stream_query(
+                encode_chain_query(query, self.backend),
+                query.query_id,
+                ChainBatchFrame,
+                ChainFinalFrame,
+                ChainReassembler(),
+            )
+        )
+
+    def _stream_query(
+        self, request, query_id, batch_type, final_type, reassembler
+    ):
+        """The shared frame-stream drive behind both query kinds."""
         with self._lock:
             if self._sock is None:
                 raise NetworkError("client is closed")
@@ -163,7 +205,7 @@ class RemoteJoinClient:
                         return
                     frame = decode_frame(data)
                     put(("frame", frame))
-                    if isinstance(frame, (FinalFrame, ErrorFrame)):
+                    if isinstance(frame, (final_type, ErrorFrame)):
                         return
             except ReproError as error:
                 put(("error", error))
@@ -172,9 +214,8 @@ class RemoteJoinClient:
             target=read_frames, name="repro-net-reader", daemon=True
         )
         try:
-            send_message(sock, encode_join_query(query, self.backend))
+            send_message(sock, request)
             reader.start()
-            reassembler = StreamReassembler()
             got_header = False
             while True:
                 kind, payload = frames.get()
@@ -192,18 +233,18 @@ class RemoteJoinClient:
                             "stream did not open with a stream-header "
                             f"frame (got {type(frame).__name__})"
                         )
-                    if frame.query_id != query.query_id:
+                    if frame.query_id != query_id:
                         raise NetworkError(
                             f"stream answers query {frame.query_id}, "
-                            f"expected {query.query_id}"
+                            f"expected {query_id}"
                         )
                     got_header = True
                     continue
-                if isinstance(frame, MatchBatchFrame):
+                if isinstance(frame, batch_type):
                     reassembler.add_batch(frame.batch)
                     yield frame.batch
                     continue
-                if isinstance(frame, FinalFrame):
+                if isinstance(frame, final_type):
                     completed = True
                     return reassembler.finish(frame)
                 raise NetworkError(
@@ -232,6 +273,17 @@ class RemoteJoinClient:
         :meth:`~repro.core.server.SecureJoinServer.execute_join`.
         """
         stream = self.stream_join(query)
+        while True:
+            try:
+                next(stream)
+            except StopIteration as stop:
+                return stop.value
+
+    def execute_chain(
+        self, query: EncryptedChainQuery
+    ) -> EncryptedChainResult:
+        """Run a multi-way chain join remotely, fully materialized."""
+        stream = self.stream_chain(query)
         while True:
             try:
                 next(stream)

@@ -14,7 +14,9 @@ sequentially.  Per query the handler emits:
    the query failed (bad payload, unknown table, deadline exceeded...).
 
 Exposure policy: the socket can reach exactly ``decode_join_query`` →
-``stream_join``.  Client engine hints pass through the same
+``stream_join`` (and, since v7, ``decode_chain_query`` →
+``stream_chain`` for multi-way chain queries, dispatched by magic
+prefix on the same port).  Client engine hints pass through the same
 ``hint_engines`` allowlist gate as in-process hints; priority/deadline
 QoS from the v4 query header feed the admission scheduler; pool
 controls, engine overrides, the observation log and store mutation are
@@ -36,11 +38,15 @@ from repro.core.server import SecureJoinServer
 from repro.errors import NetworkError, ReproError
 from repro.net.protocol import MAX_MESSAGE_SIZE, recv_message, send_message
 from repro.store.wire import (
+    decode_chain_query,
     decode_join_query,
+    encode_chain_batch,
+    encode_chain_final,
     encode_error_frame,
     encode_final_frame,
     encode_match_batch,
     encode_stream_header,
+    is_chain_query,
 )
 
 
@@ -189,8 +195,12 @@ class JoinServiceServer:
 
         Library failures (codec, scheme, deadline) are reported in-band
         as an error frame; transport failures propagate and drop the
-        connection.
+        connection.  Multi-way chain queries arrive on the same port
+        with their own magic and are dispatched by a prefix sniff.
         """
+        if is_chain_query(request):
+            self._serve_chain_query(sock, request)
+            return
         backend = self.join_server.scheme.backend
         try:
             query = decode_join_query(request, backend)
@@ -230,6 +240,49 @@ class JoinServiceServer:
         finally:
             # Covers the transport-failure exits too: abandoning the
             # generator releases the query's pool admissions.
+            stream.close()
+
+    def _serve_chain_query(self, sock: socket.socket, request: bytes) -> None:
+        """Stream one multi-way chain query's result frames.
+
+        Same exposure policy and error discipline as two-way queries;
+        the stream-header frame names the chain's endpoint tables, so
+        v4 clients that cannot speak chains still see a well-formed
+        stream opening before the unfamiliar chain frames arrive.
+        """
+        backend = self.join_server.scheme.backend
+        try:
+            query = decode_chain_query(request, backend)
+        except ReproError as error:
+            send_message(
+                sock, encode_error_frame(type(error).__name__, str(error))
+            )
+            return
+        stream = self.join_server.stream_chain(query)
+        try:
+            send_message(
+                sock,
+                encode_stream_header(
+                    query.query_id, query.tables[0], query.tables[-1]
+                ),
+            )
+            try:
+                while True:
+                    try:
+                        batch = next(stream)
+                    except StopIteration as stop:
+                        result = stop.value
+                        break
+                    if batch.tuples:
+                        send_message(sock, encode_chain_batch(batch))
+            except ReproError as error:
+                send_message(
+                    sock,
+                    encode_error_frame(type(error).__name__, str(error)),
+                )
+                return
+            send_message(sock, encode_chain_final(result))
+        finally:
             stream.close()
 
     # -- graceful drain ---------------------------------------------------

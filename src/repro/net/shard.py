@@ -31,11 +31,16 @@ from repro.errors import NetworkError, ReproError, ShardUnavailableError
 from repro.net.client import _error_from_frame
 from repro.net.protocol import MAX_MESSAGE_SIZE, recv_message, send_message
 from repro.net.server import JoinServiceServer
-from repro.shard.coordinator import LocalShard, ScatterOutcome
+from repro.shard.coordinator import (
+    LocalShard,
+    ScatterOutcome,
+    ShardCoordinator,
+)
 from repro.store.wire import (
     ErrorFrame,
     ScatterChunkFrame,
     ScatterFinalFrame,
+    ShardMapFrame,
     StreamHeaderFrame,
     decode_frame,
     decode_join_query,
@@ -184,6 +189,36 @@ class RemoteShard:
             source.close()
 
 
+def coordinator_from_shard_map(
+    shard_map: ShardMapFrame,
+    backend: BilinearBackend,
+    max_message_size: int = MAX_MESSAGE_SIZE,
+    connect_timeout: float = 10.0,
+) -> ShardCoordinator:
+    """Bootstrap a coordinator from a decoded ``shard_map`` frame.
+
+    The client-side consumer of the v5 shard-map message: one
+    :class:`RemoteShard` per listed endpoint, ordered by shard index,
+    wrapped in a ready-to-query
+    :class:`~repro.shard.ShardCoordinator`.  The frame's layout
+    (count, seed, tables) was validated by the wire decoder; per-table
+    layout agreement is enforced server-side by each shard's own store.
+    Closing the returned coordinator closes every remote proxy.
+    """
+    shards = [
+        RemoteShard(
+            host,
+            port,
+            backend,
+            name=f"shard-{index}@{host}:{port}",
+            max_message_size=max_message_size,
+            connect_timeout=connect_timeout,
+        )
+        for index, (host, port) in enumerate(shard_map.endpoints)
+    ]
+    return ShardCoordinator(shards)
+
+
 class _RemoteScatterSource:
     """One scatter stream from one remote shard, as a merge source.
 
@@ -287,4 +322,8 @@ class _RemoteScatterSource:
         self.shard._sources.discard(self)
 
 
-__all__ = ["RemoteShard", "ShardServiceServer"]
+__all__ = [
+    "RemoteShard",
+    "ShardServiceServer",
+    "coordinator_from_shard_map",
+]

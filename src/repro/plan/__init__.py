@@ -1,0 +1,55 @@
+"""Multi-way join plans: left-deep chains over encrypted tables.
+
+The paper's workload is a *series* of equi-joins, and real analytic
+chains touch three or more tables.  This package turns an n-way chain
+spec into a priced, pipelined plan:
+
+- :mod:`repro.plan.planner` — compiles a chain of candidate
+  cardinalities into a left-deep join order via the cost model's
+  prefilter-posting estimates (:func:`~repro.bench.costmodel.choose_join_order`);
+- :mod:`repro.plan.executor` — the pipelined executor: each node's
+  match increments cascade directly into the next node's incremental
+  matcher, so there is no materialization barrier and the first full
+  chain tuple surfaces while SJ.Dec is still streaming;
+- :mod:`repro.plan.handles` — the per-query handle pool (each
+  (table, token) side decrypted exactly once, however many chain
+  positions consume it) and the cross-series
+  :class:`~repro.plan.handles.KeyedHandleStore` that lets a cold
+  series over a warm table reuse retained handles.
+"""
+
+from repro.plan.executor import (
+    ChainExecutor,
+    ChainPipelineResult,
+    ChainSideSource,
+    run_chain_pipeline,
+)
+from repro.plan.handles import (
+    DEFAULT_HANDLE_STORE_BUDGET,
+    KeyedHandleStore,
+    SideGroup,
+    group_chain_sides,
+    token_digest,
+)
+from repro.plan.planner import (
+    MAX_CHAIN_TABLES,
+    JoinPlan,
+    PlanNode,
+    compile_plan,
+)
+
+__all__ = [
+    "ChainExecutor",
+    "ChainPipelineResult",
+    "ChainSideSource",
+    "DEFAULT_HANDLE_STORE_BUDGET",
+    "JoinPlan",
+    "KeyedHandleStore",
+    "MAX_CHAIN_TABLES",
+    "PlanNode",
+    "SideGroup",
+    "compile_plan",
+    "group_chain_sides",
+    "run_chain_pipeline",
+    "token_digest",
+]

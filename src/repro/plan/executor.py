@@ -1,0 +1,341 @@
+"""The pipelined left-deep chain executor.
+
+Under one query key every chain position's handles are mutually
+comparable, so an n-way chain match is a handle-equality class across
+all n tables.  The executor still runs it as a left-deep pipeline of
+incremental two-way matchers — that is what keeps time-to-first-match
+early and what the planner's order choice optimizes:
+
+- node 0 pairs the first two positions of the chosen order, keyed by
+  handle;
+- every pair a node emits becomes a *tuple id* whose partial tuple and
+  handle cascade immediately into the next node's ``add_left`` — no
+  materialization barrier, so one decrypted chunk can complete full
+  n-way tuples while every other side is still streaming;
+- the final node's tuple ids are complete chain tuples.
+
+Because matcher retraction returns the dropped pairs
+(:meth:`~repro.db.matcher.IncrementalMatcher.retract_left`), deletes
+cascade the same way in reverse: a retracted base row dooms its pairs,
+the doomed tuple ids are retracted from the next node, and so on until
+the completed set is clean — which is what makes a retained executor
+delta-repairable for the series cache.
+
+Canonical output: :meth:`ChainExecutor.finish` returns the completed
+tuples — one row index per *chain position*, positions in chain order —
+sorted lexicographically, so streamed and materialized runs (and any
+shard layout feeding global indices) agree byte-for-byte.
+"""
+
+from __future__ import annotations
+
+import time
+from collections.abc import Callable, Sequence
+from dataclasses import dataclass, field
+
+from repro.db.matcher import HashMatcher
+from repro.errors import QueryError
+
+
+class ChainExecutor:
+    """Incremental n-way chain matcher over a left-deep node order."""
+
+    def __init__(self, order: Sequence[int]):
+        order = tuple(order)
+        n = len(order)
+        if n < 2:
+            raise QueryError("a chain needs at least two positions")
+        if sorted(order) != list(range(n)):
+            raise QueryError(
+                f"order {order!r} is not a permutation of 0..{n - 1}"
+            )
+        lo = hi = order[0]
+        for position in order[1:]:
+            if position == lo - 1:
+                lo = position
+            elif position == hi + 1:
+                hi = position
+            else:
+                raise QueryError(
+                    f"order {order!r} is not a contiguous left-deep "
+                    "extension of the chain"
+                )
+        self.order = order
+        self.arity = n
+        self.matchers = [HashMatcher() for _ in range(n - 1)]
+        #: chain position -> (node index, feeds-left?).  ``order[0]``
+        #: is the only position feeding a left input; every other
+        #: position is the right (probe) input of exactly one node.
+        self._roles: dict[int, tuple[int, bool]] = {order[0]: (0, True)}
+        for j, position in enumerate(order[1:]):
+            self._roles[position] = (j, False)
+        #: position -> {row -> handle}: every base item ever fed and
+        #: not since retracted (the series cache's retained handles).
+        self.handles: list[dict[int, bytes]] = [{} for _ in range(n)]
+        self._tuples: dict[int, dict[int, int]] = {}
+        self._tuple_handle: dict[int, bytes] = {}
+        self._pair_tid: list[dict[tuple[int, int], int]] = [
+            {} for _ in range(n - 1)
+        ]
+        self._completed: dict[int, tuple[int, ...]] = {}
+        self._next_tid = 0
+
+    # -- feeding ----------------------------------------------------------
+    def feed(
+        self, position: int, items: Sequence[tuple[int, bytes]]
+    ) -> list[tuple[int, ...]]:
+        """Feed ``(row, handle)`` items into one chain position.
+
+        Returns the chain tuples *newly completed* by this delivery, in
+        discovery order.  Accepts increments at any time — late chunks,
+        delta-repair inserts — exactly like the two-way matchers.
+        """
+        node, is_left = self._role(position)
+        side_handles = self.handles[position]
+        for row, handle in items:
+            side_handles[row] = handle
+        if is_left:
+            emitted = self.matchers[0].add_left(items)
+        else:
+            emitted = self.matchers[node].add_right(items)
+        return self._cascade(node, emitted)
+
+    def retract(self, position: int, rows) -> list[tuple[int, ...]]:
+        """Withdraw base rows from one position; cascade the damage.
+
+        Returns the completed chain tuples that were removed (the
+        delta-repair delete path).
+        """
+        rows = [row for row in rows if row in self.handles[position]]
+        if not rows:
+            return []
+        node, is_left = self._role(position)
+        for row in rows:
+            del self.handles[position][row]
+        if is_left:
+            dropped = self.matchers[0].retract_left(rows)
+        else:
+            dropped = self.matchers[node].retract_right(rows)
+        return self._cascade_retract(node, dropped)
+
+    def _role(self, position: int) -> tuple[int, bool]:
+        try:
+            return self._roles[position]
+        except KeyError:
+            raise QueryError(
+                f"chain position {position} out of range for arity "
+                f"{self.arity}"
+            ) from None
+
+    def _cascade(self, node: int, pairs) -> list[tuple[int, ...]]:
+        completed: list[tuple[int, ...]] = []
+        last = len(self.matchers) - 1
+        for pair in pairs:
+            left_id, row = pair
+            if node == 0:
+                rows = {self.order[0]: left_id, self.order[1]: row}
+                handle = self.handles[self.order[0]][left_id]
+            else:
+                rows = dict(self._tuples[left_id])
+                rows[self.order[node + 1]] = row
+                handle = self._tuple_handle[left_id]
+            tid = self._next_tid
+            self._next_tid += 1
+            self._pair_tid[node][pair] = tid
+            if node == last:
+                full = tuple(rows[p] for p in range(self.arity))
+                self._completed[tid] = full
+                completed.append(full)
+            else:
+                self._tuples[tid] = rows
+                self._tuple_handle[tid] = handle
+                emitted = self.matchers[node + 1].add_left([(tid, handle)])
+                completed.extend(self._cascade(node + 1, emitted))
+        return completed
+
+    def _cascade_retract(self, node: int, dropped) -> list[tuple[int, ...]]:
+        removed: list[tuple[int, ...]] = []
+        pair_tid = self._pair_tid[node]
+        tids = [
+            pair_tid.pop(pair) for pair in dropped if pair in pair_tid
+        ]
+        if not tids:
+            return removed
+        if node == len(self.matchers) - 1:
+            for tid in tids:
+                full = self._completed.pop(tid, None)
+                if full is not None:
+                    removed.append(full)
+            return removed
+        for tid in tids:
+            self._tuples.pop(tid, None)
+            self._tuple_handle.pop(tid, None)
+        dropped_next = self.matchers[node + 1].retract_left(tids)
+        return self._cascade_retract(node + 1, dropped_next)
+
+    # -- results ----------------------------------------------------------
+    def finish(self) -> list[tuple[int, ...]]:
+        """All completed chain tuples, sorted lexicographically.
+
+        Idempotent and re-callable — a retained executor is finished
+        once per replay, after any delta feeding/retraction between.
+        """
+        return sorted(self._completed.values())
+
+    @property
+    def matches(self) -> int:
+        return len(self._completed)
+
+    @property
+    def probes(self) -> int:
+        return sum(m.stats.probes for m in self.matchers)
+
+    @property
+    def comparisons(self) -> int:
+        return sum(m.stats.comparisons for m in self.matchers)
+
+    def reused_handles(self) -> int:
+        return sum(len(side) for side in self.handles)
+
+    def retained_bytes(self) -> int:
+        """Accounting for the series cache: handles + tuple state."""
+        total = 0
+        for side in self.handles:
+            for handle in side.values():
+                total += len(handle) + 96
+        total += (len(self._tuples) + len(self._completed)) * (
+            80 + 24 * self.arity
+        )
+        total += sum(m.stats.matches for m in self.matchers) * 80
+        return total
+
+
+class ChainSideSource:
+    """One decrypt stream fanned out to the positions sharing its side.
+
+    The streaming face of the handle pool: iteration yields
+    ``(positions, items)`` per decrypted chunk — ``items`` being
+    ``(row, handle)`` or ``(row, handle, payload)`` tuples with chunk
+    offsets translated through ``rows`` (local indices on the single
+    store, *global* indices from a shard) — and every position in
+    ``positions`` consumes the same items.  ``outcome`` is the
+    stream's :class:`~repro.core.engine.EngineReport` once exhausted.
+    """
+
+    def __init__(
+        self,
+        positions: Sequence[int],
+        stream,
+        rows: Sequence[int],
+        payloads: Sequence[bytes] | None = None,
+    ):
+        self.positions = tuple(positions)
+        self.stream = stream
+        self.rows = rows
+        self.payloads = payloads
+        self.outcome = None
+
+    def __iter__(self) -> "ChainSideSource":
+        return self
+
+    def __next__(self):
+        try:
+            chunk = next(self.stream)
+        except StopIteration:
+            self.outcome = self.stream.report
+            raise
+        rows = self.rows
+        if self.payloads is None:
+            items = [
+                (rows[chunk.start + offset], handle)
+                for offset, handle in enumerate(chunk.handles)
+            ]
+        else:
+            payloads = self.payloads
+            items = [
+                (
+                    rows[chunk.start + offset],
+                    handle,
+                    payloads[chunk.start + offset],
+                )
+                for offset, handle in enumerate(chunk.handles)
+            ]
+        return self.positions, items
+
+    def close(self) -> None:
+        self.stream.close()
+
+
+@dataclass
+class ChainPipelineResult:
+    """What one chain pipeline run produced."""
+
+    tuples: list[tuple[int, ...]] = field(default_factory=list)
+    outcomes: list = field(default_factory=list)
+    time_to_first_match: float = 0.0
+    decrypt_seconds: float = 0.0
+    match_seconds: float = 0.0
+    total_seconds: float = 0.0
+
+
+def run_chain_pipeline(
+    sources: Sequence[ChainSideSource],
+    executor: ChainExecutor,
+    position_rows: Sequence,
+    on_items: Callable[[tuple[int, ...], list], None] | None = None,
+):
+    """Merge chain side sources into ``executor``; a generator.
+
+    ``position_rows[p]`` is the set of candidate rows of chain position
+    ``p`` — a pooled source may cover the *union* of several positions'
+    candidates (one decrypt stream per distinct side), so each position
+    feeds only its own subset.  Yields lists of newly completed chain
+    tuples in discovery order; returns a :class:`ChainPipelineResult`
+    with the canonical sorted tuples.  Every source is closed on every
+    exit path, so pooled sides always release their admissions.
+    """
+    started = time.perf_counter()
+    result = ChainPipelineResult()
+    first_match_at: float | None = None
+    active = list(sources)
+    try:
+        turn = 0
+        while active:
+            source = active[turn % len(active)]
+            waited = time.perf_counter()
+            try:
+                positions, items = next(source)
+            except StopIteration:
+                result.decrypt_seconds += time.perf_counter() - waited
+                active.remove(source)
+                continue
+            result.decrypt_seconds += time.perf_counter() - waited
+            if on_items is not None:
+                on_items(positions, items)
+            matched_at = time.perf_counter()
+            completed: list[tuple[int, ...]] = []
+            for position in positions:
+                allowed = position_rows[position]
+                fed = [
+                    (item[0], item[1])
+                    for item in items
+                    if item[0] in allowed
+                ]
+                if fed:
+                    completed.extend(executor.feed(position, fed))
+            result.match_seconds += time.perf_counter() - matched_at
+            if completed:
+                if first_match_at is None:
+                    first_match_at = time.perf_counter()
+                    result.time_to_first_match = first_match_at - started
+                yield completed
+            turn += 1
+    finally:
+        for source in sources:
+            source.close()
+    finish_at = time.perf_counter()
+    result.tuples = executor.finish()
+    result.match_seconds += time.perf_counter() - finish_at
+    result.total_seconds = time.perf_counter() - started
+    result.outcomes = [getattr(source, "outcome", None) for source in sources]
+    return result

@@ -88,6 +88,38 @@ def series_key(query, backend) -> bytes:
     return digest.digest()
 
 
+def chain_series_key(query, backend) -> bytes:
+    """The cache key of one multi-way chain query.
+
+    Same determinants as :func:`series_key` — per-position table names,
+    token bytes and pre-filter tag sets — under a ``chain`` domain
+    prefix, so two-way and chain entries can never collide in one
+    cache.
+    """
+    digest = hashlib.blake2b(digest_size=32)
+    digest.update(b"chain\x00")
+    digest.update(len(query.tables).to_bytes(4, "big"))
+    for table_name in query.tables:
+        name = table_name.encode("utf-8")
+        digest.update(len(name).to_bytes(4, "big"))
+        digest.update(name)
+    for token in query.tokens:
+        for element in token.elements:
+            digest.update(backend.encode_g1(element))
+    for prefilter in query.prefilters:
+        if prefilter is None:
+            digest.update(b"\x00")
+            continue
+        digest.update(b"\x01")
+        for column in sorted(prefilter):
+            name = column.encode("utf-8")
+            digest.update(len(name).to_bytes(4, "big"))
+            digest.update(name)
+            for tag in sorted(prefilter[column]):
+                digest.update(tag)
+    return digest.digest()
+
+
 class SeriesEntry:
     """Retained state of one query: handle maps + the live matcher."""
 
@@ -164,6 +196,59 @@ class SeriesEntry:
     def reused_handles(self) -> int:
         return len(self.handles[LEFT]) + len(self.handles[RIGHT])
 
+    @property
+    def tables(self) -> tuple[str, ...]:
+        """The tables this entry depends on (invalidation scope)."""
+        return (self.left_table, self.right_table)
+
+
+class ChainSeriesEntry:
+    """Retained state of one multi-way chain query.
+
+    The chain counterpart of :class:`SeriesEntry`: instead of two
+    handle maps and a two-way matcher it retains the whole live
+    :class:`~repro.plan.executor.ChainExecutor` — per-position handle
+    maps plus the cascaded per-node matcher state — so a re-submitted
+    chain replays from ``executor.finish()`` and a mutated one is
+    repaired by feeding/retracting per-position deltas.
+    """
+
+    __slots__ = (
+        "key",
+        "tables",
+        "epochs",
+        "versions",
+        "executor",
+        "applied_tombstones",
+        "lock",
+        "byte_size",
+        "replays",
+        "delta_refreshes",
+    )
+
+    def __init__(self, key: bytes, tables, epochs, versions, executor):
+        self.key = key
+        self.tables = tuple(tables)
+        self.epochs = tuple(epochs)
+        self.versions = tuple(versions)
+        self.executor = executor
+        #: Per chain position: tombstoned row indices already withdrawn
+        #: (or known never-fed), so each delete applies exactly once.
+        self.applied_tombstones: list[set[int]] = [
+            set() for _ in self.tables
+        ]
+        self.lock = threading.RLock()
+        self.byte_size = 0
+        self.replays = 0
+        self.delta_refreshes = 0
+
+    def recompute_bytes(self) -> int:
+        self.byte_size = _ENTRY_OVERHEAD + self.executor.retained_bytes()
+        return self.byte_size
+
+    def reused_handles(self) -> int:
+        return self.executor.reused_handles()
+
 
 @dataclass
 class SeriesCacheStats:
@@ -175,6 +260,10 @@ class SeriesCacheStats:
     delta_refreshes: int = 0
     evictions: int = 0
     invalidations: int = 0
+    #: Lookups that found a live entry but could not take its per-entry
+    #: lock without blocking; the query fell through to the miss path
+    #: instead of queueing behind the contended series.
+    lock_contention: int = 0
 
 
 class SeriesCache:
@@ -262,7 +351,7 @@ class SeriesCache:
             doomed = [
                 key
                 for key, entry in self._entries.items()
-                if table_name in (entry.left_table, entry.right_table)
+                if table_name in entry.tables
             ]
             for key in doomed:
                 self._evict(key, invalidation=True)

@@ -42,6 +42,8 @@ from repro.core.pipeline import LEFT, RIGHT, SideEventSource, run_scatter_pipeli
 from repro.core.scheme import SecureJoinParams
 from repro.core.server import (
     MATCH_ALGORITHMS,
+    ChainMatchBatch,
+    EncryptedChainResult,
     EncryptedJoinResult,
     MatchBatch,
     QueryObservation,
@@ -57,6 +59,14 @@ from repro.errors import (
     QueryError,
     SchemeError,
     ShardUnavailableError,
+)
+from repro.plan import (
+    MAX_CHAIN_TABLES,
+    ChainExecutor,
+    ChainSideSource,
+    compile_plan,
+    group_chain_sides,
+    run_chain_pipeline,
 )
 from repro.series.cache import (
     DEFAULT_SERIES_BUDGET,
@@ -307,6 +317,61 @@ class LocalShard:
                 source.close()
             raise
         return sources
+
+    def open_chain_sources(
+        self,
+        query,
+        engine: ExecutionEngine | str | None = None,
+        qos: QueryQoS | None = None,
+    ) -> tuple[list[ChainSideSource], list[list[int]]]:
+        """Open this shard's slice of a multi-way chain scatter.
+
+        The per-query handle pool applies *within the shard*: positions
+        sharing a (table, token) side collapse into one
+        :class:`~repro.plan.executor.ChainSideSource` whose items are
+        ``(global_row, handle, payload)`` 3-tuples, so a self-join
+        chain decrypts each shard slice once no matter how many
+        positions consume it.  Positions grouped by
+        :func:`~repro.plan.handles.group_chain_sides` necessarily carry
+        identical pre-filters (byte-identical tokens imply identical
+        selections), so one side stream covers every grouped position.
+
+        Returns ``(sources, position_rows)`` — the second element being
+        each chain position's live candidate rows on this shard, in
+        global indices, for the coordinator's per-position feed filter.
+        """
+        if qos is None:
+            qos = _query_qos(query)
+        groups = group_chain_sides(query, self.server.scheme.backend)
+        position_rows: list[list[int]] = [[] for _ in query.tables]
+        sources: list[ChainSideSource] = []
+        try:
+            for group in groups:
+                descriptor = self._descriptors[group.table]
+                candidates, stream = self.server.open_side_stream(
+                    group.table,
+                    group.token,
+                    group.prefilters[0],
+                    qos=qos,
+                    engine=engine,
+                )
+                table = self.server.table(group.table)
+                global_rows = [
+                    descriptor.global_indices[i] for i in candidates
+                ]
+                payloads = [table.payloads[i] for i in candidates]
+                for position in group.positions:
+                    position_rows[position] = list(global_rows)
+                sources.append(
+                    ChainSideSource(
+                        group.positions, stream, global_rows, payloads
+                    )
+                )
+        except BaseException:
+            for source in sources:
+                source.close()
+            raise
+        return sources, position_rows
 
 
 class _GuardedSource:
@@ -576,6 +641,192 @@ class ShardCoordinator:
             except StopIteration as stop:
                 return stop.value
 
+    # -- multi-way chains --------------------------------------------------
+    def stream_chain(
+        self,
+        query,
+        engine: ExecutionEngine | str | None = None,
+    ):
+        """The sharded mirror of ``SecureJoinServer.stream_chain``.
+
+        Every shard scatters one decrypt stream per distinct (table,
+        token) side of the chain — the handle pool applied shard-
+        locally — and the coordinator merges all shards' chunks, in
+        global indices, into one central
+        :class:`~repro.plan.executor.ChainExecutor` whose order the
+        planner chose from the *merged* candidate counts.  Yields
+        :class:`~repro.core.server.ChainMatchBatch` increments in
+        discovery order; returns the final canonical
+        :class:`~repro.core.server.EncryptedChainResult` as the
+        generator's value — byte-identical to the single-store chain
+        over the unpartitioned tables, whatever the shard count.
+
+        Chain scatters are not series-cached at the coordinator (the
+        retained-executor bookkeeping is per-store; a follow-up), and
+        they require shards that expose ``open_chain_sources`` — a
+        remote shard raises :class:`~repro.errors.QueryError` until the
+        shard wire protocol grows a chain scatter frame.
+        """
+        events = self._chain_scatter_events(query, engine)
+        try:
+            while True:
+                try:
+                    batch = next(events)
+                except StopIteration as stop:
+                    return stop.value
+                yield batch
+        finally:
+            events.close()
+
+    def execute_chain(
+        self,
+        query,
+        engine: ExecutionEngine | str | None = None,
+    ) -> EncryptedChainResult:
+        """Run the scatter-gather chain join fully materialized."""
+        events = self._chain_scatter_events(query, engine)
+        while True:
+            try:
+                next(events)
+            except StopIteration as stop:
+                return stop.value
+
+    def _chain_scatter_events(self, query, engine):
+        n = len(query.tables)
+        if not 2 <= n <= MAX_CHAIN_TABLES:
+            raise QueryError(
+                f"a chain query needs 2..{MAX_CHAIN_TABLES} tables, got {n}"
+            )
+        if len(query.tokens) != n or len(query.prefilters) != n:
+            raise QueryError(
+                "chain query tables, tokens and prefilters must align"
+            )
+        for shard in self.shards:
+            if not hasattr(shard, "open_chain_sources"):
+                name = getattr(shard, "name", None)
+                raise QueryError(
+                    f"shard {name!r} cannot scatter chain queries; the "
+                    "shard wire protocol has no chain frame yet — run "
+                    "multi-way chains against in-process shards"
+                )
+        stats = ServerStats(
+            engine_source="override" if engine is not None else "default"
+        )
+        stats.shards = len(self.shards)
+        observation = QueryObservation(query.query_id)
+        qos = _query_qos(query)
+        relative_deadline = getattr(query, "deadline", None)
+
+        # Scatter: every shard opens its distinct chain sides before
+        # any chunk is pulled, so all pools co-admit the query.
+        sources: list[_GuardedSource] = []
+        position_rows: list[set[int]] = [set() for _ in range(n)]
+        try:
+            for ordinal, shard in enumerate(self.shards):
+                shard_sources, shard_rows = shard.open_chain_sources(
+                    query, engine=engine, qos=qos
+                )
+                for source in shard_sources:
+                    sources.append(_GuardedSource(ordinal, shard, source))
+                for position, rows in enumerate(shard_rows):
+                    position_rows[position].update(rows)
+        except BaseException:
+            for guarded in sources:
+                guarded.close()
+            raise
+        stats.candidates_left = len(position_rows[0])
+        stats.candidates_right = len(position_rows[-1])
+
+        # Plan over the merged global candidate counts: shard-local
+        # counts would mis-rank orders under partition skew.
+        from repro.bench.costmodel import default_engine_cost_model
+
+        model = default_engine_cost_model(self._backend_name())
+        plan = compile_plan(model, [len(rows) for rows in position_rows])
+        if stats.planner is None:
+            stats.planner = []
+        stats.planner.append(plan.record())
+        stats.plan_nodes = n - 1
+        stats.matcher = "hash"
+        executor = ChainExecutor(plan.order)
+        groups = group_chain_sides(query, self.shards[0].backend)
+        stats.handle_pool_hits = n - len(groups)
+
+        tables = list(query.tables)
+        # The coordinator holds no tables, so payloads ride the item
+        # 3-tuples and accumulate per position for batch/final output.
+        payload_maps: list[dict[int, bytes]] = [{} for _ in range(n)]
+
+        def on_items(positions, items) -> None:
+            table_name = tables[positions[0]]
+            for row, handle, payload in items:
+                observation.handles[(table_name, row)] = handle
+                for position in positions:
+                    payload_maps[position][row] = payload
+
+        def tuple_payloads(combos) -> list[tuple[bytes, ...]]:
+            return [
+                tuple(
+                    payload_maps[position][row]
+                    for position, row in enumerate(combo)
+                )
+                for combo in combos
+            ]
+
+        pipeline = run_chain_pipeline(
+            sources, executor, position_rows, on_items=on_items
+        )
+        try:
+            while True:
+                try:
+                    new_tuples = next(pipeline)
+                except StopIteration as stop:
+                    outcome = stop.value
+                    break
+                if qos is not None and qos.expired():
+                    raise DeadlineError(
+                        f"query {query.query_id} exceeded its deadline "
+                        f"of {relative_deadline}s; cancelled mid-chain"
+                    )
+                yield ChainMatchBatch(
+                    tuples=list(new_tuples),
+                    payloads=tuple_payloads(new_tuples),
+                )
+        finally:
+            pipeline.close()
+            # Close the shard streams directly too: closing a pipeline
+            # that never started does not run its body's cleanup.
+            for guarded in sources:
+                guarded.close()
+            self.observations.append(observation)
+
+        # Gather accounting: each side stream covers one distinct side
+        # of one shard, so its row count is that shard's decrypt load.
+        shard_rows = [0] * len(self.shards)
+        for guarded in sources:
+            rows = len(getattr(guarded.source, "rows", None) or ())
+            shard_rows[guarded.ordinal] += rows
+            result = guarded.outcome
+            if isinstance(result, EngineReport):
+                stats.merge_report(result)
+        stats.decryptions = sum(shard_rows)
+        stats.shard_skew = shard_skew(shard_rows)
+        self._record_scatter_plan(stats, shard_rows)
+
+        tuples = outcome.tuples
+        stats.matches = len(tuples)
+        stats.probes = executor.probes
+        stats.comparisons = executor.comparisons
+        stats.time_to_first_match = outcome.time_to_first_match
+        stats.decrypt_seconds = outcome.decrypt_seconds
+        stats.match_seconds = outcome.match_seconds
+        return EncryptedChainResult(
+            tables=tuple(query.tables),
+            tuples=tuples,
+            payloads=tuple_payloads(tuples),
+            stats=stats,
+        )
+
     def _scatter_events(self, query, algorithm, engine):
         if algorithm not in MATCH_ALGORITHMS:
             raise QueryError(f"unknown join algorithm {algorithm!r}")
@@ -613,18 +864,26 @@ class ShardCoordinator:
                     self._table_versions(query.left_table),
                     self._table_versions(query.right_table),
                 )
-                with entry.lock:
-                    if entry.versions == versions:
+                # Non-blocking: a contended entry (another query mid-
+                # replay or mid-refresh) is not worth waiting on — the
+                # from-scratch scatter below is always correct, and the
+                # contention is counted so the trade-off is observable.
+                if entry.lock.acquire(blocking=False):
+                    try:
+                        if entry.versions == versions:
+                            return (
+                                yield from self._series_replay_events(
+                                    entry, query, stats
+                                )
+                            )
                         return (
-                            yield from self._series_replay_events(
-                                entry, query, stats
+                            yield from self._series_delta_events(
+                                entry, query, engine, stats, qos, versions
                             )
                         )
-                    return (
-                        yield from self._series_delta_events(
-                            entry, query, engine, stats, qos, versions
-                        )
-                    )
+                    finally:
+                        entry.lock.release()
+                cache.stats.lock_contention += 1
         if cache is not None:
             # Snapshot the maintenance state before any scatter work so
             # a concurrent mutation surfaces as a version mismatch on

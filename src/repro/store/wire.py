@@ -31,10 +31,17 @@ from __future__ import annotations
 import dataclasses
 import math
 
-from repro.core.client import EncryptedJoinQuery
+from repro.core.client import EncryptedChainQuery, EncryptedJoinQuery
 from repro.core.engine import EngineReport
 from repro.core.scheme import SJToken
-from repro.core.server import EncryptedJoinResult, MatchBatch, ServerStats
+from repro.core.server import (
+    ChainMatchBatch,
+    EncryptedChainResult,
+    EncryptedJoinResult,
+    MatchBatch,
+    ServerStats,
+)
+from repro.plan import MAX_CHAIN_TABLES
 from repro.shard.partition import MAX_SHARD_COUNT, validate_shard_layout
 from repro.crypto.backend import BilinearBackend
 from repro.errors import SchemeError
@@ -48,6 +55,7 @@ from repro.store.codec import (
 )
 
 _QUERY_MAGIC = b"RPROJQRY"
+_CHAIN_QUERY_MAGIC = b"RPROJCQY"
 _RESULT_MAGIC = b"RPROJRES"
 _FRAME_MAGIC = b"RPROJFRM"
 # Version 2: queries carry ``engine_hint``; result stats carry the
@@ -74,11 +82,18 @@ _FRAME_MAGIC = b"RPROJFRM"
 # cache counters ``series_cache_hits`` / ``delta_rows`` /
 # ``reused_handles``.  Optional JSON keys again, so v1..v5 payloads
 # still decode and v5 decoders ignore the new fields.
-_VERSION = 6
+# Version 7 (the multi-way-plan PR): the chain query message exists
+# (magic ``RPROJCQY`` — 2..8 tables, one token and optional pre-filter
+# per position), the result stream grows the ``chain_batch`` /
+# ``chain_final`` frame kinds carrying n-ary index tuples, and result
+# stats carry ``plan_nodes`` / ``handle_pool_hits`` — optional JSON
+# keys, so v1..v6 payloads still decode.
+_VERSION = 7
 _MIN_VERSION = 1
 # Frames did not exist before v4, so their compatibility window starts
-# there.
+# there; chain queries arrived in v7.
 _FRAME_MIN_VERSION = 4
+_CHAIN_MIN_VERSION = 7
 _TAG_SIZE = 32
 
 #: Priority magnitude cap: wire-supplied priorities are clamped into a
@@ -96,6 +111,8 @@ FRAME_ERROR = "error"
 FRAME_SHARD_MAP = "shard_map"
 FRAME_SCATTER_CHUNK = "scatter_chunk"
 FRAME_SCATTER_FINAL = "scatter_final"
+FRAME_CHAIN_BATCH = "chain_batch"
+FRAME_CHAIN_FINAL = "chain_final"
 
 _REPORT_FIELDS = {field.name for field in dataclasses.fields(EngineReport)}
 
@@ -311,6 +328,128 @@ def decode_join_query(
     )
 
 
+# -- chain query (v7) ------------------------------------------------------
+
+
+def encode_chain_query(
+    query: EncryptedChainQuery, backend: BilinearBackend
+) -> bytes:
+    """Serialize a multi-way chain query (one token per position).
+
+    Token bytes are preserved exactly, so positions that shared a token
+    object on the client still share byte-identical tokens after a
+    round trip — the identity the server's handle pool groups by.
+    """
+    writer = Writer()
+    body = Writer()
+    for token in query.tokens:
+        write_element_vector(
+            body,
+            [backend.encode_g1(e) for e in token.elements],
+            backend.g1_element_size,
+        )
+    prefilter_columns = [
+        _write_prefilter(body, prefilter) for prefilter in query.prefilters
+    ]
+    header = {
+        "query_id": query.query_id,
+        "tables": list(query.tables),
+        "backend": backend.name,
+        "g1_element_size": backend.g1_element_size,
+        "prefilter_columns": prefilter_columns,
+        "engine_hint": query.engine_hint,
+        "priority": query.priority,
+        "deadline": query.deadline,
+    }
+    write_header(writer, _CHAIN_QUERY_MAGIC, _VERSION, header)
+    writer.raw(body.getvalue())
+    return writer.getvalue()
+
+
+def is_chain_query(data: bytes) -> bool:
+    """Cheap dispatch sniff: does this payload open with the chain magic?"""
+    return data[: len(_CHAIN_QUERY_MAGIC)] == _CHAIN_QUERY_MAGIC
+
+
+def _chain_tables(header: dict) -> list[str]:
+    tables = _require(header, "tables")
+    if not isinstance(tables, list) or not all(
+        isinstance(name, str) for name in tables
+    ):
+        raise SchemeError("header field 'tables' must be a list of strings")
+    if not 2 <= len(tables) <= MAX_CHAIN_TABLES:
+        raise SchemeError(
+            f"a chain query names 2..{MAX_CHAIN_TABLES} tables, got "
+            f"{len(tables)}"
+        )
+    return tables
+
+
+def decode_chain_query(
+    data: bytes, backend: BilinearBackend
+) -> EncryptedChainQuery:
+    """Inverse of :func:`encode_chain_query` (validating)."""
+    reader = Reader(data)
+    header = read_header(
+        reader, _CHAIN_QUERY_MAGIC, _VERSION, _CHAIN_MIN_VERSION
+    )
+    header_backend = _as_str(_require(header, "backend"), "backend")
+    if header_backend != backend.name:
+        raise SchemeError(
+            f"query was built for backend {header_backend!r}, "
+            f"cannot decode with {backend.name!r}"
+        )
+    declared_size = _as_int(
+        _require(header, "g1_element_size"), "g1_element_size", minimum=1
+    )
+    if declared_size != backend.g1_element_size:
+        raise SchemeError(
+            f"query tokens carry {declared_size}-byte G1 elements, but "
+            f"backend {backend.name!r} uses "
+            f"{backend.g1_element_size}-byte elements (mismatched backend "
+            "parameterization)"
+        )
+    tables = _chain_tables(header)
+    engine_hint = header.get("engine_hint")
+    if engine_hint is not None and not isinstance(engine_hint, str):
+        raise SchemeError(
+            "header field 'engine_hint' must be null or a string"
+        )
+    priority, deadline = _qos_fields(header)
+    prefilter_columns = _require(header, "prefilter_columns")
+    if not isinstance(prefilter_columns, list) or len(
+        prefilter_columns
+    ) != len(tables):
+        raise SchemeError(
+            "header field 'prefilter_columns' must list one entry per "
+            "chain table"
+        )
+    tokens = []
+    for _ in tables:
+        raw = read_element_vector(reader, backend.g1_element_size)
+        tokens.append(SJToken(tuple(backend.decode_g1(e) for e in raw)))
+    prefilters = []
+    for position, columns in enumerate(prefilter_columns):
+        columns = _opt_str_list(columns, f"prefilter_columns[{position}]")
+        if columns is None:
+            prefilters.append(None)
+        else:
+            prefilters.append({
+                column: frozenset(read_element_vector(reader, _TAG_SIZE))
+                for column in columns
+            })
+    reader.expect_end()
+    return EncryptedChainQuery(
+        query_id=_as_int(_require(header, "query_id"), "query_id"),
+        tables=tuple(tables),
+        tokens=tuple(tokens),
+        prefilters=tuple(prefilters),
+        engine_hint=engine_hint,
+        priority=priority,
+        deadline=deadline,
+    )
+
+
 # -- join result (materialized) -------------------------------------------
 
 
@@ -345,6 +484,8 @@ def _stats_dict(stats: ServerStats) -> dict:
         "series_cache_hits": stats.series_cache_hits,
         "delta_rows": stats.delta_rows,
         "reused_handles": stats.reused_handles,
+        "plan_nodes": stats.plan_nodes,
+        "handle_pool_hits": stats.handle_pool_hits,
     }
 
 
@@ -707,6 +848,119 @@ def _decode_scatter_final(header: dict) -> ScatterFinalFrame:
     )
 
 
+# -- chain frames (v7) -----------------------------------------------------
+
+
+@dataclasses.dataclass
+class ChainBatchFrame:
+    """One streamed chain increment: n-ary tuples plus their payloads."""
+
+    batch: ChainMatchBatch
+
+
+@dataclasses.dataclass
+class ChainFinalFrame:
+    """Closes a chain stream: canonical tuple order plus server stats."""
+
+    tables: tuple[str, ...]
+    tuples: list[tuple[int, ...]]
+    stats: ServerStats
+
+
+def encode_chain_batch(batch: ChainMatchBatch) -> bytes:
+    if not batch.tuples:
+        raise SchemeError("chain batch must carry at least one tuple")
+    arity = len(batch.tuples[0])
+    writer = Writer()
+    write_header(writer, _FRAME_MAGIC, _VERSION, {
+        "kind": FRAME_CHAIN_BATCH,
+        "arity": arity,
+        "n_tuples": len(batch.tuples),
+    })
+    for combo in batch.tuples:
+        for row in combo:
+            writer.u32(row)
+    for payload_combo in batch.payloads:
+        for payload in payload_combo:
+            writer.blob(payload)
+    return writer.getvalue()
+
+
+def encode_chain_final(result: EncryptedChainResult) -> bytes:
+    """The chain stream's closing frame: canonical tuples + stats."""
+    writer = Writer()
+    write_header(writer, _FRAME_MAGIC, _VERSION, {
+        "kind": FRAME_CHAIN_FINAL,
+        "tables": list(result.tables),
+        "arity": len(result.tables),
+        "n_tuples": len(result.tuples),
+        "stats": _stats_dict(result.stats),
+    })
+    for combo in result.tuples:
+        for row in combo:
+            writer.u32(row)
+    return writer.getvalue()
+
+
+def _chain_arity(header: dict) -> int:
+    arity = _as_int(_require(header, "arity"), "arity", minimum=2)
+    if arity > MAX_CHAIN_TABLES:
+        raise SchemeError(
+            f"chain arity {arity} exceeds the cap {MAX_CHAIN_TABLES}"
+        )
+    return arity
+
+
+def _read_tuples(
+    reader: Reader, header: dict, arity: int, with_payloads: bool
+) -> list[tuple[int, ...]]:
+    """Read ``n_tuples`` n-ary index tuples, validating the count first.
+
+    Each tuple needs ``arity`` u32 indices (4 bytes each) plus — in a
+    batch frame — ``arity`` blob length prefixes (4 bytes each), so the
+    per-tuple floor bounds any count a well-formed body could satisfy,
+    checked before any allocation.
+    """
+    n_tuples = _as_int(_require(header, "n_tuples"), "n_tuples", minimum=0)
+    per_tuple = arity * (8 if with_payloads else 4)
+    if n_tuples * per_tuple > reader.remaining:
+        raise SchemeError(
+            f"bad tuple count {n_tuples}: {n_tuples} chain tuples need at "
+            f"least {n_tuples * per_tuple} bytes, but only "
+            f"{reader.remaining} remain"
+        )
+    return [
+        tuple(reader.u32() for _ in range(arity)) for _ in range(n_tuples)
+    ]
+
+
+def _decode_chain_batch(reader: Reader, header: dict) -> ChainBatchFrame:
+    arity = _chain_arity(header)
+    tuples = _read_tuples(reader, header, arity, with_payloads=True)
+    payloads = [
+        tuple(reader.blob() for _ in range(arity)) for _ in tuples
+    ]
+    reader.expect_end()
+    return ChainBatchFrame(ChainMatchBatch(tuples=tuples, payloads=payloads))
+
+
+def _decode_chain_final(reader: Reader, header: dict) -> ChainFinalFrame:
+    arity = _chain_arity(header)
+    tables = _chain_tables(header)
+    if len(tables) != arity:
+        raise SchemeError(
+            f"chain final frame names {len(tables)} tables but declares "
+            f"arity {arity}"
+        )
+    tuples = _read_tuples(reader, header, arity, with_payloads=False)
+    reader.expect_end()
+    return ChainFinalFrame(
+        tables=tuple(tables),
+        tuples=tuples,
+        stats=_decode_stats(header),
+    )
+
+
 def decode_frame(
     data: bytes,
 ) -> (
@@ -717,6 +971,8 @@ def decode_frame(
     | ShardMapFrame
     | ScatterChunkFrame
     | ScatterFinalFrame
+    | ChainBatchFrame
+    | ChainFinalFrame
 ):
     """Decode one result-stream frame (validating, v4+ only)."""
     reader = Reader(data)
@@ -774,6 +1030,10 @@ def decode_frame(
     if kind == FRAME_SCATTER_FINAL:
         reader.expect_end()
         return _decode_scatter_final(header)
+    if kind == FRAME_CHAIN_BATCH:
+        return _decode_chain_batch(reader, header)
+    if kind == FRAME_CHAIN_FINAL:
+        return _decode_chain_final(reader, header)
     raise SchemeError(f"unknown frame kind {kind!r}")
 
 
@@ -831,5 +1091,68 @@ class StreamReassembler:
             index_pairs=list(final.index_pairs),
             left_payloads=left_payloads,
             right_payloads=right_payloads,
+            stats=final.stats,
+        )
+
+
+class ChainReassembler:
+    """Rebuild the canonical :class:`EncryptedChainResult` from a stream.
+
+    The chain counterpart of :class:`StreamReassembler`: chain-batch
+    frames deliver tuples and payloads in discovery order, the chain
+    final frame dictates the canonical lexicographic order — and every
+    cross-check (duplicate tuple, count mismatch, unknown tuple,
+    drifting arity) raises :class:`~repro.errors.SchemeError`.
+    """
+
+    def __init__(self):
+        self._payloads: dict[tuple[int, ...], tuple[bytes, ...]] = {}
+        self._arity: int | None = None
+
+    def _check_arity(self, combo: tuple[int, ...]) -> None:
+        if self._arity is None:
+            self._arity = len(combo)
+        elif len(combo) != self._arity:
+            raise SchemeError(
+                f"stream mixed chain arities {self._arity} and "
+                f"{len(combo)}"
+            )
+
+    def add_batch(self, batch: ChainMatchBatch) -> None:
+        if len(batch.tuples) != len(batch.payloads):
+            raise SchemeError("chain batch with mismatched payload counts")
+        for combo, payload_combo in zip(batch.tuples, batch.payloads):
+            combo = tuple(combo)
+            self._check_arity(combo)
+            if len(payload_combo) != len(combo):
+                raise SchemeError(
+                    "chain batch payload arity differs from tuple arity"
+                )
+            if combo in self._payloads:
+                raise SchemeError(
+                    f"stream delivered chain tuple {combo} more than once"
+                )
+            self._payloads[combo] = tuple(payload_combo)
+
+    def finish(self, final: ChainFinalFrame) -> EncryptedChainResult:
+        if len(final.tuples) != len(self._payloads):
+            raise SchemeError(
+                f"stream delivered {len(self._payloads)} chain tuples but "
+                f"the final frame claims {len(final.tuples)}"
+            )
+        payloads = []
+        for combo in final.tuples:
+            self._check_arity(tuple(combo))
+            try:
+                payloads.append(self._payloads[tuple(combo)])
+            except KeyError:
+                raise SchemeError(
+                    f"final frame names chain tuple {tuple(combo)} that "
+                    "no chain batch delivered"
+                ) from None
+        return EncryptedChainResult(
+            tables=tuple(final.tables),
+            tuples=[tuple(combo) for combo in final.tuples],
+            payloads=payloads,
             stats=final.stats,
         )

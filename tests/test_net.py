@@ -142,6 +142,14 @@ class TestRemoteJoin:
                 first = rc.execute_join(_query(client))
                 second = rc.execute_join(_query(client))
             assert first.index_pairs == second.index_pairs
+            # The handler bumps the counter after sending the final
+            # frame, so a fast client can observe the result first.
+            deadline = time.monotonic() + 5.0
+            while (
+                service.queries_served != 2
+                and time.monotonic() < deadline
+            ):
+                time.sleep(0.005)
             assert service.queries_served == 2
 
     def test_concurrent_clients(self):

@@ -1,0 +1,961 @@
+"""Tests for the multi-way join planner and pipelined chain executor.
+
+The contract under test: an n-way chain query decrypts each distinct
+``(table, token)`` side exactly once (the per-query handle pool),
+evaluates in the cost-model's chosen left-deep order, streams completed
+chain tuples incrementally, and — however the work is ordered, pooled,
+cached, sharded or shipped over the wire — the canonical result is
+byte-identical to the plaintext :func:`~repro.db.join.chain_join`
+ground truth.
+"""
+
+from __future__ import annotations
+
+import copy
+import random
+import threading
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.bench.costmodel import (
+    choose_join_order,
+    default_engine_cost_model,
+    estimate_expected_matches,
+    estimate_plan_costs,
+)
+from repro.core.client import SecureJoinClient
+from repro.core.server import SecureJoinServer, ServerStats
+from repro.db.join import chain_join
+from repro.db.predicate import InPredicate
+from repro.db.query import ChainQuery, JoinQuery
+from repro.db.schema import Schema
+from repro.db.table import Table
+from repro.errors import BenchmarkError, QueryError, SchemeError
+from repro.net.client import RemoteJoinClient
+from repro.net.server import JoinServiceServer
+from repro.net.shard import ShardServiceServer, coordinator_from_shard_map
+from repro.plan import (
+    MAX_CHAIN_TABLES,
+    ChainExecutor,
+    KeyedHandleStore,
+    compile_plan,
+    group_chain_sides,
+)
+from repro.series.cache import chain_series_key
+from repro.shard.coordinator import LocalShard, ShardCoordinator
+from repro.shard.partition import partition_table
+from repro.store import wire
+from repro.store.wire import ChainMatchBatch, ShardMapFrame
+
+KEYS = tuple(range(4))
+
+
+def _mk(name, n, rng, keys=KEYS):
+    return Table(
+        name,
+        Schema.of(("k", "int"), ("v", "str")),
+        [(rng.choice(keys), f"{name}.{i}") for i in range(n)],
+    )
+
+
+def _setup(sizes=(9, 12, 7), seed=17, enable_prefilter=False,
+           **server_kwargs):
+    """``len(sizes)`` tables T1..Tn over a shared key domain, one server."""
+    rng = random.Random(seed)
+    tables = [_mk(f"T{i + 1}", n, rng) for i, n in enumerate(sizes)]
+    client = SecureJoinClient.for_tables(
+        [(t, "k") for t in tables],
+        in_clause_limit=1,
+        rng=random.Random(seed + 1),
+        enable_prefilter=enable_prefilter,
+    )
+    server = SecureJoinServer(client.params, **server_kwargs)
+    for t in tables:
+        server.store(client.encrypt_table(t, "k"))
+    return client, server, tables
+
+
+def _chain(client, names, where=None, **kwargs):
+    return client.create_chain_query(
+        ChainQuery.build([(n, "k") for n in names], where=where), **kwargs
+    )
+
+
+def _drain(generator):
+    batches = []
+    while True:
+        try:
+            batches.append(next(generator))
+        except StopIteration as stop:
+            return batches, stop.value
+
+
+def _assert_matches_plaintext(client, result, tables, deleted=None):
+    """The decrypted result must be byte-identical to chain_join truth.
+
+    ``deleted`` maps table name -> tombstoned indices; chain tuples
+    touching a deleted row are dropped from the plaintext reference
+    (tombstones never renumber the surviving rows).
+    """
+    reference = chain_join([t for t in tables], ["k"] * len(tables))
+    expected = reference.index_tuples
+    if deleted:
+        names = [t.name for t in tables]
+        expected = [
+            combo
+            for combo in expected
+            if all(
+                row not in deleted.get(names[pos], ())
+                for pos, row in enumerate(combo)
+            )
+        ]
+    decrypted = client.decrypt_chain_result(result)
+    assert decrypted.index_tuples == expected
+    rows = [list(t) for t in tables]
+    expected_rows = [
+        tuple(
+            value
+            for pos, row in enumerate(combo)
+            for value in rows[pos][row]
+        )
+        for combo in expected
+    ]
+    assert list(decrypted.table) == expected_rows
+
+
+# -- planner ---------------------------------------------------------------
+
+
+class TestPlanner:
+    model = default_engine_cost_model("fast")
+
+    def test_left_deep_orders_are_exhaustive(self):
+        # A chain of n tables has 2^(n-1) contiguous left-deep orders.
+        for n in (2, 3, 4, 5):
+            costs = estimate_plan_costs(self.model, [10] * n)
+            assert len(costs) == 2 ** (n - 1)
+            for order in costs:
+                lo = hi = order[0]
+                for position in order[1:]:
+                    assert position in (lo - 1, hi + 1)
+                    lo, hi = min(lo, position), max(hi, position)
+
+    def test_chosen_order_is_argmin_of_published_estimates(self):
+        order, estimates = choose_join_order(
+            self.model, [50, 5000, 40], [4, 4, 4]
+        )
+        assert set(order) == {0, 1, 2}
+        assert set(estimates) == {
+            ",".join(map(str, o))
+            for o in ((0, 1, 2), (1, 0, 2), (1, 2, 0), (2, 1, 0))
+        }
+        key = ",".join(map(str, order))
+        assert estimates[key] == min(estimates.values())
+
+    def test_uniform_cardinalities_keep_chain_order(self):
+        order, _ = choose_join_order(self.model, [30, 30, 30])
+        assert order == (0, 1, 2)
+
+    def test_expected_matches_containment(self):
+        # |R|*|S| / max(V(R), V(S)), clamped and conservative.
+        assert estimate_expected_matches(100, 100, 10, 20) == 500
+        assert estimate_expected_matches(100, 100) == 100
+        assert estimate_expected_matches(0, 100) == 0
+        assert estimate_expected_matches(10, 10, 1000, 1) == 10
+        with pytest.raises(BenchmarkError):
+            estimate_expected_matches(-1, 5)
+
+    def test_compile_plan_nodes_follow_order(self):
+        plan = compile_plan(self.model, [50, 5000, 40], [4, 4, 4])
+        assert len(plan.nodes) == 2
+        build = {plan.order[0]}
+        for node in plan.nodes:
+            assert set(node.build) == build
+            assert node.probe not in build
+            build.add(node.probe)
+        record = plan.record()
+        assert record["stage"] == "plan"
+        assert tuple(record["order"]) == plan.order
+
+    def test_compile_plan_rejects_bad_arity(self):
+        with pytest.raises(QueryError):
+            compile_plan(self.model, [10])
+        with pytest.raises(QueryError):
+            compile_plan(self.model, [10] * (MAX_CHAIN_TABLES + 1))
+
+
+# -- executor --------------------------------------------------------------
+
+
+class TestChainExecutor:
+    def test_rejects_non_contiguous_order(self):
+        with pytest.raises(QueryError):
+            ChainExecutor((0, 2, 1))
+        with pytest.raises(QueryError):
+            ChainExecutor((0,))
+        with pytest.raises(QueryError):
+            ChainExecutor((0, 0, 1))
+
+    def test_feed_completes_tuples_incrementally(self):
+        executor = ChainExecutor((0, 1, 2))
+        assert executor.feed(0, [(0, b"a"), (1, b"b")]) == []
+        assert executor.feed(1, [(5, b"a")]) == []
+        # Completing the last position surfaces the full chain tuple.
+        assert executor.feed(2, [(7, b"a")]) == [(0, 5, 7)]
+        # Late increments extend existing partial matches.
+        assert executor.feed(2, [(8, b"a")]) == [(0, 5, 8)]
+        assert sorted(executor.finish()) == [(0, 5, 7), (0, 5, 8)]
+
+    def test_retract_cascades_and_reinsert_restores(self):
+        executor = ChainExecutor((1, 0, 2))
+        executor.feed(0, [(0, b"x")])
+        executor.feed(1, [(3, b"x")])
+        assert executor.feed(2, [(9, b"x")]) == [(0, 3, 9)]
+        # Withdrawing the middle row tears down every tuple through it.
+        assert executor.retract(1, [3]) == [(0, 3, 9)]
+        assert executor.finish() == []
+        # Feeding it back completes the same tuple again.
+        assert executor.feed(1, [(3, b"x")]) == [(0, 3, 9)]
+        assert executor.finish() == [(0, 3, 9)]
+
+    def test_finish_is_canonical_lexicographic(self):
+        executor = ChainExecutor((2, 1, 0))
+        executor.feed(2, [(1, b"k"), (0, b"k")])
+        executor.feed(1, [(4, b"k")])
+        executor.feed(0, [(2, b"k"), (1, b"k")])
+        assert executor.finish() == [
+            (1, 4, 0), (1, 4, 1), (2, 4, 0), (2, 4, 1),
+        ]
+
+
+# -- single-store chain execution ------------------------------------------
+
+
+class TestChainExecution:
+    def test_chain_matches_plaintext_reference(self):
+        client, server, tables = _setup()
+        with server:
+            result = server.execute_chain(_chain(client, ["T1", "T2", "T3"]))
+            assert result.tables == ("T1", "T2", "T3")
+            assert result.stats.plan_nodes == 2
+            assert result.stats.matcher == "hash"
+            assert result.stats.decryptions == 9 + 12 + 7
+            _assert_matches_plaintext(client, result, tables)
+
+    def test_streamed_equals_materialized(self):
+        client, server, tables = _setup(seed=23)
+        with server:
+            reference = server.execute_chain(
+                _chain(client, ["T1", "T2", "T3"])
+            )
+            batches, final = _drain(
+                server.stream_chain(_chain(client, ["T1", "T2", "T3"]))
+            )
+            streamed = sorted(
+                combo for batch in batches for combo in batch.tuples
+            )
+            assert streamed == reference.tuples == final.tuples
+            assert final.payloads == reference.payloads
+            by_tuple = {
+                combo: payload
+                for batch in batches
+                for combo, payload in zip(batch.tuples, batch.payloads)
+            }
+            assert [by_tuple[c] for c in final.tuples] == final.payloads
+
+    def test_four_way_chain(self):
+        client, server, tables = _setup(sizes=(6, 8, 5, 7), seed=31)
+        with server:
+            result = server.execute_chain(
+                _chain(client, ["T1", "T2", "T3", "T4"])
+            )
+            assert result.stats.plan_nodes == 3
+            _assert_matches_plaintext(client, result, tables)
+
+    def test_chain_with_selections_matches_filtered_reference(self):
+        client, server, tables = _setup(seed=37, enable_prefilter=True)
+        with server:
+            picked = tables[1][0][1]  # one live "v" value of T2
+            result = server.execute_chain(
+                _chain(
+                    client,
+                    ["T1", "T2", "T3"],
+                    where=[None, {"v": [picked]}, None],
+                )
+            )
+        reference = chain_join(
+            tables,
+            ["k"] * 3,
+            [None, InPredicate("v", [picked]), None],
+        )
+        decrypted = client.decrypt_chain_result(result)
+        assert decrypted.index_tuples == reference.index_tuples
+        assert list(decrypted.table) == list(reference.table)
+
+    def test_two_table_chain_agrees_with_join(self):
+        client, server, tables = _setup(sizes=(9, 12), seed=41)
+        with server:
+            chain_result = server.execute_chain(_chain(client, ["T1", "T2"]))
+            join_result = server.execute_join(
+                client.create_query(
+                    JoinQuery.build("T1", "T2", on=("k", "k"))
+                )
+            )
+            # Canonical orders differ (chain: lexicographic; join:
+            # right-major) but the match sets must be identical.
+            assert set(chain_result.tuples) == {
+                tuple(pair) for pair in join_result.index_pairs
+            }
+
+    def test_chain_arity_bounds(self):
+        client, server, _ = _setup(sizes=(4, 4), seed=43)
+        with server:
+            with pytest.raises(QueryError):
+                ChainQuery.build([("T1", "k")])
+            too_long = [("T1", "k"), ("T2", "k")] * 5
+            query = client.create_chain_query(ChainQuery.build(too_long))
+            with pytest.raises(QueryError):
+                server.execute_chain(query)
+
+
+# -- the per-query handle pool ---------------------------------------------
+
+
+class TestHandlePool:
+    def test_shared_side_decrypted_exactly_once(self):
+        client, server, tables = _setup(sizes=(9, 12), seed=47)
+        with server:
+            query = _chain(client, ["T1", "T2", "T1"])
+            assert len(group_chain_sides(query, server.scheme.backend)) == 2
+            result = server.execute_chain(query)
+            assert result.stats.handle_pool_hits == 1
+            assert result.stats.decryptions == 9 + 12
+        expected = [
+            (a, b, c)
+            for a, b in chain_join(tables[:2], ["k", "k"]).index_tuples
+            for c in range(9)
+            if tables[0][c][0] == tables[0][a][0]
+        ]
+        assert result.tuples == sorted(expected)
+
+    def test_exactly_once_op_counter(self):
+        # The acceptance check: a 3-way chain sharing its outer table
+        # performs *identical* pairing work to a plain two-way join of
+        # the same two sides — the pool decrypts (table, token) sides,
+        # not chain positions.
+        client, server, _ = _setup(sizes=(9, 12), seed=53)
+        ops = server.scheme.backend.ops
+        with server:
+            before_chain = ops.snapshot()
+            server.execute_chain(_chain(client, ["T1", "T2", "T1"]))
+            chain_delta = ops.since(before_chain)
+            before_join = ops.snapshot()
+            server.execute_join(
+                client.create_query(
+                    JoinQuery.build("T1", "T2", on=("k", "k"))
+                )
+            )
+            join_delta = ops.since(before_join)
+        assert chain_delta.snapshot() == join_delta.snapshot()
+        assert (
+            chain_delta.miller_loops + chain_delta.prepared_miller_loops > 0
+        )
+
+
+# -- the cross-series handle store -----------------------------------------
+
+
+class TestKeyedHandleStore:
+    def test_lookup_returns_a_copy(self):
+        store = KeyedHandleStore()
+        store.record("T", 0, b"d", [(0, b"h0"), (1, b"h1")])
+        found = store.lookup("T", 0, b"d")
+        found[0] = b"tampered"
+        assert store.lookup("T", 0, b"d")[0] == b"h0"
+
+    def test_keyed_by_table_epoch_and_digest(self):
+        store = KeyedHandleStore()
+        store.record("T", 0, b"d", [(0, b"h")])
+        assert store.lookup("T", 1, b"d") == {}
+        assert store.lookup("T", 0, b"e") == {}
+        assert store.lookup("U", 0, b"d") == {}
+        assert store.lookup("T", 0, b"d") == {0: b"h"}
+
+    def test_budget_evicts_lru(self):
+        # One entry is 256 overhead + 4 * (32 + 96) = 768 bytes, so an
+        # 800-byte budget holds exactly one: recording the second must
+        # evict the least-recently-used first.
+        store = KeyedHandleStore(budget_bytes=800)
+        store.record("T", 0, b"a", [(i, b"x" * 32) for i in range(4)])
+        store.record("T", 0, b"b", [(i, b"y" * 32) for i in range(4)])
+        assert store.lookup("T", 0, b"a") == {}
+        assert len(store.lookup("T", 0, b"b")) == 4
+        assert store.stats.evictions >= 1
+        assert store.total_bytes <= 800
+
+    def test_forget_rows_and_invalidate(self):
+        store = KeyedHandleStore()
+        store.record("T", 0, b"a", [(0, b"h0"), (1, b"h1")])
+        store.record("U", 0, b"b", [(0, b"g0")])
+        store.forget_rows("T", [0])
+        assert store.lookup("T", 0, b"a") == {1: b"h1"}
+        assert store.invalidate_table("T") == 1
+        assert store.lookup("T", 0, b"a") == {}
+        assert store.lookup("U", 0, b"b") == {0: b"g0"}
+
+    def test_zero_budget_disables_retention(self):
+        store = KeyedHandleStore(budget_bytes=0)
+        store.record("T", 0, b"a", [(0, b"h")])
+        assert len(store) == 0
+
+    def test_cross_series_reuse_skips_sjdec(self):
+        # Evict the series entry but keep the handle store: the same
+        # encrypted chain re-runs with zero decryptions.
+        client, server, tables = _setup(seed=59)
+        with server:
+            query = _chain(client, ["T1", "T2", "T3"])
+            first = server.execute_chain(query)
+            assert first.stats.decryptions == 9 + 12 + 7
+            server.series_cache.clear()
+            again = server.execute_chain(query)
+            assert again.stats.series_cache_hits == 0
+            assert again.stats.decryptions == 0
+            assert again.stats.reused_handles == 9 + 12 + 7
+            assert again.tuples == first.tuples
+            assert again.payloads == first.payloads
+            _assert_matches_plaintext(client, again, tables)
+
+
+# -- chain series cache: replay, delta repair, contention ------------------
+
+
+class TestChainSeries:
+    def test_replay_and_delta_repair(self):
+        client, server, tables = _setup(seed=61)
+        with server:
+            query = _chain(client, ["T1", "T2", "T3"])
+            first = server.execute_chain(query)
+            replay = server.execute_chain(query)
+            assert replay.stats.series_cache_hits == 1
+            assert replay.stats.decryptions == 0
+            assert replay.tuples == first.tuples
+            assert replay.payloads == first.payloads
+
+            # Insert into the middle table: only the delta decrypts.
+            new_row = (tables[1][0][0], "T2.new")
+            ciphertext, payload, tags = client.encrypt_row_for(
+                "T2", new_row
+            )
+            server.insert_row("T2", ciphertext, payload, tags)
+            tables[1].insert(new_row)
+            repaired = server.execute_chain(query)
+            assert repaired.stats.series_cache_hits == 1
+            assert repaired.stats.delta_rows == 1
+            assert repaired.stats.decryptions == 1
+            _assert_matches_plaintext(client, repaired, tables)
+
+            # Delete from the outer table: retraction, no decryption.
+            server.delete_rows("T1", [0])
+            shrunk = server.execute_chain(query)
+            assert shrunk.stats.series_cache_hits == 1
+            assert shrunk.stats.decryptions == 0
+            _assert_matches_plaintext(
+                client, shrunk, tables, deleted={"T1": {0}}
+            )
+
+    def test_contended_entry_falls_through_to_miss(self):
+        client, server, tables = _setup(seed=67, handle_store_bytes=0)
+        with server:
+            query = _chain(client, ["T1", "T2", "T3"])
+            first = server.execute_chain(query)
+            cache = server.series_cache
+            key = chain_series_key(query, server.scheme.backend)
+            entry = cache._entries[key]
+            contention_before = cache.stats.lock_contention
+
+            held = threading.Event()
+            release = threading.Event()
+
+            def hold_lock():
+                with entry.lock:
+                    held.set()
+                    release.wait(timeout=30.0)
+
+            holder = threading.Thread(target=hold_lock, daemon=True)
+            holder.start()
+            assert held.wait(timeout=10.0)
+            try:
+                # The entry is locked by another query: this run must
+                # not block behind it — it recomputes from scratch.
+                result = server.execute_chain(query)
+            finally:
+                release.set()
+                holder.join(timeout=10.0)
+            assert cache.stats.lock_contention == contention_before + 1
+            assert result.stats.series_cache_hits == 0
+            assert result.stats.decryptions == 9 + 12 + 7
+            assert result.tuples == first.tuples
+            assert result.payloads == first.payloads
+
+
+# -- sharded chains --------------------------------------------------------
+
+
+def _sharded(client, backend, encrypted, n_shards, workers=2):
+    shards = [
+        LocalShard(client.params, workers=workers, name=f"shard-{i}")
+        for i in range(n_shards)
+    ]
+    for table in encrypted:
+        for piece in partition_table(table, backend, n_shards):
+            shards[piece.shard.shard_index].store(piece)
+    return ShardCoordinator(shards)
+
+
+class TestShardedChains:
+    @pytest.mark.parametrize("n_shards", [1, 2])
+    def test_scatter_gather_parity(self, n_shards):
+        client, server, tables = _setup(seed=71)
+        backend = server.scheme.backend
+        encrypted = [copy.deepcopy(server.table(t.name)) for t in tables]
+        with server:
+            reference = server.execute_chain(
+                _chain(client, ["T1", "T2", "T3"])
+            )
+        with _sharded(client, backend, encrypted, n_shards) as coordinator:
+            result = coordinator.execute_chain(
+                _chain(client, ["T1", "T2", "T3"])
+            )
+            assert result.tuples == reference.tuples
+            assert result.payloads == reference.payloads
+            assert result.stats.shards == n_shards
+            assert result.stats.decryptions == 9 + 12 + 7
+            batches, final = _drain(
+                coordinator.stream_chain(_chain(client, ["T1", "T2", "T3"]))
+            )
+            streamed = sorted(
+                combo for batch in batches for combo in batch.tuples
+            )
+            assert streamed == reference.tuples
+            assert final.tuples == reference.tuples
+
+    def test_sharded_handle_pool(self):
+        client, server, tables = _setup(sizes=(9, 12), seed=73)
+        backend = server.scheme.backend
+        encrypted = [copy.deepcopy(server.table(t.name)) for t in tables]
+        with server:
+            reference = server.execute_chain(
+                _chain(client, ["T1", "T2", "T1"])
+            )
+        with _sharded(client, backend, encrypted, 2) as coordinator:
+            result = coordinator.execute_chain(
+                _chain(client, ["T1", "T2", "T1"])
+            )
+            assert result.stats.handle_pool_hits == 1
+            assert result.stats.decryptions == 9 + 12
+            assert result.tuples == reference.tuples
+            assert result.payloads == reference.payloads
+
+    def test_remote_shards_reject_chains(self):
+        client, server, tables = _setup(sizes=(6, 5), seed=79)
+        backend = server.scheme.backend
+        encrypted = [copy.deepcopy(server.table(t.name)) for t in tables]
+        server.close()
+        shards = [
+            LocalShard(client.params, workers=2, name=f"s{i}")
+            for i in range(2)
+        ]
+        seed = None
+        for table in encrypted:
+            for piece in partition_table(table, backend, 2):
+                shards[piece.shard.shard_index].store(piece)
+                seed = piece.shard.seed
+        services = [ShardServiceServer(shard) for shard in shards]
+        endpoints = [service.start() for service in services]
+        frame = wire.decode_frame(
+            wire.encode_shard_map(
+                ShardMapFrame(
+                    shard_count=2,
+                    seed=seed,
+                    tables=("T1", "T2"),
+                    endpoints=tuple(endpoints),
+                )
+            )
+        )
+        try:
+            with coordinator_from_shard_map(frame, backend) as coordinator:
+                with pytest.raises(QueryError, match="chain"):
+                    coordinator.execute_chain(_chain(client, ["T1", "T2"]))
+        finally:
+            for service in services:
+                service.shutdown()
+
+    def test_coordinator_from_shard_map_joins(self):
+        client, server, tables = _setup(sizes=(8, 6), seed=83)
+        backend = server.scheme.backend
+        encrypted = [copy.deepcopy(server.table(t.name)) for t in tables]
+        with server:
+            reference = server.execute_join(
+                client.create_query(
+                    JoinQuery.build("T1", "T2", on=("k", "k"))
+                )
+            )
+        shards = [
+            LocalShard(client.params, workers=2, name=f"s{i}")
+            for i in range(2)
+        ]
+        seed = None
+        for table in encrypted:
+            for piece in partition_table(table, backend, 2):
+                shards[piece.shard.shard_index].store(piece)
+                seed = piece.shard.seed
+        services = [ShardServiceServer(shard) for shard in shards]
+        endpoints = [service.start() for service in services]
+        frame = wire.decode_frame(
+            wire.encode_shard_map(
+                ShardMapFrame(
+                    shard_count=2,
+                    seed=seed,
+                    tables=("T1", "T2"),
+                    endpoints=tuple(endpoints),
+                )
+            )
+        )
+        try:
+            with coordinator_from_shard_map(frame, backend) as coordinator:
+                assert [s.name for s in coordinator.shards] == [
+                    f"shard-{i}@{host}:{port}"
+                    for i, (host, port) in enumerate(endpoints)
+                ]
+                result = coordinator.execute_join(
+                    client.create_query(
+                        JoinQuery.build("T1", "T2", on=("k", "k"))
+                    )
+                )
+                assert result.index_pairs == reference.index_pairs
+                assert result.left_payloads == reference.left_payloads
+                assert result.right_payloads == reference.right_payloads
+        finally:
+            for service in services:
+                service.shutdown()
+
+
+# -- wire v7: chain queries and frames -------------------------------------
+
+
+class TestChainWire:
+    def test_query_round_trip_preserves_results_and_pooling(self):
+        client, server, _ = _setup(sizes=(9, 12), seed=89)
+        backend = server.scheme.backend
+        with server:
+            query = _chain(
+                client, ["T1", "T2", "T1"], priority=2, deadline=30.0
+            )
+            blob = wire.encode_chain_query(query, backend)
+            assert wire.is_chain_query(blob)
+            assert not wire.is_chain_query(
+                wire.encode_join_query(
+                    client.create_query(
+                        JoinQuery.build("T1", "T2", on=("k", "k"))
+                    ),
+                    backend,
+                )
+            )
+            decoded = wire.decode_chain_query(blob, backend)
+            assert decoded.tables == query.tables
+            assert decoded.query_id == query.query_id
+            assert decoded.priority == 2 and decoded.deadline == 30.0
+            reference = server.execute_chain(query)
+            # Token bytes survive the round trip, so the decoded query
+            # still dedups its shared side (and replays the series).
+            server.series_cache.clear()
+            server.handle_store.clear()
+            result = server.execute_chain(decoded)
+            assert result.stats.handle_pool_hits == 1
+            assert result.tuples == reference.tuples
+            assert result.payloads == reference.payloads
+
+    def test_frame_round_trips(self):
+        batch = ChainMatchBatch(
+            tuples=[(1, 2, 3), (4, 5, 6)],
+            payloads=[(b"a", b"b", b"c"), (b"d", b"e", b"f")],
+        )
+        frame = wire.decode_frame(wire.encode_chain_batch(batch))
+        assert isinstance(frame, wire.ChainBatchFrame)
+        assert frame.batch.tuples == batch.tuples
+        assert frame.batch.payloads == batch.payloads
+
+        client, server, _ = _setup(sizes=(5, 6), seed=97)
+        with server:
+            result = server.execute_chain(_chain(client, ["T1", "T2"]))
+        final = wire.decode_frame(wire.encode_chain_final(result))
+        assert isinstance(final, wire.ChainFinalFrame)
+        assert final.tables == result.tables
+        assert final.tuples == result.tuples
+        assert final.stats.plan_nodes == result.stats.plan_nodes
+        assert final.stats.handle_pool_hits == result.stats.handle_pool_hits
+
+    def test_empty_batch_rejected_at_encode(self):
+        with pytest.raises(SchemeError):
+            wire.encode_chain_batch(ChainMatchBatch(tuples=[], payloads=[]))
+
+    def test_reassembler_rejects_duplicates_and_drift(self):
+        reassembler = wire.ChainReassembler()
+        batch = ChainMatchBatch(
+            tuples=[(0, 1)], payloads=[(b"a", b"b")]
+        )
+        reassembler.add_batch(batch)
+        with pytest.raises(SchemeError, match="more than once"):
+            reassembler.add_batch(batch)
+        with pytest.raises(SchemeError, match="arities"):
+            reassembler.add_batch(
+                ChainMatchBatch(
+                    tuples=[(0, 1, 2)], payloads=[(b"a", b"b", b"c")]
+                )
+            )
+
+    def test_reassembler_cross_checks_final(self):
+        reassembler = wire.ChainReassembler()
+        reassembler.add_batch(
+            ChainMatchBatch(tuples=[(0, 1)], payloads=[(b"a", b"b")])
+        )
+        with pytest.raises(SchemeError, match="claims"):
+            reassembler.finish(
+                wire.ChainFinalFrame(
+                    tables=("L", "R"), tuples=[], stats=ServerStats()
+                )
+            )
+        with pytest.raises(SchemeError, match="no chain batch"):
+            reassembler.finish(
+                wire.ChainFinalFrame(
+                    tables=("L", "R"), tuples=[(7, 7)], stats=ServerStats()
+                )
+            )
+
+
+class TestChainWireHostile:
+    """Hostile chain payloads: only SchemeError may escape."""
+
+    def _query_blob(self):
+        client, server, _ = _setup(sizes=(4, 3), seed=101)
+        backend = server.scheme.backend
+        server.close()
+        query = _chain(client, ["T1", "T2", "T1"])
+        return wire.encode_chain_query(query, backend), backend
+
+    def test_query_truncated_at_every_offset(self):
+        blob, backend = self._query_blob()
+        for cut in range(len(blob)):
+            with pytest.raises(SchemeError):
+                wire.decode_chain_query(blob[:cut], backend)
+
+    def test_frames_truncated_at_every_offset(self):
+        batch_blob = wire.encode_chain_batch(
+            ChainMatchBatch(
+                tuples=[(1, 2, 3)], payloads=[(b"aa", b"bb", b"cc")]
+            )
+        )
+        client, server, _ = _setup(sizes=(4, 3), seed=103)
+        with server:
+            result = server.execute_chain(_chain(client, ["T1", "T2"]))
+        final_blob = wire.encode_chain_final(result)
+        for blob in (batch_blob, final_blob):
+            for cut in range(len(blob)):
+                try:
+                    wire.decode_frame(blob[:cut])
+                except SchemeError:
+                    pass
+
+    def _rewrite_frame_header(self, blob, **overrides):
+        import json
+
+        from repro.store.codec import Reader, Writer
+
+        reader = Reader(blob)
+        magic = reader.take(8)
+        version = reader.u8()
+        header = json.loads(reader.blob())
+        body = blob[len(blob) - reader.remaining:]
+        header.update(overrides)
+        writer = Writer()
+        writer.raw(magic).u8(version)
+        writer.blob(json.dumps(header).encode("utf-8"))
+        writer.raw(body)
+        return writer.getvalue()
+
+    def test_oversized_tuple_count_rejected_before_allocation(self):
+        blob = wire.encode_chain_batch(
+            ChainMatchBatch(tuples=[(1, 2)], payloads=[(b"a", b"b")])
+        )
+        hostile = self._rewrite_frame_header(blob, n_tuples=2**31)
+        with pytest.raises(SchemeError, match="bad tuple count"):
+            wire.decode_frame(hostile)
+
+    @pytest.mark.parametrize("arity", [0, 1, -3, MAX_CHAIN_TABLES + 1, "x"])
+    def test_bad_arity_rejected(self, arity):
+        blob = wire.encode_chain_batch(
+            ChainMatchBatch(tuples=[(1, 2)], payloads=[(b"a", b"b")])
+        )
+        with pytest.raises(SchemeError):
+            wire.decode_frame(self._rewrite_frame_header(blob, arity=arity))
+
+    def test_final_tables_must_match_arity(self):
+        client, server, _ = _setup(sizes=(4, 3), seed=107)
+        with server:
+            result = server.execute_chain(_chain(client, ["T1", "T2"]))
+        blob = wire.encode_chain_final(result)
+        hostile = self._rewrite_frame_header(blob, tables=["T1", "T2", "T3"])
+        with pytest.raises(SchemeError):
+            wire.decode_frame(hostile)
+
+
+# -- the remote chain path -------------------------------------------------
+
+
+class TestRemoteChains:
+    def test_remote_chain_end_to_end(self):
+        client, server, tables = _setup(seed=109)
+        backend = server.scheme.backend
+        reference = server.execute_chain(_chain(client, ["T1", "T2", "T3"]))
+        with JoinServiceServer(server) as service:
+            host, port = service.address
+            with RemoteJoinClient(host, port, backend) as remote:
+                stream = remote.stream_chain(
+                    _chain(client, ["T1", "T2", "T3"])
+                )
+                batches, result = _drain(stream)
+                assert result.tuples == reference.tuples
+                assert result.payloads == reference.payloads
+                streamed = sorted(
+                    combo for batch in batches for combo in batch.tuples
+                )
+                assert streamed == reference.tuples
+                _assert_matches_plaintext(client, result, tables)
+                # Two-way and chain queries interleave on one connection.
+                join_result = remote.execute_join(
+                    client.create_query(
+                        JoinQuery.build("T1", "T2", on=("k", "k"))
+                    )
+                )
+                assert join_result.index_pairs
+                again = remote.execute_chain(
+                    _chain(client, ["T1", "T2", "T3"])
+                )
+                assert again.tuples == reference.tuples
+
+    def test_remote_chain_error_reported_in_band(self):
+        client, server, _ = _setup(sizes=(4, 3), seed=113)
+        backend = server.scheme.backend
+        with JoinServiceServer(server) as service:
+            host, port = service.address
+            with RemoteJoinClient(host, port, backend) as remote:
+                bogus = _chain(client, ["T1", "T2"])
+                bogus = type(bogus)(
+                    query_id=bogus.query_id,
+                    tables=("T1", "Nope"),
+                    tokens=bogus.tokens,
+                    prefilters=bogus.prefilters,
+                )
+                with pytest.raises(QueryError):
+                    remote.execute_chain(bogus)
+                # The connection survives an error frame.
+                ok = remote.execute_chain(_chain(client, ["T1", "T2"]))
+                assert ok.tables == ("T1", "T2")
+
+
+# -- property-based coverage ----------------------------------------------
+
+
+@st.composite
+def _chain_workload(draw):
+    n_base = draw(st.integers(min_value=2, max_value=3))
+    sizes = [
+        draw(st.integers(min_value=2, max_value=6)) for _ in range(n_base)
+    ]
+    length = draw(st.integers(min_value=3, max_value=4))
+    positions = [
+        draw(st.integers(min_value=0, max_value=n_base - 1))
+        for _ in range(length)
+    ]
+    seed = draw(st.integers(min_value=0, max_value=2**20))
+    mutate_table = draw(st.integers(min_value=0, max_value=n_base - 1))
+    insert_key = draw(st.integers(min_value=0, max_value=3))
+    delete = draw(st.booleans())
+    return sizes, positions, seed, mutate_table, insert_key, delete
+
+
+class TestChainProperties:
+    @settings(max_examples=8, deadline=None)
+    @given(_chain_workload())
+    def test_random_chains_with_mutations(self, workload):
+        sizes, positions, seed, mutate_table, insert_key, delete = workload
+        rng = random.Random(seed)
+        base = [_mk(f"B{i}", n, rng) for i, n in enumerate(sizes)]
+        client = SecureJoinClient.for_tables(
+            [(t, "k") for t in base],
+            in_clause_limit=1,
+            rng=random.Random(seed + 1),
+        )
+        server = SecureJoinServer(client.params)
+        for t in base:
+            server.store(client.encrypt_table(t, "k"))
+        names = [base[p].name for p in positions]
+        chain_tables = [base[p] for p in positions]
+        with server:
+            query = _chain(client, names)
+            first = server.execute_chain(query)
+            _assert_matches_plaintext(client, first, chain_tables)
+
+            # Mutate one base table, then repair the same series and
+            # re-derive from scratch: all three views must agree.
+            victim = base[mutate_table]
+            new_row = (insert_key, f"{victim.name}.new")
+            ciphertext, payload, tags = client.encrypt_row_for(
+                victim.name, new_row
+            )
+            server.insert_row(victim.name, ciphertext, payload, tags)
+            victim.insert(new_row)
+            deleted: dict[str, set[int]] = {}
+            if delete and sizes[mutate_table] > 1:
+                server.delete_rows(victim.name, [0])
+                deleted[victim.name] = {0}
+
+            repaired = server.execute_chain(query)
+            assert repaired.stats.series_cache_hits == 1
+            _assert_matches_plaintext(
+                client, repaired, chain_tables, deleted=deleted
+            )
+            fresh = server.execute_chain(_chain(client, names))
+            assert fresh.tuples == repaired.tuples
+            assert fresh.payloads == repaired.payloads
+
+    @settings(max_examples=6, deadline=None)
+    @given(
+        sizes=st.lists(
+            st.integers(min_value=2, max_value=6), min_size=2, max_size=3
+        ),
+        n_shards=st.integers(min_value=1, max_value=2),
+        seed=st.integers(min_value=0, max_value=2**20),
+    )
+    def test_sharded_chains_match_single_store(self, sizes, n_shards, seed):
+        rng = random.Random(seed)
+        base = [_mk(f"S{i}", n, rng) for i, n in enumerate(sizes)]
+        client = SecureJoinClient.for_tables(
+            [(t, "k") for t in base],
+            in_clause_limit=1,
+            rng=random.Random(seed + 1),
+        )
+        server = SecureJoinServer(client.params)
+        encrypted = [client.encrypt_table(t, "k") for t in base]
+        for table in encrypted:
+            server.store(copy.deepcopy(table))
+        names = [t.name for t in base] + [base[0].name]
+        with server:
+            reference = server.execute_chain(_chain(client, names))
+        backend = client.scheme.backend
+        with _sharded(client, backend, encrypted, n_shards) as coordinator:
+            result = coordinator.execute_chain(_chain(client, names))
+            assert result.tuples == reference.tuples
+            assert result.payloads == reference.payloads
